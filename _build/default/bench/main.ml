@@ -1,0 +1,177 @@
+(* Benchmark / experiment harness.
+
+   Part 1 regenerates every paper artefact (figures, theorem and lemma
+   claims) via the Experiments library and prints a verdict per artefact.
+
+   Part 2 is a Bechamel micro-benchmark suite over the computational
+   kernels (decomposition solvers, max flow, allocation, dynamics,
+   attack search) - the "performance table" a systems reader expects,
+   and the quantitative side of the E10 ablation.
+
+   Usage:
+     dune exec bench/main.exe              full battery + benchmarks
+     dune exec bench/main.exe -- quick     reduced trial counts
+     dune exec bench/main.exe -- no-bench  experiments only *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let no_bench = Array.exists (fun a -> a = "no-bench") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel suite                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ring n = Instances.ring ~seed:11 ~n (Weights.Uniform (1, 100))
+
+let test_decompose_chain n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "decompose/chain/n=%d" n)
+    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Chain g)))
+
+let test_decompose_fast n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "decompose/fast-chain/n=%d" n)
+    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.FastChain g)))
+
+let test_decompose_flow n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "decompose/flow/n=%d" n)
+    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Flow g)))
+
+let test_decompose_brute n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "decompose/brute/n=%d" n)
+    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Brute g)))
+
+let test_allocation n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "allocation/n=%d" n)
+    (Staged.stage (fun () -> ignore (Allocation.compute g)))
+
+let test_dynamics_float n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "dynamics/float-100-rounds/n=%d" n)
+    (Staged.stage (fun () -> ignore (Prd.run ~iters:100 g)))
+
+let test_dynamics_exact n =
+  (* exact-rational iterates grow denominators fast; keep the horizon
+     short so a single run stays in the millisecond range *)
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "dynamics/exact-6-rounds/n=%d" n)
+    (Staged.stage (fun () -> ignore (Prd_exact.run ~iters:6 g)))
+
+let test_attack_search n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "sybil/best-split/n=%d" n)
+    (Staged.stage (fun () ->
+         ignore (Incentive.best_split ~grid:8 ~refine:1 g ~v:0)))
+
+let test_attack_search_parallel n domains =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "sybil/best-attack/n=%d/domains=%d" n domains)
+    (Staged.stage (fun () ->
+         ignore (Incentive.best_attack ~grid:8 ~refine:1 ~domains g)))
+
+let test_symbolic_verify n =
+  let g = ring n in
+  Test.make
+    ~name:(Printf.sprintf "symbolic/verify-theorem8/n=%d" n)
+    (Staged.stage (fun () ->
+         ignore (Symbolic.verify_theorem8 ~grid:12 g ~v:0)))
+
+let test_bigint_mul digits =
+  let x = Bigint.of_string (String.make digits '7') in
+  let y = Bigint.of_string (String.make digits '3') in
+  Test.make
+    ~name:(Printf.sprintf "bigint/mul/%d-digits" digits)
+    (Staged.stage (fun () -> ignore (Bigint.mul x y)))
+
+let benchmarks () =
+  Test.make_grouped ~name:"ringshare"
+    [
+      Test.make_grouped ~name:"solvers"
+        [
+          test_decompose_chain 8;
+          test_decompose_fast 8;
+          test_decompose_flow 8;
+          test_decompose_brute 8;
+          test_decompose_chain 32;
+          test_decompose_fast 32;
+          test_decompose_flow 32;
+          test_decompose_fast 128;
+        ];
+      Test.make_grouped ~name:"mechanism"
+        [ test_allocation 8; test_allocation 64 ];
+      Test.make_grouped ~name:"dynamics"
+        [ test_dynamics_float 16; test_dynamics_exact 6 ];
+      Test.make_grouped ~name:"attack"
+        [
+          test_attack_search 6;
+          test_attack_search_parallel 8 1;
+          test_attack_search_parallel 8 2;
+          test_symbolic_verify 5;
+        ];
+      Test.make_grouped ~name:"bigint"
+        [ test_bigint_mul 50; test_bigint_mul 2000 ];
+    ]
+
+let run_benchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances (benchmarks ()) in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Format.printf "@.%s@.Bechamel micro-benchmarks (ns per run)@.%s@."
+    (String.make 72 '-') (String.make 72 '-');
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun test result acc -> (test, result) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (test, result) ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> Format.printf "%-44s %14.1f@." test est
+          | _ -> Format.printf "%-44s %14s@." test "n/a")
+        rows)
+    merged
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let fmt = Format.std_formatter in
+  Format.fprintf fmt
+    "ringshare experiment battery - reproduction of Cheng, Deng, Li (IPPS 2020)@.@.";
+  let outcomes = Experiments.run_all ~quick fmt in
+  Format.fprintf fmt "%s@.summary@.%s@." (String.make 72 '=') (String.make 72 '=');
+  List.iter
+    (fun (o : Experiments.outcome) ->
+      Format.fprintf fmt "[%s] %-24s %s@."
+        (if o.ok then "OK" else "FAIL")
+        o.id o.detail)
+    outcomes;
+  let failures = List.filter (fun (o : Experiments.outcome) -> not o.ok) outcomes in
+  Format.fprintf fmt "@.%d/%d experiments reproduce the paper's shape@."
+    (List.length outcomes - List.length failures)
+    (List.length outcomes);
+  if not no_bench then run_benchmarks ();
+  if failures <> [] then exit 1

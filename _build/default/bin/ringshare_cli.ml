@@ -1,0 +1,435 @@
+(* ringshare — command-line front end.
+
+   Subcommands:
+     decompose  print the bottleneck decomposition, classes and utilities
+     allocate   print the BD allocation
+     dynamics   run proportional response dynamics and report convergence
+     sybil      search the best Sybil attack (one vertex or all)
+     curve      sample U_v(x) / alpha_v(x) for a misreporting agent
+     breaks     locate decomposition breakpoints for a varying weight
+     trace      the full Section III.B interval structure
+     certify    build + verify a flow-witness certificate
+     general    best m-identity Sybil attack on any network
+     family     the tightness family zeta(k) = 2 - 1/(5k+1)
+     audit      per-agent incentive-ratio audit of a network
+     hunt       random search for high-incentive-ratio rings
+     verify     symbolic (Sturm) certificate that zeta_v <= 2
+     save       write the instance to a ringshare-graph file *)
+
+open Cmdliner
+module Q = Rational
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction from command-line options                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_weights s =
+  s |> String.split_on_char ',' |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.map Q.of_string |> Array.of_list
+
+let graph_of_spec ~ring ~path ~fig1 ~file ~seed ~n ~dist =
+  match (ring, path, fig1, file) with
+  | Some w, None, false, None -> Generators.ring (parse_weights w)
+  | None, Some w, false, None -> Generators.path (parse_weights w)
+  | None, None, true, None -> Generators.fig1 ()
+  | None, None, false, Some f -> Serial.load f
+  | None, None, false, None ->
+      let d =
+        match dist with
+        | "uniform" -> Weights.Uniform (1, 100)
+        | "powerlaw" -> Weights.Powerlaw (1000, 2.0)
+        | "bimodal" -> Weights.Bimodal (1, 100, 0.3)
+        | s -> failwith ("unknown distribution: " ^ s)
+      in
+      Instances.ring ~seed ~n d
+  | _ -> failwith "give at most one of --ring, --path, --fig1, --file"
+
+let ring_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ring" ] ~docv:"W1,W2,..." ~doc:"Ring with the given weights.")
+
+let path_arg =
+  Arg.(value & opt (some string) None
+       & info [ "path" ] ~docv:"W1,W2,..." ~doc:"Path with the given weights.")
+
+let fig1_arg =
+  Arg.(value & flag & info [ "fig1" ] ~doc:"The paper's Fig. 1 example graph.")
+
+let file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "file" ] ~docv:"FILE" ~doc:"Load a ringshare-graph instance file.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for generated instances.")
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~doc:"Size of generated instances.")
+
+let dist_arg =
+  Arg.(value & opt string "uniform"
+       & info [ "dist" ] ~doc:"Weight distribution: uniform, powerlaw or bimodal.")
+
+let graph_term =
+  let make ring path fig1 file seed n dist =
+    graph_of_spec ~ring ~path ~fig1 ~file ~seed ~n ~dist
+  in
+  Term.(const make $ ring_arg $ path_arg $ fig1_arg $ file_arg $ seed_arg
+        $ n_arg $ dist_arg)
+
+let v_arg =
+  Arg.(value & opt int 0
+       & info [ "agent"; "v" ] ~docv:"V" ~doc:"The agent under study.")
+
+let grid_arg =
+  Arg.(value & opt int 32 & info [ "grid" ] ~doc:"Search grid resolution.")
+
+let refine_arg =
+  Arg.(value & opt int 3 & info [ "refine" ] ~doc:"Zoom refinement rounds.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommand bodies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let decompose g dot =
+  let d = Decompose.compute g in
+  Format.printf "%a@." Graph.pp g;
+  Format.printf "bottleneck decomposition:@.%a@." Decompose.pp d;
+  let cls = Classes.of_decomposition g d in
+  let us = Utility.of_decomposition g d in
+  Format.printf "vertex  class  alpha      utility@.";
+  for v = 0 to Graph.n g - 1 do
+    Format.printf "%-7d %-6s %-10s %s@." v
+      (Format.asprintf "%a" Classes.pp_cls cls.(v))
+      (Q.to_string (Decompose.alpha_of d v))
+      (Q.to_string us.(v))
+  done;
+  (match Decompose.validate g d with
+  | Ok () -> Format.printf "Proposition 3 invariants: OK@."
+  | Error m -> Format.printf "Proposition 3 invariants: VIOLATED (%s)@." m);
+  match dot with
+  | None -> ()
+  | Some file ->
+      let colour v =
+        match cls.(v) with
+        | Classes.B -> Some "lightblue"
+        | Classes.C -> Some "lightsalmon"
+        | Classes.Both -> Some "lightgreen"
+      in
+      let oc = open_out file in
+      output_string oc (Dot.to_dot ~highlight:colour g);
+      close_out oc;
+      Format.printf "wrote %s@." file
+
+let allocate g =
+  let a = Allocation.compute g in
+  Format.printf "%a@." Allocation.pp a;
+  match Allocation.validate a with
+  | Ok () -> Format.printf "allocation valid; utilities match Proposition 6@."
+  | Error m -> Format.printf "INVALID allocation: %s@." m
+
+let dynamics g iters =
+  let alloc = Allocation.compute g in
+  let traj = Prd.trajectory ~iters g alloc in
+  Format.printf "t,l1_distance_to_bd_allocation@.";
+  List.iter
+    (fun (t, dist) ->
+      if t < 10 || t mod (Stdlib.max 1 (iters / 20)) = 0 || t = iters then
+        Format.printf "%d,%.9f@." t dist)
+    traj;
+  let final = Prd.run ~iters g in
+  let target = Utility.of_decomposition g (Allocation.decomposition alloc) in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun v u ->
+      err := Stdlib.max !err (abs_float (u -. Q.to_float target.(v))))
+    (Prd.utilities final);
+  Format.printf "max utility error after %d rounds: %.3e@." iters !err
+
+let sybil g v_opt grid refine =
+  let report (a : Incentive.attack) =
+    Format.printf
+      "v=%d  best w1=%s  attack utility=%s  honest=%s  ratio=%s (%.5f)@." a.v
+      (Q.to_string a.w1) (Q.to_string a.utility) (Q.to_string a.honest)
+      (Q.to_string a.ratio) (Q.to_float a.ratio)
+  in
+  (match v_opt with
+  | Some v -> report (Incentive.best_split ~grid ~refine g ~v)
+  | None ->
+      let a = Incentive.best_attack ~grid ~refine g in
+      report a);
+  Format.printf "Theorem 8 bound: 2@."
+
+let curve g v samples =
+  let pts = Misreport.curve g ~v ~samples in
+  Format.printf "x,utility,alpha,class@.";
+  List.iter
+    (fun (p : Misreport.point) ->
+      Format.printf "%s,%s,%s,%a@." (Q.to_string p.x) (Q.to_string p.utility)
+        (Q.to_string p.alpha) Classes.pp_cls p.cls)
+    pts;
+  (match Misreport.classify_shape pts with
+  | Ok s -> Format.printf "shape: %a@." Misreport.pp_shape s
+  | Error m -> Format.printf "shape: VIOLATION (%s)@." m);
+  match Misreport.check_utility_monotone pts with
+  | Ok () -> Format.printf "Theorem 10 (monotone utility): OK@."
+  | Error m -> Format.printf "Theorem 10: VIOLATED (%s)@." m
+
+let breaks g v grid =
+  let events = Breakpoints.scan ~grid g ~v in
+  Format.printf "%d decomposition change events for x in [0, %s]@."
+    (List.length events)
+    (Q.to_string (Graph.weight g v));
+  List.iter
+    (fun (ev : Breakpoints.event) ->
+      let kind =
+        match Breakpoints.classify_event ev ~v with
+        | `Merge -> "merge"
+        | `Split -> "split"
+        | `Other -> "other"
+      in
+      Format.printf "@[<v2>x in (%s, %s)  [%s]@,before: %a@,after:  %a@]@."
+        (Q.to_string ev.lo) (Q.to_string ev.hi) kind Decompose.pp ev.before
+        Decompose.pp ev.after)
+    events
+
+let trace g v grid =
+  let t = Trace.compute ~grid g ~v in
+  Format.printf "%a@." Trace.pp t;
+  (match Trace.check_prop12 t with
+  | Ok () -> Format.printf "Propositions 11/12 on the trace: OK@."
+  | Error m -> Format.printf "Propositions 11/12: VIOLATED (%s)@." m);
+  Format.printf "@.csv:@.%s" (Trace.to_csv t)
+
+let certify g =
+  let d = Decompose.compute g in
+  Format.printf "decomposition:@.%a@." Decompose.pp d;
+  let cert = Certificate.build g d in
+  let size =
+    List.fold_left (fun acc (st : Certificate.stage) -> acc + List.length st.flow) 0 cert
+  in
+  Format.printf "certificate built: %d stages, %d flow entries@."
+    (List.length cert) size;
+  match Certificate.verify g d cert with
+  | Ok () -> Format.printf "certificate verifies: alpha-ratios are optimal@."
+  | Error m -> Format.printf "CERTIFICATE REJECTED: %s@." m
+
+let general g v grid =
+  let spec, utility, ratio = Sybil_general.best_attack ~grid g ~v in
+  Format.printf "agent %d: best attack uses %d identities@." v
+    (Array.length spec.Sybil_general.groups);
+  Array.iteri
+    (fun i grp ->
+      Format.printf "  identity %d: weight %s, neighbours [%s]@." (i + 1)
+        (Q.to_string spec.Sybil_general.weights.(i))
+        (String.concat "; " (List.map string_of_int grp)))
+    spec.Sybil_general.groups;
+  Format.printf "attack utility %s, ratio %.5f (conjectured bound: 2)@."
+    (Q.to_string utility) (Q.to_float ratio)
+
+let family ks grid =
+  Format.printf "%6s %16s %16s@." "k" "sup 2-1/(5k+1)" "search finds";
+  List.iter
+    (fun k ->
+      Format.printf "%6d %16.6f %16.6f@." k
+        (Q.to_float (Lower_bound.supremum_ratio ~k))
+        (Q.to_float (Lower_bound.measured_ratio ~grid ~refine:3 ~k ())))
+    ks
+
+let audit g grid refine =
+  Format.printf "%-6s %-10s %-12s %-12s %-8s@." "agent" "weight" "honest"
+    "attack" "ratio";
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v = 2 && Graph.is_ring g then begin
+      let a = Incentive.best_split ~grid ~refine g ~v in
+      Format.printf "%-6d %-10s %-12s %-12s %-8.4f@." v
+        (Q.to_string (Graph.weight g v))
+        (Q.to_string a.honest) (Q.to_string a.utility)
+        (Incentive.ratio_of_attack a)
+    end
+    else if Graph.degree g v >= 1 && Graph.degree g v <= 4 then begin
+      let _, u, r = Sybil_general.best_attack ~grid:(Stdlib.min grid 6) g ~v in
+      Format.printf "%-6d %-10s %-12s %-12s %-8.4f@." v
+        (Q.to_string (Graph.weight g v))
+        "-" (Q.to_string u) (Q.to_float r)
+    end
+  done;
+  Format.printf "Theorem 8 bound (rings; conjectured in general): 2@."
+
+let save g out =
+  Serial.save out g;
+  Format.printf "wrote %s@." out
+
+let verify g v grid =
+  match Symbolic.verify_theorem8 ~grid g ~v with
+  | Error m -> Format.printf "internal error: %s@." m
+  | Ok r ->
+      Format.printf
+        "agent %d: honest U_v = %s; %d structure intervals, %d gap brackets@."
+        v (Q.to_string r.Symbolic.honest)
+        (List.length r.Symbolic.intervals)
+        (List.length r.Symbolic.gaps);
+      List.iter
+        (fun (iv : Symbolic.interval) ->
+          Format.printf
+            "  [%.5f, %.5f]  U(w1) = (%a) / (%a)@.                    bound 2*U_v: %s; best here %.5f@."
+            (Q.to_float iv.lo) (Q.to_float iv.hi) Poly.pp iv.num Poly.pp
+            iv.den
+            (if iv.bound_holds then "PROVED" else "unproven")
+            (Q.to_float iv.best_here))
+        r.Symbolic.intervals;
+      Format.printf "best attack utility found: %s (ratio %.5f)@."
+        (Q.to_string r.Symbolic.best_found)
+        (Q.to_float (Q.div r.Symbolic.best_found r.Symbolic.honest));
+      Format.printf "Theorem 8 for this agent: %s@."
+        (if r.Symbolic.certified then "CERTIFIED (zeta_v <= 2)"
+         else "NOT fully certified")
+
+(* The search that discovered the tightness family: random rings with
+   mixed weight magnitudes, best attack per instance, report the record
+   holders. *)
+let hunt seed trials =
+  let rng = Prng.create seed in
+  let best = ref 0.0 in
+  for trial = 1 to trials do
+    let n = 4 + Prng.int rng 4 in
+    let weights =
+      Array.init n (fun _ ->
+          Q.of_int
+            (match Prng.int rng 4 with
+            | 0 -> 1
+            | 1 -> 1 + Prng.int rng 9
+            | 2 -> 10 * (1 + Prng.int rng 10)
+            | _ -> 100 * (1 + Prng.int rng 10)))
+    in
+    let g = Generators.ring weights in
+    let a = Incentive.best_attack ~grid:12 ~refine:2 g in
+    let r = Incentive.ratio_of_attack a in
+    if r > !best +. 1e-9 then begin
+      best := r;
+      Format.printf "trial %-5d ratio %.5f  v=%d  weights=[%s]@." trial r a.v
+        (String.concat ";"
+           (Array.to_list (Array.map Q.to_string weights)))
+    end
+  done;
+  Format.printf "best ratio found: %.5f (Theorem 8 bound: 2)@." !best
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dot" ] ~docv:"FILE" ~doc:"Write a Graphviz rendering.")
+
+let iters_arg =
+  Arg.(value & opt int 1000 & info [ "iters" ] ~doc:"Dynamics rounds.")
+
+let samples_arg =
+  Arg.(value & opt int 32 & info [ "samples" ] ~doc:"Curve sample count.")
+
+let v_opt_arg =
+  Arg.(value & opt (some int) None
+       & info [ "agent"; "v" ] ~docv:"V"
+         ~doc:"Restrict to one manipulative agent.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let decompose_cmd =
+  cmd "decompose" "Bottleneck decomposition, classes and utilities"
+    Term.(const decompose $ graph_term $ dot_arg)
+
+let allocate_cmd =
+  cmd "allocate" "BD allocation (Definition 5)"
+    Term.(const allocate $ graph_term)
+
+let dynamics_cmd =
+  cmd "dynamics" "Proportional response dynamics convergence"
+    Term.(const dynamics $ graph_term $ iters_arg)
+
+let sybil_cmd =
+  cmd "sybil" "Best Sybil attack and incentive ratio"
+    Term.(const sybil $ graph_term $ v_opt_arg $ grid_arg $ refine_arg)
+
+let curve_cmd =
+  cmd "curve" "Misreport curves U_v(x) and alpha_v(x)"
+    Term.(const curve $ graph_term $ v_arg $ samples_arg)
+
+let breaks_cmd =
+  cmd "breaks" "Decomposition breakpoints as one weight varies"
+    Term.(const breaks $ graph_term $ v_arg $ grid_arg)
+
+let trace_cmd =
+  cmd "trace" "Full interval structure of the decomposition (Section III.B)"
+    Term.(const trace $ graph_term $ v_arg $ grid_arg)
+
+let certify_cmd =
+  cmd "certify" "Flow-witness certificate of the decomposition"
+    Term.(const certify $ graph_term)
+
+let general_cmd =
+  cmd "general" "Best m-identity Sybil attack (any network)"
+    Term.(const general $ graph_term $ v_arg $ grid_arg)
+
+let ks_arg =
+  Arg.(value & opt (list int) [ 1; 2; 4; 8; 16 ]
+       & info [ "k" ] ~doc:"Family parameters to evaluate.")
+
+let family_cmd =
+  cmd "family" "The tightness family ring(20k, 4k, 100k^2, k, 1)"
+    Term.(const family $ ks_arg $ grid_arg)
+
+let audit_cmd =
+  cmd "audit" "Per-agent Sybil vulnerability audit"
+    Term.(const audit $ graph_term $ grid_arg $ refine_arg)
+
+let out_arg =
+  Arg.(required & opt (some string) None
+       & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+
+let save_cmd =
+  cmd "save" "Write the instance to a ringshare-graph file"
+    Term.(const save $ graph_term $ out_arg)
+
+let trials_arg =
+  Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of random instances.")
+
+let hunt_cmd =
+  cmd "hunt" "Random search for high-incentive-ratio rings"
+    Term.(const hunt $ seed_arg $ trials_arg)
+
+let verify_cmd =
+  cmd "verify" "Symbolic certificate that zeta_v <= 2 (Theorem 8)"
+    Term.(const verify $ graph_term $ v_arg $ grid_arg)
+
+let () =
+  let info =
+    Cmd.info "ringshare" ~version:"1.0.0"
+      ~doc:"Resource sharing over rings: BD allocation and Sybil incentive ratio"
+  in
+  (* user-input errors (bad weights, malformed files, out-of-range
+     agents) surface as exceptions from the libraries; report them
+     tersely instead of a backtrace *)
+  exit
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info
+          [
+            decompose_cmd;
+            allocate_cmd;
+            dynamics_cmd;
+            sybil_cmd;
+            curve_cmd;
+            breaks_cmd;
+            trace_cmd;
+            certify_cmd;
+            general_cmd;
+            family_cmd;
+            audit_cmd;
+            hunt_cmd;
+            verify_cmd;
+            save_cmd;
+          ])
+     with Invalid_argument m | Failure m ->
+       Format.eprintf "ringshare: %s@." m;
+       2)

@@ -1,0 +1,1 @@
+examples/bandwidth_sharing.ml: Allocation Array Decompose Format Generators Graph List Prd Rational Utility

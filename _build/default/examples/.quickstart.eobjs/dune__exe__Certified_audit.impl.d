@@ -1,0 +1,1 @@
+examples/certified_audit.ml: Array Certificate Decompose Filename Format Generators Graph Incentive List Lower_bound Rational Serial Symbolic Sys

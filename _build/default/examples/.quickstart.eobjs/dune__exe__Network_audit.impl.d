@@ -1,0 +1,1 @@
+examples/network_audit.ml: Format Generators Graph Incentive Lower_bound Rational

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocation Array Classes Decompose Format Generators Graph Incentive Rational Utility

@@ -1,0 +1,1 @@
+examples/tight_attack.ml: Decompose Format Graph List Lower_bound Rational Stages Sybil

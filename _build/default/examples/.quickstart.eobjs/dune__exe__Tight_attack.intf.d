@@ -1,0 +1,1 @@
+examples/tight_attack.mli:

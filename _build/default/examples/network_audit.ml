@@ -1,0 +1,43 @@
+(* Sybil vulnerability audit.
+
+   Given a fleet of ring networks, estimate every agent's incentive ratio
+   and flag the agents that profit most from splitting their identity.
+   Theorem 8 guarantees no agent can ever exceed a factor of 2; the audit
+   shows how close real networks come.
+
+     dune exec examples/network_audit.exe *)
+
+module Q = Rational
+
+let audit name g =
+  Format.printf "@.=== %s ===@." name;
+  Format.printf "%-6s %-8s %-12s %-12s %-8s@." "agent" "weight" "honest"
+    "best attack" "ratio";
+  let worst = ref None in
+  for v = 0 to Graph.n g - 1 do
+    let a = Incentive.best_split ~grid:12 ~refine:2 g ~v in
+    Format.printf "%-6d %-8s %-12s %-12s %-8.4f%s@." v
+      (Q.to_string (Graph.weight g v))
+      (Q.to_string a.honest) (Q.to_string a.utility)
+      (Incentive.ratio_of_attack a)
+      (if Q.compare a.ratio (Q.of_ints 11 10) > 0 then "  <- vulnerable"
+       else "");
+    match !worst with
+    | Some (b : Incentive.attack) when Q.compare b.ratio a.ratio >= 0 -> ()
+    | _ -> worst := Some a
+  done;
+  match !worst with
+  | None -> ()
+  | Some a ->
+      Format.printf
+        "most vulnerable agent: %d (ratio %.4f; Theorem 8 caps this at 2)@."
+        a.v
+        (Incentive.ratio_of_attack a)
+
+let () =
+  audit "balanced office ring" (Generators.ring_of_ints [| 10; 10; 10; 10; 10; 10 |]);
+  audit "one dominant peer" (Generators.ring_of_ints [| 100; 5; 5; 5; 5 |]);
+  audit "alternating rich/poor" (Generators.ring_of_ints [| 50; 1; 50; 1; 50; 1 |]);
+  audit "engineered worst case (k=4 family)" (Lower_bound.family ~k:4);
+  Format.printf
+    "@.every measured ratio respects the tight bound of 2 from the paper.@."

@@ -1,0 +1,451 @@
+(* Sign-magnitude arbitrary-precision integers, base 10^9 limbs.
+
+   Invariants:
+   - [mag] is little-endian with a non-zero most-significant limb;
+   - [sign = 0] iff [mag] is empty, otherwise [sign] is [-1] or [1];
+   - every limb lies in [0, base).
+
+   All limb-level arithmetic stays within the native 63-bit [int]: products
+   of two limbs are below 10^18 and every intermediate sum below computes
+   headroom of ~4.6*10^18. *)
+
+let base = 1_000_000_000
+let base_digits = 9
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned) helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Number of significant limbs in [a] considering only the first [len]. *)
+let significant a len =
+  let i = ref len in
+  while !i > 0 && a.(!i - 1) = 0 do
+    decr i
+  done;
+  !i
+
+let normalize_mag a =
+  let n = significant a (Array.length a) in
+  if n = Array.length a then a else Array.sub a 0 n
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec loop i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else loop (i - 1)
+    in
+    loop (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      !carry + (if i < la then a.(i) else 0) + if i < lb then b.(i) else 0
+    in
+    if s >= base then (
+      r.(i) <- s - base;
+      carry := 1)
+    else (
+      r.(i) <- s;
+      carry := 0)
+  done;
+  normalize_mag r
+
+(* Requires [a >= b] as magnitudes. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - !borrow - if i < lb then b.(i) else 0 in
+    if d < 0 then (
+      r.(i) <- d + base;
+      borrow := 1)
+    else (
+      r.(i) <- d;
+      borrow := 0)
+  done;
+  assert (!borrow = 0);
+  normalize_mag r
+
+let mul_mag_int a m =
+  (* [0 <= m < base] *)
+  if m = 0 then [||]
+  else
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * m) + !carry in
+      r.(i) <- p mod base;
+      carry := p / base
+    done;
+    r.(la) <- !carry;
+    normalize_mag r
+
+let schoolbook_threshold = 32
+
+let mul_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let p = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- p mod base;
+        carry := p / base
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let p = r.(!k) + !carry in
+        r.(!k) <- p mod base;
+        carry := p / base;
+        incr k
+      done
+    end
+  done;
+  normalize_mag r
+
+(* Karatsuba on magnitudes.  Splitting at [m] limbs:
+   a = a0 + a1*B^m, b = b0 + b1*B^m,
+   a*b = z0 + (z1 - z0 - z2)*B^m + z2*B^2m
+   with z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1). *)
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la <= schoolbook_threshold || lb <= schoolbook_threshold then
+    mul_schoolbook a b
+  else begin
+    let m = (Stdlib.max la lb + 1) / 2 in
+    let lo x =
+      normalize_mag (Array.sub x 0 (Stdlib.min m (Array.length x)))
+    in
+    let hi x =
+      if Array.length x <= m then [||]
+      else Array.sub x m (Array.length x - m)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mul_mag a0 b0 in
+    let z2 = mul_mag a1 b1 in
+    let z1 = mul_mag (add_mag a0 a1) (add_mag b0 b1) in
+    let mid = sub_mag (sub_mag z1 z0) z2 in
+    let r = Array.make (la + lb + 1) 0 in
+    let add_at ofs x =
+      let carry = ref 0 in
+      let lx = Array.length x in
+      for i = 0 to lx - 1 do
+        let s = r.(ofs + i) + x.(i) + !carry in
+        if s >= base then (
+          r.(ofs + i) <- s - base;
+          carry := 1)
+        else (
+          r.(ofs + i) <- s;
+          carry := 0)
+      done;
+      let k = ref (ofs + lx) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        if s >= base then (
+          r.(!k) <- s - base;
+          carry := 1)
+        else (
+          r.(!k) <- s;
+          carry := 0);
+        incr k
+      done
+    in
+    add_at 0 z0;
+    add_at m mid;
+    add_at (2 * m) z2;
+    normalize_mag r
+  end
+
+(* Short division of a magnitude by [0 < d < base]: quotient and int rest. *)
+let divmod_mag_int a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r * base) + a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize_mag q, !r)
+
+(* Knuth algorithm D on magnitudes; requires [Array.length v >= 2] and
+   [u >= v].  Returns (quotient, remainder). *)
+let divmod_mag_long u v =
+  (* Normalise so that the top limb of the divisor is at least base/2, by
+     doubling both operands.  Doubling may grow the divisor by a limb (the
+     new top limb is then 1), in which case further doublings raise it back
+     above base/2; at most ~60 doublings in total.  The quotient is invariant
+     under common scaling and the remainder is unscaled exactly. *)
+  let shift = ref 0 in
+  let vn = ref v in
+  while !vn.(Array.length !vn - 1) < base / 2 do
+    vn := mul_mag_int !vn 2;
+    incr shift
+  done;
+  let un0 = ref u in
+  for _ = 1 to !shift do
+    un0 := mul_mag_int !un0 2
+  done;
+  let vn = !vn and un0 = !un0 in
+  let n = Array.length vn in
+  let m = Array.length un0 - n in
+  (* Working dividend with an explicit extra top limb. *)
+  let w = Array.make (Array.length un0 + 1) 0 in
+  Array.blit un0 0 w 0 (Array.length un0);
+  let q = Array.make (m + 1) 0 in
+  let vn1 = vn.(n - 1) and vn2 = vn.(n - 2) in
+  for j = m downto 0 do
+    let num = (w.(j + n) * base) + w.(j + n - 1) in
+    let qhat = ref (num / vn1) and rhat = ref (num mod vn1) in
+    let again = ref true in
+    while !again do
+      if !qhat >= base || !qhat * vn2 > (!rhat * base) + w.(j + n - 2) then begin
+        decr qhat;
+        rhat := !rhat + vn1;
+        if !rhat >= base then again := false
+      end
+      else again := false
+    done;
+    (* Multiply and subtract: w[j .. j+n] -= qhat * vn. *)
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !borrow in
+      let t = w.(i + j) - (p mod base) in
+      if t < 0 then (
+        w.(i + j) <- t + base;
+        borrow := (p / base) + 1)
+      else (
+        w.(i + j) <- t;
+        borrow := p / base)
+    done;
+    let t = w.(j + n) - !borrow in
+    if t < 0 then begin
+      (* qhat was one too large: add the divisor back. *)
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = w.(i + j) + vn.(i) + !carry in
+        if s >= base then (
+          w.(i + j) <- s - base;
+          carry := 1)
+        else (
+          w.(i + j) <- s;
+          carry := 0)
+      done;
+      w.(j + n) <- t + !carry
+    end
+    else w.(j + n) <- t;
+    q.(j) <- !qhat
+  done;
+  let rem = ref (normalize_mag (Array.sub w 0 n)) in
+  for _ = 1 to !shift do
+    let r, leftover = divmod_mag_int !rem 2 in
+    assert (leftover = 0);
+    rem := r
+  done;
+  (normalize_mag q, !rem)
+
+let divmod_mag u v =
+  match Array.length v with
+  | 0 -> raise Division_by_zero
+  | _ when compare_mag u v < 0 -> ([||], u)
+  | 1 ->
+      let q, r = divmod_mag_int u v.(0) in
+      (q, if r = 0 then [||] else [| r |])
+  | _ -> divmod_mag_long u v
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag = if Array.length mag = 0 then zero else { sign; mag }
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = make (-x.sign) x.mag
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash x =
+  Array.fold_left (fun acc limb -> (acc * 1_000_003) + limb) x.sign x.mag
+  land max_int
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+
+let sub a b = add a (neg b)
+let succ x = add x one
+let pred x = sub x one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else
+    let qm, rm = divmod_mag a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd_mag a b = if is_zero b then a else gcd_mag b (rem a b)
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    (* min_int has no positive counterpart; peel one limb first. *)
+    let sign = if n < 0 then -1 else 1 in
+    let rec limbs n acc =
+      if n = 0 then List.rev acc
+      else limbs (n / base) ((n mod base) :: acc)
+    in
+    let l =
+      if n <> Stdlib.min_int then limbs (Stdlib.abs n) []
+      else
+        let q = -(n / base) and r = -(n mod base) in
+        r :: limbs q []
+    in
+    make sign (normalize_mag (Array.of_list l))
+  end
+
+let to_int x =
+  (* max_int has 3 limbs in base 10^9 (about 4.6e18). *)
+  let l = Array.length x.mag in
+  if l = 0 then Some 0
+  else if l > 3 then None
+  else
+    let rec value i acc =
+      if i < 0 then Some acc
+      else
+        let limb = x.mag.(i) in
+        if acc > (max_int - limb) / base then None
+        else value (i - 1) ((acc * base) + limb)
+    in
+    match value (l - 1) 0 with
+    | None ->
+        (* One value, min_int, overflows the positive range by exactly 1. *)
+        if x.sign < 0 && equal (neg x) (of_int Stdlib.min_int |> neg) then
+          Some Stdlib.min_int
+        else None
+    | Some v -> Some (if x.sign < 0 then -v else v)
+
+let to_int_exn x =
+  match to_int x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int_exn: value out of int range"
+
+let to_float x =
+  let f = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !f else !f
+
+let mul_int a n =
+  if n = 0 || a.sign = 0 then zero
+  else
+    let s = if n < 0 then -a.sign else a.sign in
+    let m = Stdlib.abs n in
+    if m < base then make s (mul_mag_int a.mag m) else mul a (of_int n)
+
+let add_int a n = add a (of_int n)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1)
+    else go acc (mul b b) (n lsr 1)
+  in
+  go one x n
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create (Array.length x.mag * base_digits) in
+    if x.sign < 0 then Buffer.add_char buf '-';
+    let top = Array.length x.mag - 1 in
+    Buffer.add_string buf (string_of_int x.mag.(top));
+    for i = top - 1 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%09d" x.mag.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let digits = Buffer.create n in
+  for i = start to n - 1 do
+    match s.[i] with
+    | '0' .. '9' as c -> Buffer.add_char digits c
+    | '_' -> ()
+    | _ -> invalid_arg "Bigint.of_string: invalid character"
+  done;
+  let ds = Buffer.contents digits in
+  let nd = String.length ds in
+  if nd = 0 then invalid_arg "Bigint.of_string: no digits";
+  let nlimbs = (nd + base_digits - 1) / base_digits in
+  let mag = Array.make nlimbs 0 in
+  for limb = 0 to nlimbs - 1 do
+    let stop = nd - (limb * base_digits) in
+    let from = Stdlib.max 0 (stop - base_digits) in
+    mag.(limb) <- int_of_string (String.sub ds from (stop - from))
+  done;
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,99 @@
+(** Arbitrary-precision signed integers.
+
+    The sealed build environment provides no [zarith]; this module supplies
+    the exact integer arithmetic on which the whole reproduction rests.
+    Bottleneck decompositions compare {% α %}-ratios of vertex sets, i.e.
+    ratios of integer subset sums; a single mis-ordered comparison yields a
+    wrong decomposition, so all comparisons must be exact.
+
+    Representation: sign and little-endian magnitude in base [10^9] limbs.
+    All operations are purely functional. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Construction and destruction} *)
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val to_float : t -> float
+(** Nearest float; large values lose precision, never raise. *)
+
+val of_string : string -> t
+(** Accepts an optional sign followed by decimal digits, with optional [_]
+    separators.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val mul : t -> t -> t
+(** Schoolbook below a limb threshold, Karatsuba above it. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|] and [r]
+    carrying the sign of [a] (truncated division, as [Stdlib.( / )]).
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0].
+    @raise Invalid_argument on negative exponent. *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/bottleneck/brute.ml: Array Graph Rational Vset

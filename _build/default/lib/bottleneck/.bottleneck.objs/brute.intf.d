@@ -1,0 +1,1 @@
+lib/bottleneck/brute.mli: Graph Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/certificate.ml: Array Decompose Graph Hashtbl List Maxflow Printf Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/certificate.mli: Decompose Graph Rational

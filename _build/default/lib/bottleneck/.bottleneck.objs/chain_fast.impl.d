@@ -1,0 +1,1 @@
+lib/bottleneck/chain_fast.ml: Array Chain_solver Dinkelbach Graph List Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/chain_fast.mli: Graph Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/chain_solver.ml: Array Dinkelbach Graph Hashtbl List Rational Vset

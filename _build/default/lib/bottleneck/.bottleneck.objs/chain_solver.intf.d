@@ -1,0 +1,1 @@
+lib/bottleneck/chain_solver.mli: Graph Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/classes.ml: Array Decompose Format Graph Hashtbl List Rational Vset

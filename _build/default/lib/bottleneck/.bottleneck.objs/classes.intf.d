@@ -1,0 +1,1 @@
+lib/bottleneck/classes.mli: Decompose Format Graph

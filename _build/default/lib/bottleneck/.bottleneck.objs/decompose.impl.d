@@ -1,0 +1,1 @@
+lib/bottleneck/decompose.ml: Array Brute Chain_fast Chain_solver Flow_solver Format Graph List Printf Rational Vset

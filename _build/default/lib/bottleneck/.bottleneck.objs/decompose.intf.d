@@ -1,0 +1,1 @@
+lib/bottleneck/decompose.mli: Format Graph Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/dinkelbach.mli: Rational Vset

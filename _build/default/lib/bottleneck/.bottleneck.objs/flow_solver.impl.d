@@ -1,0 +1,1 @@
+lib/bottleneck/flow_solver.ml: Array Dinkelbach Graph Hashtbl Maxflow Rational Vset

@@ -1,0 +1,1 @@
+lib/bottleneck/flow_solver.mli: Graph Rational Vset

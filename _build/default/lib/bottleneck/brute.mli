@@ -1,0 +1,16 @@
+(** Exhaustive maximal-bottleneck oracle.
+
+    Enumerates every non-empty subset of the masked vertex set, computes its
+    α-ratio exactly, and returns the union of all minimisers (bottlenecks
+    are closed under union because [S ↦ w(Γ(S))] is submodular, so the
+    union is the unique maximal bottleneck).
+
+    Exponential — intended for cross-validating the polynomial solvers on
+    instances with at most ~20 masked vertices. *)
+
+val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
+(** @raise Invalid_argument when the mask is empty or has more than 22
+    vertices. *)
+
+val min_alpha : Graph.t -> mask:Vset.t -> Rational.t
+(** The bottleneck ratio [min_S α(S)] itself. *)

@@ -1,0 +1,228 @@
+module Q = Rational
+
+(* State encoding, as in Chain_solver: index = 2*s + counted, where s is
+   the vertex's S-membership and counted whether its Γ(S) charge has
+   already been paid (from the side the sweep came from). *)
+
+let state s counted = (2 * if s then 1 else 0) + if counted then 1 else 0
+
+let better cur cand =
+  match cur with
+  | None -> Some cand
+  | Some c -> if Q.compare cand c < 0 then Some cand else cur
+
+(* One forward transition: from the state table at position i-1 to the
+   table at position i. *)
+let step_forward ~alpha ~w_prev ~w_cur prev =
+  let next = Array.make 4 None in
+  Array.iteri
+    (fun st cost_opt ->
+      match cost_opt with
+      | None -> ()
+      | Some cost ->
+          let s_prev = st >= 2 and counted_prev = st land 1 = 1 in
+          List.iter
+            (fun s ->
+              let cost = ref cost in
+              if s && not counted_prev then cost := Q.add !cost w_prev;
+              if s_prev then cost := Q.add !cost w_cur;
+              if s then cost := Q.sub !cost (Q.mul alpha w_cur);
+              next.(state s s_prev) <- better next.(state s s_prev) !cost)
+            [ false; true ])
+    prev;
+  next
+
+(* Sweep a path forward, keeping every intermediate table.  [init] is the
+   table at position 0. *)
+let sweep ~alpha ~w ~init k =
+  let tables = Array.make k [||] in
+  tables.(0) <- init;
+  for i = 1 to k - 1 do
+    tables.(i) <-
+      step_forward ~alpha ~w_prev:(w (i - 1)) ~w_cur:(w i) tables.(i - 1)
+  done;
+  tables
+
+let init_table ~alpha ~w0 ~s0 ~counted0 ~extra =
+  let t = Array.make 4 None in
+  let base = if s0 then Q.sub extra (Q.mul alpha w0) else extra in
+  t.(state s0 counted0) <- Some base;
+  t
+
+let free_init ~alpha ~w0 =
+  let t = Array.make 4 None in
+  t.(state false false) <- Some Q.zero;
+  t.(state true false) <- Some (Q.neg (Q.mul alpha w0));
+  t
+
+(* Combine a forward table and a backward table that meet at a vertex of
+   weight wv: both include the vertex's -alpha*wv*s term; the Γ charge is
+   paid on the left iff cl, on the right iff cr.  [want_s] restricts the
+   S-membership (None = any). *)
+let combine ~alpha ~wv ~want_s fwd bwd =
+  let best = ref None in
+  Array.iteri
+    (fun stf f_opt ->
+      match f_opt with
+      | None -> ()
+      | Some f ->
+          let s = stf >= 2 and cl = stf land 1 = 1 in
+          if match want_s with None -> true | Some b -> b = s then
+            Array.iteri
+              (fun stb b_opt ->
+                match b_opt with
+                | None -> ()
+                | Some b_cost ->
+                    let s' = stb >= 2 and cr = stb land 1 = 1 in
+                    if s = s' then begin
+                      let total = Q.add f b_cost in
+                      let total =
+                        if s then Q.add total (Q.mul alpha wv) else total
+                      in
+                      let total =
+                        if cl && cr then Q.sub total wv else total
+                      in
+                      best := better !best total
+                    end)
+              bwd)
+    fwd;
+  !best
+
+let table_min t =
+  Array.fold_left
+    (fun acc c -> match c with None -> acc | Some c -> better acc c)
+    None t
+
+let get = function
+  | Some x -> x
+  | None -> invalid_arg "Chain_fast: infeasible DP"
+
+(* ------------------------------------------------------------------ *)
+(* Path components                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns (component minimum, members of the maximal minimiser). *)
+let solve_path g ~alpha verts =
+  let k = Array.length verts in
+  let w i = Graph.weight g verts.(i) in
+  if k = 1 then begin
+    (* forced s_0 = 1 costs -alpha*w0; the vertex is in the maximal
+       minimiser iff that equals the component minimum. *)
+    let forced = Q.neg (Q.mul alpha (w 0)) in
+    let m = Q.min Q.zero forced in
+    (m, if Q.equal forced m then [ verts.(0) ] else [])
+  end
+  else begin
+    (* forward tables: F.(i) = table after processing 0..i *)
+    let fwd = sweep ~alpha ~w ~init:(free_init ~alpha ~w0:(w 0)) k in
+    (* backward tables: run the same sweep on the reversed path *)
+    let wr i = w (k - 1 - i) in
+    let bwd_r = sweep ~alpha ~w:wr ~init:(free_init ~alpha ~w0:(wr 0)) k in
+    let bwd i = bwd_r.(k - 1 - i) in
+    let comp_min = get (table_min fwd.(k - 1)) in
+    let members = ref [] in
+    for i = 0 to k - 1 do
+      match combine ~alpha ~wv:(w i) ~want_s:(Some true) fwd.(i) (bwd i) with
+      | Some forced_min when Q.equal forced_min comp_min ->
+          members := verts.(i) :: !members
+      | _ -> ()
+    done;
+    (comp_min, !members)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cycle components                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Cut the cycle between positions k-1 and 0 and condition on
+   (a, b) = (s_0, s_{k-1}).  The wrap edges charge v_0 when b and
+   v_{k-1} when a; those charges are folded into the sweep initial
+   tables as pre-paid "counted" flags. *)
+let solve_cycle g ~alpha verts =
+  let k = Array.length verts in
+  let w i = Graph.weight g verts.(i) in
+  let comp_min = ref None in
+  (* per-position forced minima, accumulated across (a, b) combinations *)
+  let forced = Array.make k None in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          (* forward sweep with s_0 = a, v_0 pre-charged iff b *)
+          let extra_f = if b then w 0 else Q.zero in
+          let init_f =
+            init_table ~alpha ~w0:(w 0) ~s0:a ~counted0:b ~extra:extra_f
+          in
+          let fwd = sweep ~alpha ~w ~init:init_f k in
+          (* backward sweep (reversed path) with s_{k-1} = b, v_{k-1}
+             pre-charged iff a *)
+          let wr i = w (k - 1 - i) in
+          let extra_b = if a then w (k - 1) else Q.zero in
+          let init_b =
+            init_table ~alpha ~w0:(wr 0) ~s0:b ~counted0:a ~extra:extra_b
+          in
+          let bwd_r = sweep ~alpha ~w:wr ~init:init_b k in
+          let bwd i = bwd_r.(k - 1 - i) in
+          (* this combination's assignments must agree at the boundary
+             positions; combining at any single position yields the total *)
+          for i = 0 to k - 1 do
+            let want_s = if i = 0 then Some a else if i = k - 1 then Some b else None in
+            (match combine ~alpha ~wv:(w i) ~want_s fwd.(i) (bwd i) with
+            | Some c ->
+                if i = 0 then comp_min := better !comp_min c;
+                (* forced membership: s_i = 1 *)
+                if want_s = None || want_s = Some true then begin
+                  match
+                    combine ~alpha ~wv:(w i) ~want_s:(Some true) fwd.(i) (bwd i)
+                  with
+                  | Some cf -> forced.(i) <- better forced.(i) cf
+                  | None -> ()
+                end
+            | None -> ())
+          done)
+        [ false; true ])
+    [ false; true ];
+  let m = get !comp_min in
+  let members = ref [] in
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Some f when Q.equal f m -> members := verts.(i) :: !members
+      | _ -> ())
+    forced;
+  (m, !members)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let h_and_argmax g ~mask ~alpha =
+  if not (Chain_solver.supports g ~mask) then
+    invalid_arg "Chain_fast: masked graph has a vertex of degree > 2";
+  let comps = Chain_solver.components g ~mask in
+  let h = ref Q.zero in
+  let s_max = ref Vset.empty in
+  List.iter
+    (fun (comp : Chain_solver.component) ->
+      let m, members =
+        if comp.cycle then solve_cycle g ~alpha comp.verts
+        else solve_path g ~alpha comp.verts
+      in
+      h := Q.add !h m;
+      List.iter (fun v -> s_max := Vset.add v !s_max) members)
+    comps;
+  (!h, !s_max)
+
+let maximal_bottleneck g ~mask =
+  if Vset.is_empty mask then invalid_arg "Chain_fast: empty mask";
+  let total = Graph.weight_of_set g mask in
+  if Q.is_zero total then mask
+  else
+    let init = Graph.alpha_of_set ~mask g mask in
+    let b, _alpha =
+      Dinkelbach.solve
+        ~oracle:(fun ~alpha -> h_and_argmax g ~mask ~alpha)
+        ~alpha_of:(fun s -> Graph.alpha_of_set ~mask g s)
+        ~init
+    in
+    b

@@ -1,0 +1,210 @@
+module Q = Rational
+
+let masked_neighbors g mask v =
+  Array.to_list (Graph.neighbors g v) |> List.filter (fun u -> Vset.mem u mask)
+
+let supports g ~mask =
+  Vset.for_all (fun v -> List.length (masked_neighbors g mask v) <= 2) mask
+
+(* A component of the masked subgraph, with its vertices in walk order. *)
+type component = { verts : int array; cycle : bool }
+
+let components g ~mask =
+  let visited = Hashtbl.create 16 in
+  let comps = ref [] in
+  Vset.iter
+    (fun v0 ->
+      if not (Hashtbl.mem visited v0) then begin
+        (* Collect the component of v0. *)
+        let members = ref [] in
+        let rec collect v =
+          if not (Hashtbl.mem visited v) then begin
+            Hashtbl.add visited v ();
+            members := v :: !members;
+            List.iter collect (masked_neighbors g mask v)
+          end
+        in
+        collect v0;
+        let members = !members in
+        let degree v = List.length (masked_neighbors g mask v) in
+        let endpoint = List.find_opt (fun v -> degree v <= 1) members in
+        match endpoint with
+        | Some e ->
+            (* Path: walk from the endpoint. *)
+            let rec walk prev cur acc =
+              let acc = cur :: acc in
+              match List.filter (fun u -> u <> prev) (masked_neighbors g mask cur) with
+              | [] -> List.rev acc
+              | [ next ] -> walk cur next acc
+              | _ -> assert false
+            in
+            comps :=
+              { verts = Array.of_list (walk (-1) e []); cycle = false }
+              :: !comps
+        | None ->
+            (* Cycle: walk from any vertex. *)
+            let start = List.hd members in
+            let rec walk prev cur acc =
+              if cur = start && prev <> -1 then List.rev acc
+              else
+                let acc = cur :: acc in
+                match
+                  List.filter (fun u -> u <> prev) (masked_neighbors g mask cur)
+                with
+                | next :: _ -> walk cur next acc
+                | [] -> assert false
+            in
+            comps :=
+              { verts = Array.of_list (walk (-1) start []); cycle = true }
+              :: !comps
+      end)
+    mask;
+  !comps
+
+(* DP state encoding: 2 * s_prev + counted_prev, where s_prev says whether
+   the previous vertex is in S and counted_prev whether its Γ(S)-membership
+   has already been charged to the cost. *)
+
+let state s counted = (2 * if s then 1 else 0) + if counted then 1 else 0
+
+let better current candidate =
+  match current with
+  | None -> Some candidate
+  | Some c -> if Q.compare candidate c < 0 then Some candidate else current
+
+(* Minimum cost over a path component; [forced] restricts the choice at one
+   position to s = 1 (-1 = no restriction). *)
+let path_min g ~alpha verts ~forced =
+  let k = Array.length verts in
+  let w i = Graph.weight g verts.(i) in
+  let allowed i s = (not (i = forced)) || s in
+  let dp = Array.make 4 None in
+  if allowed 0 false then dp.(state false false) <- Some Q.zero;
+  if allowed 0 true then
+    dp.(state true false) <- Some (Q.neg (Q.mul alpha (w 0)));
+  let dp = ref dp in
+  for i = 1 to k - 1 do
+    let next = Array.make 4 None in
+    Array.iteri
+      (fun st cost_opt ->
+        match cost_opt with
+        | None -> ()
+        | Some cost ->
+            let s_prev = st >= 2 and counted_prev = st land 1 = 1 in
+            List.iter
+              (fun s ->
+                if allowed i s then begin
+                  let cost = ref cost in
+                  if s && not counted_prev then cost := Q.add !cost (w (i - 1));
+                  if s_prev then cost := Q.add !cost (w i);
+                  if s then cost := Q.sub !cost (Q.mul alpha (w i));
+                  let st' = state s s_prev in
+                  next.(st') <- better next.(st') !cost
+                end)
+              [ false; true ])
+      !dp;
+    dp := next
+  done;
+  let best = ref None in
+  Array.iter (fun c -> match c with Some c -> best := better !best c | None -> ()) !dp;
+  match !best with Some b -> b | None -> invalid_arg "Chain_solver: infeasible DP"
+
+(* Minimum cost over a cycle component (k >= 3): enumerate the choices at
+   positions 0 and 1, run the path DP over positions 2..k-1, then close the
+   cycle. *)
+let cycle_min g ~alpha verts ~forced =
+  let k = Array.length verts in
+  assert (k >= 3);
+  let w i = Graph.weight g verts.(i) in
+  let allowed i s = (not (i = forced)) || s in
+  let best = ref None in
+  List.iter
+    (fun s0 ->
+      List.iter
+        (fun s1 ->
+          if allowed 0 s0 && allowed 1 s1 then begin
+            let base = ref Q.zero in
+            if s0 then base := Q.sub !base (Q.mul alpha (w 0));
+            if s1 then base := Q.sub !base (Q.mul alpha (w 1));
+            (* v0 is charged now iff s1; v1 is charged now iff s0. *)
+            if s1 then base := Q.add !base (w 0);
+            if s0 then base := Q.add !base (w 1);
+            let counted0 = s1 in
+            let dp = Array.make 4 None in
+            dp.(state s1 s0) <- Some !base;
+            let dp = ref dp in
+            for i = 2 to k - 1 do
+              let next = Array.make 4 None in
+              Array.iteri
+                (fun st cost_opt ->
+                  match cost_opt with
+                  | None -> ()
+                  | Some cost ->
+                      let s_prev = st >= 2 and counted_prev = st land 1 = 1 in
+                      List.iter
+                        (fun s ->
+                          if allowed i s then begin
+                            let cost = ref cost in
+                            if s && not counted_prev then
+                              cost := Q.add !cost (w (i - 1));
+                            if s_prev then cost := Q.add !cost (w i);
+                            if s then cost := Q.sub !cost (Q.mul alpha (w i));
+                            next.(state s s_prev) <- better next.(state s s_prev) !cost
+                          end)
+                        [ false; true ])
+                !dp;
+              dp := next
+            done;
+            Array.iteri
+              (fun st cost_opt ->
+                match cost_opt with
+                | None -> ()
+                | Some cost ->
+                    let s_last = st >= 2 and counted_last = st land 1 = 1 in
+                    let cost = ref cost in
+                    (* Close the cycle: v_{k-1} is charged via v0, v0 via
+                       v_{k-1}, unless already charged. *)
+                    if s0 && not counted_last then cost := Q.add !cost (w (k - 1));
+                    if s_last && not counted0 then cost := Q.add !cost (w 0);
+                    best := better !best !cost)
+              !dp
+          end)
+        [ false; true ])
+    [ false; true ];
+  match !best with Some b -> b | None -> invalid_arg "Chain_solver: infeasible DP"
+
+let component_min g ~alpha comp ~forced =
+  if comp.cycle then cycle_min g ~alpha comp.verts ~forced
+  else path_min g ~alpha comp.verts ~forced
+
+let h_and_argmax g ~mask ~alpha =
+  if not (supports g ~mask) then
+    invalid_arg "Chain_solver: masked graph has a vertex of degree > 2";
+  let comps = components g ~mask in
+  let h = ref Q.zero in
+  let s_max = ref Vset.empty in
+  List.iter
+    (fun comp ->
+      let m = component_min g ~alpha comp ~forced:(-1) in
+      h := Q.add !h m;
+      Array.iteri
+        (fun idx v ->
+          let forced_min = component_min g ~alpha comp ~forced:idx in
+          if Q.equal forced_min m then s_max := Vset.add v !s_max)
+        comp.verts)
+    comps;
+  (!h, !s_max)
+
+let maximal_bottleneck g ~mask =
+  if Vset.is_empty mask then invalid_arg "Chain_solver: empty mask";
+  let total = Graph.weight_of_set g mask in
+  if Q.is_zero total then mask
+  else
+    let init = Graph.alpha_of_set ~mask g mask in
+    let b, _alpha =
+      Dinkelbach.solve
+        ~oracle:(fun ~alpha -> h_and_argmax g ~mask ~alpha)
+        ~alpha_of:(fun s -> Graph.alpha_of_set ~mask g s)
+        ~init
+    in
+    b

@@ -1,0 +1,32 @@
+(** Maximal-bottleneck solver specialised to chain graphs (max degree ≤ 2).
+
+    Every graph this paper manipulates is a ring, a Sybil path, or an
+    induced subgraph of one — all disjoint unions of paths and cycles.  On
+    such graphs [h(α) = min_S (w(Γ(S)) − α·w(S))] is a 4-state dynamic
+    program per component (state: previous vertex's S-membership and
+    whether its Γ-membership has already been charged), and vertex [u]
+    belongs to the maximal minimiser iff forcing [u ∈ S] still achieves the
+    component minimum (minimisers are closed under union).
+
+    O(n²) exact rational operations per Dinkelbach step, versus the generic
+    flow solver's max-flow per step. *)
+
+val supports : Graph.t -> mask:Vset.t -> bool
+(** True iff every masked vertex has in-mask degree ≤ 2. *)
+
+type component = { verts : int array; cycle : bool }
+(** A connected component of the masked subgraph, vertices in walk order
+    (endpoint-to-endpoint for paths, arbitrary starting point for
+    cycles). *)
+
+val components : Graph.t -> mask:Vset.t -> component list
+(** Exposed for {!Chain_fast}. *)
+
+val h_and_argmax : Graph.t -> mask:Vset.t -> alpha:Rational.t -> Rational.t * Vset.t
+(** [h(α)] and the maximal minimiser of the cost, over the masked induced
+    subgraph.  Exposed for testing.
+    @raise Invalid_argument if unsupported. *)
+
+val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
+(** @raise Invalid_argument if the masked graph is not a chain graph or the
+    mask is empty. *)

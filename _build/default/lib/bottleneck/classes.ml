@@ -1,0 +1,76 @@
+module Q = Rational
+
+type cls = B | C | Both
+
+let equal_cls a b =
+  match (a, b) with B, B | C, C | Both, Both -> true | _ -> false
+
+let pp_cls fmt = function
+  | B -> Format.pp_print_string fmt "B"
+  | C -> Format.pp_print_string fmt "C"
+  | Both -> Format.pp_print_string fmt "B/C"
+
+let of_decomposition g d =
+  let cls = Array.make (Graph.n g) Both in
+  List.iter
+    (fun (p : Decompose.pair) ->
+      if Q.equal p.alpha Q.one then
+        Vset.iter (fun v -> cls.(v) <- Both) (Vset.union p.b p.c)
+      else begin
+        Vset.iter (fun v -> cls.(v) <- B) p.b;
+        Vset.iter (fun v -> cls.(v) <- C) p.c
+      end)
+    d;
+  cls
+
+let refine_alternating g d ~anchor =
+  if anchor < 0 || anchor >= Graph.n g then
+    invalid_arg "Classes.refine_alternating: anchor out of range";
+  let cls = of_decomposition g d in
+  if not (equal_cls cls.(anchor) Both) then cls
+  else begin
+    let p = Decompose.pair_of d anchor in
+    let members = p.b in
+    (* Component of the anchor inside the pair's induced subgraph. *)
+    let in_pair v = Vset.mem v members in
+    let nbrs v =
+      Array.to_list (Graph.neighbors g v) |> List.filter in_pair
+    in
+    let colour = Hashtbl.create 16 in
+    let ok = ref true in
+    let rec bfs queue =
+      match queue with
+      | [] -> ()
+      | (v, c) :: rest ->
+          let more =
+            List.filter_map
+              (fun u ->
+                match Hashtbl.find_opt colour u with
+                | Some c' ->
+                    if c' = c then ok := false;
+                    None
+                | None ->
+                    Hashtbl.add colour u (not c);
+                    Some (u, not c))
+              (nbrs v)
+          in
+          bfs (rest @ more)
+    in
+    Hashtbl.add colour anchor true;
+    bfs [ (anchor, true) ];
+    (* true = C class (the anchor's side), false = B class. *)
+    if !ok then
+      Hashtbl.iter (fun v c -> cls.(v) <- (if c then C else B)) colour;
+    cls
+  end
+
+let may_exchange g d u v =
+  Graph.mem_edge g u v
+  &&
+  let i = Decompose.pair_index d u and j = Decompose.pair_index d v in
+  i = j
+  &&
+  let p = Decompose.pair_of d u in
+  if Q.equal p.alpha Q.one then true
+  else
+    (Vset.mem u p.b && Vset.mem v p.c) || (Vset.mem v p.b && Vset.mem u p.c)

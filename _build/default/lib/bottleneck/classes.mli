@@ -1,0 +1,31 @@
+(** B class / C class vertex classification (paper, Definition 4).
+
+    Vertices of a pair with [α_i < 1] are B class or C class according to
+    the side they lie on; vertices of a last pair with [B_k = C_k] and
+    [α_k = 1] are both.
+
+    The paper's Section III analysis refines the [Both] vertices of a path
+    (or even ring) into alternating B/C classes anchored at a chosen vertex
+    (discussion after Lemma 14); [refine_alternating] implements that
+    rule. *)
+
+type cls = B | C | Both
+
+val equal_cls : cls -> cls -> bool
+val pp_cls : Format.formatter -> cls -> unit
+
+val of_decomposition : Graph.t -> Decompose.t -> cls array
+(** Classification of every vertex. *)
+
+val refine_alternating : Graph.t -> Decompose.t -> anchor:int -> cls array
+(** Like {!of_decomposition}, but the connected component of [anchor]
+    inside its [α = 1] pair's induced subgraph — when that component is a
+    path or an even cycle — is relabelled alternately with [anchor] in C
+    class.  Other [Both] vertices (odd cycles, or [α < 1] anchors) are left
+    as [Both].
+    @raise Invalid_argument if [anchor] is out of range. *)
+
+val may_exchange : Graph.t -> Decompose.t -> int -> int -> bool
+(** Whether two adjacent vertices exchange resource under the BD
+    allocation: they must lie in the same pair, on opposite sides (or in
+    an [α = 1] pair). *)

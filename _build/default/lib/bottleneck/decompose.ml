@@ -1,0 +1,177 @@
+module Q = Rational
+
+type solver = Chain | FastChain | Flow | Brute | Auto
+
+type pair = { b : Vset.t; c : Vset.t; alpha : Q.t }
+type t = pair list
+
+let pair_alpha g p =
+  let wb = Graph.weight_of_set g p.b and wc = Graph.weight_of_set g p.c in
+  if Q.is_zero wb then
+    (* Degenerate all-zero-weight stages; pick the convention matching the
+       limit behaviour (utilities are 0 either way). *)
+    if Vset.is_empty p.c then Q.zero
+    else if Vset.equal p.b p.c then Q.one
+    else Q.inf
+  else Q.div wc wb
+
+let solver_fn g = function
+  | Chain -> Chain_solver.maximal_bottleneck
+  | FastChain -> Chain_fast.maximal_bottleneck
+  | Flow -> Flow_solver.maximal_bottleneck
+  | Brute -> Brute.maximal_bottleneck
+  | Auto ->
+      if Graph.is_chain_graph g then Chain_fast.maximal_bottleneck
+      else Flow_solver.maximal_bottleneck
+
+let compute ?(solver = Auto) g =
+  if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
+    invalid_arg "Decompose.compute: all weights are zero";
+  let find = solver_fn g solver in
+  let rec go mask acc =
+    if Vset.is_empty mask then List.rev acc
+    else begin
+      let b = find g ~mask in
+      let c = Graph.gamma ~mask g b in
+      (* For the α = 1 last pair Γ(B) ⊇ B; Definition 2 takes C = Γ(B)∩V_i,
+         which then equals B only when every B vertex has a neighbour in B.
+         Vertices of B without in-B neighbours still belong to C via other
+         B vertices, so c is exactly Γ(B) within the mask. *)
+      let p = { b; c; alpha = Q.zero } in
+      let p = { p with alpha = pair_alpha g p } in
+      go (Vset.diff mask (Vset.union b c)) (p :: acc)
+    end
+  in
+  go (Graph.full_mask g) []
+
+let pair_index d v =
+  let rec go i = function
+    | [] -> raise Not_found
+    | p :: rest ->
+        if Vset.mem v p.b || Vset.mem v p.c then i else go (i + 1) rest
+  in
+  go 0 d
+
+let pair_of d v = List.nth d (pair_index d v)
+let alpha_of d v = (pair_of d v).alpha
+let in_b d v = Vset.mem v (pair_of d v).b
+let in_c d v = Vset.mem v (pair_of d v).c
+
+let equal d1 d2 =
+  List.length d1 = List.length d2
+  && List.for_all2
+       (fun p1 p2 ->
+         Vset.equal p1.b p2.b && Vset.equal p1.c p2.c
+         && Q.equal p1.alpha p2.alpha)
+       d1 d2
+
+let same_structure d1 d2 =
+  List.length d1 = List.length d2
+  && List.for_all2
+       (fun p1 p2 -> Vset.equal p1.b p2.b && Vset.equal p1.c p2.c)
+       d1 d2
+
+let validate g d =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let pairs = Array.of_list d in
+  let k = Array.length pairs in
+  let check_partition () =
+    let all =
+      Array.fold_left
+        (fun acc p -> Vset.union acc (Vset.union p.b p.c))
+        Vset.empty pairs
+    in
+    if not (Vset.equal all (Graph.full_mask g)) then
+      err "pairs do not cover the vertex set"
+    else begin
+      let rec disjoint i =
+        if i >= k then Ok ()
+        else
+          let rec inner j =
+            if j >= k then disjoint (i + 1)
+            else if
+              not
+                (Vset.disjoint
+                   (Vset.union pairs.(i).b pairs.(i).c)
+                   (Vset.union pairs.(j).b pairs.(j).c))
+            then err "pairs %d and %d overlap" i j
+            else inner (j + 1)
+          in
+          inner (i + 1)
+      in
+      disjoint 0
+    end
+  in
+  let check_alphas () =
+    let rec go i =
+      if i >= k then Ok ()
+      else
+        let a = pairs.(i).alpha in
+        if Q.compare a Q.one > 0 then err "alpha_%d > 1" (i + 1)
+        else if i > 0 && Q.compare pairs.(i - 1).alpha a >= 0 then
+          err "alpha_%d >= alpha_%d" i (i + 1)
+        else if Q.equal a Q.one && i < k - 1 then
+          err "alpha_%d = 1 but pair is not last" (i + 1)
+        else go (i + 1)
+    in
+    go 0
+  in
+  let check_structure () =
+    let rec go i =
+      if i >= k then Ok ()
+      else
+        let p = pairs.(i) in
+        if Q.compare p.alpha Q.one < 0 then
+          if not (Vset.disjoint p.b p.c) then
+            err "B_%d and C_%d intersect with alpha < 1" (i + 1) (i + 1)
+          else if
+            Vset.exists
+              (fun u ->
+                Array.exists
+                  (fun v -> Vset.mem v p.b)
+                  (Graph.neighbors g u))
+              p.b
+          then err "B_%d is not independent" (i + 1)
+          else go (i + 1)
+        else if not (Vset.equal p.b p.c) then
+          err "alpha_%d = 1 but B_%d <> C_%d" (i + 1) (i + 1) (i + 1)
+        else go (i + 1)
+    in
+    go 0
+  in
+  let check_cross_edges () =
+    (* No B_i–B_j edges (i <> j); B_i–C_j edges require j <= i. *)
+    let side = Array.make (Graph.n g) `None in
+    Array.iteri
+      (fun i p ->
+        Vset.iter (fun v -> side.(v) <- `B i) p.b;
+        Vset.iter
+          (fun v -> if side.(v) = `None then side.(v) <- `C i)
+          p.c)
+      pairs;
+    let bad = ref None in
+    List.iter
+      (fun (u, v) ->
+        match (side.(u), side.(v)) with
+        | `B i, `B j when i <> j ->
+            bad := Some (Printf.sprintf "edge between B_%d and B_%d" (i + 1) (j + 1))
+        | `B i, `C j | `C j, `B i ->
+            if j > i then
+              bad :=
+                Some
+                  (Printf.sprintf "edge between B_%d and C_%d" (i + 1) (j + 1))
+        | _ -> ())
+      (Graph.edges g);
+    match !bad with None -> Ok () | Some m -> Error m
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  check_partition () >>= check_alphas >>= check_structure >>= check_cross_edges
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i p ->
+      Format.fprintf fmt "(B%d, C%d) = (%a, %a)  alpha=%a@," (i + 1) (i + 1)
+        Vset.pp p.b Vset.pp p.c Q.pp p.alpha)
+    d;
+  Format.fprintf fmt "@]"

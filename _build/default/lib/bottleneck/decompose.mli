@@ -1,0 +1,57 @@
+(** Bottleneck decomposition (paper, Definition 2).
+
+    Repeatedly extract the maximal bottleneck [B_i] of the remaining
+    induced subgraph and its neighbour set [C_i = Γ(B_i) ∩ V_i], until no
+    vertex remains.  The result is the unique sequence
+    [(B_1,C_1), …, (B_k,C_k)] with strictly increasing α-ratios
+    (Proposition 3). *)
+
+type solver = Chain | FastChain | Flow | Brute | Auto
+(** [Chain] is the quadratic reference DP, [FastChain] the linear
+    forward/backward variant ({!Chain_fast}); [Auto] picks [FastChain] for
+    max-degree ≤ 2 graphs and [Flow] otherwise. *)
+
+type pair = {
+  b : Vset.t;  (** the bottleneck [B_i] *)
+  c : Vset.t;  (** its neighbourhood [C_i] in [G_i] *)
+  alpha : Rational.t;  (** [α_i = w(C_i)/w(B_i)] *)
+}
+
+type t = pair list
+
+val compute : ?solver:solver -> Graph.t -> t
+(** @raise Invalid_argument when every vertex has zero weight. *)
+
+val pair_index : t -> int -> int
+(** Index (0-based) of the pair containing the vertex.
+    @raise Not_found if absent (cannot happen for pairs from [compute]). *)
+
+val pair_of : t -> int -> pair
+val alpha_of : t -> int -> Rational.t
+(** The vertex's α-ratio [α_v] (paper notation, Proposition 6). *)
+
+val in_b : t -> int -> bool
+(** Vertex lies in the B side of its pair ([B_k = C_k] counts as both). *)
+
+val in_c : t -> int -> bool
+
+val equal : t -> t -> bool
+(** Same pairs with the same α-ratios, in order. *)
+
+val same_structure : t -> t -> bool
+(** Same pair {e sets} in order, ignoring α-ratios.  This is the paper's
+    notion of "the decomposition does not change" when one weight varies
+    (Section III.B): on a subinterval the partition into pairs is fixed
+    while the α-ratios of the pairs containing the varying vertex move
+    continuously. *)
+
+val validate : Graph.t -> t -> (unit, string) result
+(** Checks the Proposition 3 invariants plus partitioning:
+    α strictly increasing and in (0, 1]; [B_i] independent and disjoint
+    from [C_i] when [α_i < 1]; [B_i = C_i] when [α_i = 1] (last pair only);
+    no B–B edges across pairs; B–C edges only towards earlier-or-equal
+    pairs; the [B_i ∪ C_i] partition [V].  Zero-weight vertices may relax
+    the positivity of α; the check accepts [α_1 = 0] only if [B_1] has
+    zero-weight neighbourhood. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+module Q = Rational
+
+let solve ~oracle ~alpha_of ~init =
+  let rec iterate alpha guard =
+    if guard = 0 then
+      invalid_arg "Dinkelbach.solve: no convergence (oracle inconsistent?)";
+    let h, s_max = oracle ~alpha in
+    match Q.sign h with
+    | 0 -> (s_max, alpha)
+    | n when n > 0 ->
+        invalid_arg "Dinkelbach.solve: oracle returned h > 0"
+    | _ ->
+        let alpha' = alpha_of s_max in
+        if Q.compare alpha' alpha >= 0 then
+          invalid_arg "Dinkelbach.solve: no strict progress"
+        else iterate alpha' (guard - 1)
+  in
+  (* The α values visited are ratios of subset sums; strictly decreasing
+     sequences through that set are finite, but guard against oracle bugs
+     with a generous fuel bound. *)
+  iterate init 100_000

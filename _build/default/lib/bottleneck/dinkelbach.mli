@@ -1,0 +1,20 @@
+(** Dinkelbach iteration for the fractional program
+    [α* = min_S w(Γ(S)) / w(S)].
+
+    Given an oracle computing [h(α) = min_S (w(Γ(S)) − α·w(S))] together
+    with the {e maximal} minimiser, iterate [α ← α(S)] until [h(α) = 0];
+    the maximal minimiser at that point is the maximal bottleneck.  Each
+    step strictly decreases α through the finite set of achievable ratios,
+    so the iteration terminates. *)
+
+val solve :
+  oracle:(alpha:Rational.t -> Rational.t * Vset.t) ->
+  alpha_of:(Vset.t -> Rational.t) ->
+  init:Rational.t ->
+  Vset.t * Rational.t
+(** [solve ~oracle ~alpha_of ~init] is the pair of the maximal bottleneck
+    and its ratio α*.
+    [oracle ~alpha] must return [(h(α), maximal minimiser of the cost)];
+    [alpha_of s] must be the exact α-ratio of [s].
+    @raise Invalid_argument if the oracle reports [h > 0] (broken oracle) or
+    fails to make progress. *)

@@ -1,0 +1,48 @@
+module Q = Rational
+
+let h_and_argmax g ~mask ~alpha =
+  let verts = Vset.to_array mask in
+  let k = Array.length verts in
+  let index = Hashtbl.create k in
+  Array.iteri (fun i v -> Hashtbl.add index v i) verts;
+  (* Nodes: 0..k-1 = L (S-membership side), k..2k-1 = R (Γ side),
+     2k = source, 2k+1 = sink. *)
+  let source = 2 * k and sink = (2 * k) + 1 in
+  let net = Maxflow.create ((2 * k) + 2) in
+  let total = ref Q.zero in
+  Array.iteri
+    (fun i v ->
+      let w = Graph.weight g v in
+      total := Q.add !total w;
+      ignore (Maxflow.add_edge net ~src:source ~dst:i ~cap:(Q.mul alpha w));
+      ignore (Maxflow.add_edge net ~src:(k + i) ~dst:sink ~cap:w);
+      Array.iter
+        (fun u ->
+          match Hashtbl.find_opt index u with
+          | Some j ->
+              ignore (Maxflow.add_edge net ~src:i ~dst:(k + j) ~cap:Q.inf)
+          | None -> ())
+        (Graph.neighbors g v))
+    verts;
+  let mf = Maxflow.max_flow net ~source ~sink in
+  let h = Q.sub mf (Q.mul alpha !total) in
+  let side = Maxflow.max_cut_source_side net ~sink in
+  let s_max = ref Vset.empty in
+  Array.iteri
+    (fun i v -> if Vset.mem i side then s_max := Vset.add v !s_max)
+    verts;
+  (h, !s_max)
+
+let maximal_bottleneck g ~mask =
+  if Vset.is_empty mask then invalid_arg "Flow_solver: empty mask";
+  let total = Graph.weight_of_set g mask in
+  if Q.is_zero total then mask
+  else
+    let init = Graph.alpha_of_set ~mask g mask in
+    let b, _alpha =
+      Dinkelbach.solve
+        ~oracle:(fun ~alpha -> h_and_argmax g ~mask ~alpha)
+        ~alpha_of:(fun s -> Graph.alpha_of_set ~mask g s)
+        ~init
+    in
+    b

@@ -1,0 +1,17 @@
+(** Maximal-bottleneck solver for arbitrary graphs, via the parametric
+    network of Wu and Zhang.
+
+    For a candidate ratio α, build the network
+    [s →(α·w_u) L_u],  [L_u →(∞) R_v] for each [v ∈ Γ(u)],  [R_v →(w_v) t];
+    its min cut equals [α·w(V) + h(α)] with
+    [h(α) = min_S (w(Γ(S)) − α·w(S))], so [h(α) = 0] iff the max flow
+    saturates the source.  The maximal min-cut source side projects onto
+    the maximal minimiser of the cost (min-cut minimisers form a lattice),
+    which at [α = α*] is the maximal bottleneck. *)
+
+val h_and_argmax : Graph.t -> mask:Vset.t -> alpha:Rational.t -> Rational.t * Vset.t
+(** [h(α)] and the maximal cost minimiser over the masked induced
+    subgraph.  Exposed for testing. *)
+
+val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
+(** @raise Invalid_argument when the mask is empty. *)

@@ -1,0 +1,1 @@
+lib/core/adjusting.ml: Decompose Graph Rational Sybil Utility

@@ -1,0 +1,1 @@
+lib/core/adjusting.mli: Decompose Graph Rational

@@ -1,0 +1,1 @@
+lib/core/breakpoints.ml: Decompose Graph List Rational Sybil Vset

@@ -1,0 +1,1 @@
+lib/core/breakpoints.mli: Decompose Graph Rational

@@ -1,0 +1,1 @@
+lib/core/incentive.ml: Array Decompose Fun Graph List Option Parwork Rational Sybil

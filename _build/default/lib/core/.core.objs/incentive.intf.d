@@ -1,0 +1,1 @@
+lib/core/incentive.mli: Decompose Graph Rational

@@ -1,0 +1,1 @@
+lib/core/misreport.ml: Array Classes Decompose Format Graph List Rational Utility

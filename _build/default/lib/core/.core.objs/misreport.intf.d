@@ -1,0 +1,1 @@
+lib/core/misreport.mli: Classes Decompose Format Graph Rational

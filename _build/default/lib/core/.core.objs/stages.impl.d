@@ -1,0 +1,1 @@
+lib/core/stages.ml: Decompose Format Graph List Rational Sybil Utility Vset

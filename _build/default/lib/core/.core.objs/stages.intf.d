@@ -1,0 +1,1 @@
+lib/core/stages.mli: Decompose Format Graph Rational

@@ -1,0 +1,1 @@
+lib/core/sybil.ml: Allocation Array Decompose Graph List Rational Utility

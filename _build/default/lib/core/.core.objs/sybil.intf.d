@@ -1,0 +1,1 @@
+lib/core/sybil.mli: Decompose Graph Rational

@@ -1,0 +1,1 @@
+lib/core/sybil_general.ml: Array Decompose Fun Graph List Rational Utility

@@ -1,0 +1,1 @@
+lib/core/sybil_general.mli: Decompose Graph Rational

@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Breakpoints Decompose Format Graph List Poly Rational Sybil Vset

@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Allocation Array Breakpoints Classes Decompose Format Graph Incentive List Misreport Prd_exact Rational Stages String Sybil Trace Vset

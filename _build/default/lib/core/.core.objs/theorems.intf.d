@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Decompose Graph Incentive Misreport Stages

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Breakpoints Buffer Classes Decompose Format Graph List Printf Rational

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Classes Decompose Format Graph Rational

@@ -1,0 +1,92 @@
+module Q = Rational
+
+type event = {
+  lo : Q.t;
+  hi : Q.t;
+  before : Decompose.t;
+  after : Decompose.t;
+}
+
+let decomposition_at ?(solver = Decompose.Auto) g ~v ~x =
+  Decompose.compute ~solver (Graph.with_weight g v x)
+
+(* Generic scan of a decomposition-valued function over [0, span]. *)
+let scan_fn ~grid ~tolerance ~span decomp =
+  if Q.sign span <= 0 then []
+  else begin
+    let rec bisect lo dlo hi dhi acc =
+      (* invariant: dlo <> dhi *)
+      if Q.compare (Q.sub hi lo) tolerance <= 0 then
+        { lo; hi; before = dlo; after = dhi } :: acc
+      else
+        let mid = Q.div_int (Q.add lo hi) 2 in
+        let dmid = decomp mid in
+        if Decompose.same_structure dlo dmid then bisect mid dmid hi dhi acc
+        else if Decompose.same_structure dmid dhi then bisect lo dlo mid dmid acc
+        else
+          (* Two separate changes inside the cell: recurse on both halves,
+             lower half first so the accumulator stays in scan order. *)
+          bisect mid dmid hi dhi (bisect lo dlo mid dmid acc)
+    in
+    let step = Q.div_int span grid in
+    let rec walk i x dx acc =
+      if i > grid then List.rev acc
+      else
+        let x' = if i = grid then span else Q.mul_int step i in
+        let dx' = decomp x' in
+        let acc = if Decompose.same_structure dx dx' then acc else bisect x dx x' dx' acc in
+        walk (i + 1) x' dx' acc
+    in
+    let d0 = decomp Q.zero in
+    walk 1 Q.zero d0 []
+  end
+
+let scan ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
+  let w = Graph.weight g v in
+  if Q.is_zero w then []
+  else
+    let tolerance =
+      match tolerance with
+      | Some t -> t
+      | None -> Q.div_int w (1 lsl 20)
+    in
+    scan_fn ~grid ~tolerance ~span:w (fun x -> decomposition_at ~solver g ~v ~x)
+
+let scan_split ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
+  let w = Graph.weight g v in
+  if Q.is_zero w then []
+  else
+    let tolerance =
+      match tolerance with
+      | Some t -> t
+      | None -> Q.div_int w (1 lsl 20)
+    in
+    let decomp w1 =
+      let s = Sybil.split_free g ~v ~w1 ~w2:(Q.sub w w1) in
+      Decompose.compute ~solver s.Sybil.path
+    in
+    scan_fn ~grid ~tolerance ~span:w decomp
+
+let classify_event ev ~v =
+  let pair_members d =
+    let p = Decompose.pair_of d v in
+    Vset.union p.b p.c
+  in
+  let members_before = pair_members ev.before
+  and members_after = pair_members ev.after in
+  (* The splitting vertex's own ids are stable: compare the vertex sets of
+     the pair containing v on each side of the event. *)
+  let count_pairs_covering d target =
+    List.length
+      (List.filter
+         (fun (p : Decompose.pair) ->
+           not (Vset.disjoint (Vset.union p.b p.c) target))
+         d)
+  in
+  if Vset.subset members_after members_before
+     && count_pairs_covering ev.after members_before = 2
+  then `Split
+  else if Vset.subset members_before members_after
+          && count_pairs_covering ev.before members_after = 2
+  then `Merge
+  else `Other

@@ -1,0 +1,41 @@
+(** Isolating the points where the bottleneck decomposition changes as one
+    weight varies (paper, Section III.B: the subinterval structure
+    [⟨a_i, b_i⟩] and Proposition 12's merge/split events).
+
+    The decomposition is piecewise constant in the reported weight [x]; a
+    grid scan finds candidate intervals and exact-rational bisection
+    narrows each change to a bracket [(lo, hi)] with
+    [decomposition(lo) ≠ decomposition(hi)] and [hi − lo ≤ tolerance]. *)
+
+type event = {
+  lo : Rational.t;
+  hi : Rational.t;  (** bracket around the change point *)
+  before : Decompose.t;  (** decomposition at [lo] *)
+  after : Decompose.t;  (** decomposition at [hi] *)
+}
+
+val decomposition_at :
+  ?solver:Decompose.solver -> Graph.t -> v:int -> x:Rational.t -> Decompose.t
+
+val scan :
+  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
+  Graph.t -> v:int -> event list
+(** Change events over [x ∈ [0, w_v]], in increasing order.  [grid]
+    defaults to 64; [tolerance] defaults to [w_v / 2^20].  A grid cell
+    hiding an even number of changes that restore the same decomposition
+    is reported as zero events (the scan sees equal endpoints); increase
+    [grid] to separate suspected events. *)
+
+val scan_split :
+  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
+  Graph.t -> v:int -> event list
+(** Like {!scan}, but the parameter is the Sybil split weight: events in
+    the decomposition of the path [P_v(w1, w_v − w1)] as [w1] sweeps
+    [[0, w_v]].  Vertex ids in the events follow {!Sybil.split}
+    ([v¹ = v], [v² = n]). *)
+
+val classify_event : event -> v:int -> [ `Merge | `Split | `Other ]
+(** Proposition 12 view of an event, relative to the pair containing [v]:
+    [`Split] — [v]'s pair at [lo] breaks in two at [hi];
+    [`Merge] — two pairs at [lo] combine into [v]'s pair at [hi];
+    [`Other] — any other reshaping (changes far from [v]'s pair). *)

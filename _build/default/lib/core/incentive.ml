@@ -1,0 +1,72 @@
+module Q = Rational
+
+type attack = {
+  v : int;
+  w1 : Q.t;
+  utility : Q.t;
+  honest : Q.t;
+  ratio : Q.t;
+}
+
+let ratio_value ~utility ~honest =
+  if Q.is_zero honest then if Q.is_zero utility then Q.one else Q.inf
+  else Q.div utility honest
+
+let clamp lo hi x = Q.max lo (Q.min hi x)
+
+let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3) g ~v =
+  if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
+  let w = Graph.weight g v in
+  let honest = Sybil.honest_utility ~solver g ~v in
+  let eval w1 = (w1, Sybil.split_utility ~solver g ~v ~w1) in
+  let sweep lo hi extras =
+    let step = Q.div_int (Q.sub hi lo) grid in
+    let points =
+      if Q.is_zero step then [ lo ]
+      else
+        extras
+        @ List.init (grid + 1) (fun i -> Q.add lo (Q.mul_int step i))
+    in
+    let points = List.map (clamp Q.zero w) points in
+    List.fold_left
+      (fun (bw, bu) w1 ->
+        let w1, u = eval w1 in
+        if Q.compare u bu > 0 then (w1, u) else (bw, bu))
+      (eval (List.hd points))
+      (List.tl points)
+  in
+  let w10, _ = Sybil.initial_split ~solver g ~v in
+  let rec zoom lo hi extras rounds (bw, bu) =
+    let bw', bu' = sweep lo hi extras in
+    let bw, bu = if Q.compare bu' bu > 0 then (bw', bu') else (bw, bu) in
+    if rounds = 0 then (bw, bu)
+    else
+      let step = Q.div_int (Q.sub hi lo) grid in
+      if Q.is_zero step then (bw, bu)
+      else
+        zoom
+          (clamp Q.zero w (Q.sub bw step))
+          (clamp Q.zero w (Q.add bw step))
+          [] (rounds - 1) (bw, bu)
+  in
+  let bw, bu = zoom Q.zero w [ w10 ] refine (w10, honest) in
+  { v; w1 = bw; utility = bu; honest; ratio = ratio_value ~utility:bu ~honest }
+
+let best_attack ?solver ?grid ?refine ?(domains = 1) g =
+  if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  let attacks =
+    (* per-vertex searches are independent pure computations; spread them
+       over domains when asked *)
+    Parwork.map ~domains
+      (fun v -> best_split ?solver ?grid ?refine g ~v)
+      (Array.init (Graph.n g) Fun.id)
+  in
+  Array.fold_left
+    (fun best a ->
+      match best with
+      | None -> Some a
+      | Some b -> if Q.compare a.ratio b.ratio > 0 then Some a else Some b)
+    None attacks
+  |> Option.get
+
+let ratio_of_attack a = Q.to_float a.ratio

@@ -1,0 +1,34 @@
+(** Incentive ratio of the BD Allocation Mechanism against Sybil attacks
+    (paper, Definition 7).
+
+    [ζ_v = max over splits of U'_v / U_v], and [ζ = max_v ζ_v].  The split
+    utility is a piecewise algebraic function of [w_{v¹}] whose optimum may
+    be irrational, so the search is an exact-arithmetic grid sweep with
+    recursive zoom refinement around the best grid point: every reported
+    value is an exact {e certified lower bound} of the supremum, and
+    Theorem 8 promises the supremum itself never exceeds 2. *)
+
+type attack = {
+  v : int;  (** the manipulative agent *)
+  w1 : Rational.t;  (** best identity-1 weight found *)
+  utility : Rational.t;  (** [U'_v] at that split *)
+  honest : Rational.t;  (** [U_v] without deviation *)
+  ratio : Rational.t;  (** [U'_v / U_v] *)
+}
+
+val best_split :
+  ?solver:Decompose.solver -> ?grid:int -> ?refine:int ->
+  Graph.t -> v:int -> attack
+(** Sweep [w_{v¹}] over a [grid]-point subdivision of [[0, w_v]] (plus the
+    honest point [w₁⁰]), then zoom [refine] times around the best point.
+    Defaults: [grid = 32], [refine = 3]. *)
+
+val best_attack :
+  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?domains:int ->
+  Graph.t -> attack
+(** [ζ] estimate: best over all vertices.  [domains > 1] spreads the
+    per-vertex searches over that many OCaml 5 domains (the result is
+    identical to the sequential search). *)
+
+val ratio_of_attack : attack -> float
+(** Convenience float view. *)

@@ -1,0 +1,25 @@
+module Q = Rational
+
+let family ~k =
+  if k < 1 then invalid_arg "Lower_bound.family: k must be >= 1";
+  Generators.ring_of_ints [| 20 * k; 4 * k; 100 * k * k; k; 1 |]
+
+let attacker = 0
+
+let supremum_ratio ~k = Q.sub Q.two (Q.of_ints 1 ((5 * k) + 1))
+
+let ratio_at ~k ~epsilon =
+  if Q.sign epsilon <= 0 || Q.compare epsilon Q.one >= 0 then
+    invalid_arg "Lower_bound.ratio_at: need 0 < epsilon < 1";
+  let w1 = Q.sub (Q.of_int (20 * k)) epsilon in
+  let u1 =
+    Q.div
+      (Q.mul w1 (Q.of_int (5 * k)))
+      (Q.add (Q.of_int (100 * k * k)) w1)
+  in
+  (* Honest utility is exactly 1, so the ratio is the attack utility. *)
+  Q.add u1 Q.one
+
+let measured_ratio ?grid ?refine ~k () =
+  let g = family ~k in
+  (Incentive.best_split ?grid ?refine g ~v:attacker).ratio

@@ -1,0 +1,37 @@
+(** A tightness family: rings whose incentive ratio approaches 2.
+
+    Theorem 8's bound is tight (the lower bound of 2 is from [5]); this
+    family — found with this repository's own attack-search tool and then
+    verified in closed form — witnesses it.
+
+    [family k] is the 5-ring with weights [(20k, 4k, 100k², k, 1)] and
+    manipulative agent 0.  Its decomposition is the single pair
+    [B = {0, 2}], [C = {1, 3, 4}] with [α = 1/(20k)], so agent 0 is B class
+    with honest utility [U_0 = 1].  Splitting [(w₁, w₂) = (20k − ε, ε)]
+    with [0 < ε < 1] sends identity 2 into a late pair [({4}, {v²})] where
+    it receives vertex 4's entire unit of weight, while identity 1 keeps
+    [U ≈ 1]:
+
+    [U'(ε) = (20k − ε)·5k / (100k² + 20k − ε) + 1  →  2 − 1/(5k+1)]
+
+    as [ε → 0⁺].  The supremum [ζ_0 = 2 − 1/(5k+1)] is not attained (at
+    [ε = 0] the second identity vanishes), matching the strictness of the
+    paper's bound. *)
+
+val family : k:int -> Graph.t
+(** @raise Invalid_argument when [k < 1]. *)
+
+val attacker : int
+(** The manipulative agent (vertex 0). *)
+
+val supremum_ratio : k:int -> Rational.t
+(** The closed form [2 − 1/(5k+1)]. *)
+
+val ratio_at : k:int -> epsilon:Rational.t -> Rational.t
+(** Exact attack ratio for the split [(20k − ε, ε)]; requires
+    [0 < ε < 1].  Computed from the closed form [U'(ε)] above — the test
+    suite checks it against the full mechanism. *)
+
+val measured_ratio : ?grid:int -> ?refine:int -> k:int -> unit -> Rational.t
+(** What the generic search of {!Incentive.best_split} finds (a certified
+    lower bound on the supremum). *)

@@ -1,0 +1,108 @@
+module Q = Rational
+
+type point = {
+  x : Q.t;
+  utility : Q.t;
+  alpha : Q.t;
+  cls : Classes.cls;
+}
+
+let at ?(solver = Decompose.Auto) g ~v ~x =
+  if Q.sign x < 0 || Q.compare x (Graph.weight g v) > 0 then
+    invalid_arg "Misreport.at: reported weight out of range";
+  let g' = Graph.with_weight g v x in
+  let d = Decompose.compute ~solver g' in
+  {
+    x;
+    utility = Utility.of_vertex g' d v;
+    alpha = Decompose.alpha_of d v;
+    cls = (Classes.of_decomposition g' d).(v);
+  }
+
+let curve ?solver g ~v ~samples =
+  if samples < 1 then invalid_arg "Misreport.curve: need samples >= 1";
+  let w = Graph.weight g v in
+  let step = Q.div_int w samples in
+  List.init (samples + 1) (fun i ->
+      let x = if i = samples then w else Q.mul_int step i in
+      at ?solver g ~v ~x)
+
+type shape = B1 | B2 | B3
+
+let pp_shape fmt = function
+  | B1 -> Format.pp_print_string fmt "B-1 (C class, alpha non-decreasing)"
+  | B2 -> Format.pp_print_string fmt "B-2 (B class, alpha non-increasing)"
+  | B3 -> Format.pp_print_string fmt "B-3 (C then B, peak at alpha = 1)"
+
+let is_c_compatible p = not (Classes.equal_cls p.cls Classes.B)
+let is_b_compatible p = not (Classes.equal_cls p.cls Classes.C)
+
+let monotone ~dir pts =
+  (* dir = 1: non-decreasing; dir = -1: non-increasing. *)
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if Q.compare (Q.mul_int (Q.sub b.alpha a.alpha) dir) Q.zero < 0 then
+          Some (a, b)
+        else go rest
+    | _ -> None
+  in
+  go pts
+
+let classify_shape pts =
+  match pts with
+  | [] | [ _ ] -> Error "need at least two sample points"
+  | _ ->
+      let rec split_prefix acc = function
+        (* Longest prefix of C-compatible points; the B-class suffix
+           starts at the first strictly-B point. *)
+        | p :: rest when is_c_compatible p -> split_prefix (p :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let prefix, suffix = split_prefix [] pts in
+      if List.exists (fun p -> Classes.equal_cls p.cls Classes.C) suffix then
+        Error "class switches from B back to C (violates Proposition 11)"
+      else if suffix = [] then
+        match monotone ~dir:1 prefix with
+        | None -> Ok B1
+        | Some (a, b) ->
+            Error
+              (Format.asprintf
+                 "C-class alpha decreases between x=%a and x=%a" Q.pp a.x
+                 Q.pp b.x)
+      else if prefix = [] || List.for_all is_b_compatible pts then
+        match monotone ~dir:(-1) pts with
+        | None -> Ok B2
+        | Some (a, b) ->
+            Error
+              (Format.asprintf
+                 "B-class alpha increases between x=%a and x=%a" Q.pp a.x
+                 Q.pp b.x)
+      else begin
+        match monotone ~dir:1 prefix with
+        | Some (a, b) ->
+            Error
+              (Format.asprintf
+                 "C-phase alpha decreases between x=%a and x=%a" Q.pp a.x
+                 Q.pp b.x)
+        | None -> (
+            match monotone ~dir:(-1) suffix with
+            | Some (a, b) ->
+                Error
+                  (Format.asprintf
+                     "B-phase alpha increases between x=%a and x=%a" Q.pp a.x
+                     Q.pp b.x)
+            | None -> Ok B3)
+      end
+
+let check_utility_monotone pts =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if Q.compare a.utility b.utility > 0 then
+          Error
+            (Format.asprintf
+               "utility decreases from %a to %a between x=%a and x=%a"
+               Q.pp a.utility Q.pp b.utility Q.pp a.x Q.pp b.x)
+        else go rest
+    | _ -> Ok ()
+  in
+  go pts

@@ -1,0 +1,38 @@
+(** Single-parameter weight variation (paper, Section III.B).
+
+    Fix every weight except agent [v]'s and let [v] report
+    [x ∈ [0, w_v]].  [U_v(x)] is continuous and monotone non-decreasing
+    (Theorem 10), and [α_v(x)] follows one of the three shapes of
+    Proposition 11 (non-decreasing while [v] is C class, non-increasing
+    while B class, with at most one switch, at [α_v = 1]).
+
+    These curves drive the stage analysis of the Sybil proof: each stage
+    varies exactly one identity's weight, and this module is what the
+    stage lemma checkers sample. *)
+
+type point = {
+  x : Rational.t;  (** reported weight *)
+  utility : Rational.t;  (** [U_v(x)] *)
+  alpha : Rational.t;  (** [α_v(x)] *)
+  cls : Classes.cls;  (** [v]'s class at [x] *)
+}
+
+val at : ?solver:Decompose.solver -> Graph.t -> v:int -> x:Rational.t -> point
+
+val curve :
+  ?solver:Decompose.solver -> Graph.t -> v:int -> samples:int -> point list
+(** [samples + 1] evenly spaced points over [[0, w_v]] (x = 0 included). *)
+
+type shape = B1 | B2 | B3
+(** Proposition 11's three cases: [B1] — [α_v] non-decreasing, always C
+    class; [B2] — non-increasing, always B class; [B3] — C class rising to
+    [α_v = 1] then B class falling. *)
+
+val classify_shape : point list -> (shape, string) result
+(** Classifies a sampled curve; [Error] describes any Proposition 11
+    violation (which would falsify the reproduction). *)
+
+val check_utility_monotone : point list -> (unit, string) result
+(** Theorem 10 on the samples. *)
+
+val pp_shape : Format.formatter -> shape -> unit

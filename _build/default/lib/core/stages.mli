@@ -1,0 +1,49 @@
+(** The two-stage decomposition of the Sybil deviation (paper, Sections
+    III.C and III.D).
+
+    The move from the honest path [P_v(w₁⁰, w₂⁰)] to the optimal path
+    [P_v(w₁⋆, w₂⋆)] is analysed one identity at a time.  When [v] is a C
+    class vertex on the ring, the shrinking identity moves first (Stage
+    C-1) and the growing one second (Stage C-2); when [v] is B class the
+    order is reversed (Stages D-1, D-2).  The per-identity utility deltas
+    are the δ / Δ quantities of Lemmas 16, 18, 19, 22 and 24.
+
+    Orientation: the reports below relabel the identities so that the
+    {e growing} identity (weight [w₁⁰ → w₁⋆ ≥ w₁⁰]) is identity 1, matching
+    the paper's w.l.o.g. convention. *)
+
+(** Lemma 14 / Lemma 20 classification of the honest path's decomposition. *)
+type initial_form =
+  | C1  (** one pair, v¹ ∈ B, v² ∈ C, alternating classes (Lemma 14) *)
+  | C2  (** [w₁⁰ = 0], v¹ ∈ B_j, v² ∈ C_i (Lemma 14) *)
+  | C3  (** v¹ ∈ C_j, v² ∈ C_i, [j ≥ i] (Lemma 14) *)
+  | D1  (** v¹ ∈ B_j, v² ∈ B_i, [j ≤ i] (Lemma 20) *)
+
+val pp_initial_form : Format.formatter -> initial_form -> unit
+
+val classify_initial :
+  ?solver:Decompose.solver -> Graph.t -> v:int -> (initial_form, string) result
+(** Classify [P_v(w₁⁰, w₂⁰)]; identities in an [α = 1] pair count as C
+    class (the paper's convention).  [Error] reports a decomposition shape
+    outside the lemmas' case lists — a reproduction failure. *)
+
+type report = {
+  kind : [ `C | `D ];  (** which stage pair applied (class of [v] on G) *)
+  honest : Rational.t;  (** [U_v] *)
+  final : Rational.t;  (** [U_v(w₁⋆, w₂⋆)] *)
+  w1_grow : Rational.t * Rational.t;  (** growing identity: (start, end) *)
+  w2_shrink : Rational.t * Rational.t;  (** shrinking identity: (start, end) *)
+  delta1_grow : Rational.t;  (** growing identity's utility change, stage 1 *)
+  delta1_shrink : Rational.t;
+  delta2_grow : Rational.t;  (** …stage 2 *)
+  delta2_shrink : Rational.t;
+  checks : (string * bool) list;
+      (** named lemma conditions evaluated on this instance *)
+}
+
+val analyse :
+  ?solver:Decompose.solver -> Graph.t -> v:int -> w1_star:Rational.t -> report
+(** Full stage analysis of the deviation that ends at
+    [P_v(w1_star, w_v − w1_star)]. *)
+
+val all_checks_pass : report -> bool

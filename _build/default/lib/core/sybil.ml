@@ -1,0 +1,58 @@
+module Q = Rational
+
+type split = { path : Graph.t; v1 : int; v2 : int }
+
+let ring_neighbors g v =
+  match Graph.neighbors g v with
+  | [| a; b |] -> (a, b)
+  | _ -> invalid_arg "Sybil: vertex does not have degree 2"
+
+let split_free g ~v ~w1 ~w2 =
+  if not (Graph.is_ring g) then invalid_arg "Sybil.split: not a ring";
+  if Q.sign w1 < 0 || Q.sign w2 < 0 then
+    invalid_arg "Sybil.split: negative identity weight";
+  let n = Graph.n g in
+  let _a, b = ring_neighbors g v in
+  (* v keeps its id and the edge to the smaller neighbour id; the new
+     vertex n takes the edge to b. *)
+  let weights = Array.make (n + 1) Q.zero in
+  for u = 0 to n - 1 do
+    weights.(u) <- Graph.weight g u
+  done;
+  weights.(v) <- w1;
+  weights.(n) <- w2;
+  let edges =
+    (n, b)
+    :: List.filter (fun (x, y) -> not ((x = v && y = b) || (x = b && y = v)))
+         (Graph.edges g)
+  in
+  { path = Graph.create ~weights ~edges; v1 = v; v2 = n }
+
+let split g ~v ~w1 ~w2 =
+  if not (Q.equal (Q.add w1 w2) (Graph.weight g v)) then
+    invalid_arg "Sybil.split: weights must sum to w_v";
+  split_free g ~v ~w1 ~w2
+
+let utilities_of_split ?(solver = Decompose.Auto) s =
+  let d = Decompose.compute ~solver s.path in
+  (Utility.of_vertex s.path d s.v1, Utility.of_vertex s.path d s.v2)
+
+let split_utility ?solver g ~v ~w1 =
+  let w2 = Q.sub (Graph.weight g v) w1 in
+  let s = split g ~v ~w1 ~w2 in
+  let u1, u2 = utilities_of_split ?solver s in
+  Q.add u1 u2
+
+let honest_utility ?(solver = Decompose.Auto) g ~v =
+  let d = Decompose.compute ~solver g in
+  Utility.of_vertex g d v
+
+let initial_split ?solver g ~v =
+  if not (Graph.is_ring g) then invalid_arg "Sybil.initial_split: not a ring";
+  let a, b = ring_neighbors g v in
+  let alloc =
+    match solver with
+    | None -> Allocation.compute g
+    | Some s -> Allocation.compute ~solver:s g
+  in
+  (Allocation.amount alloc ~src:v ~dst:a, Allocation.amount alloc ~src:v ~dst:b)

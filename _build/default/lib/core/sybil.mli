@@ -1,0 +1,43 @@
+(** The Sybil attack on a ring (paper, Section II.D and III).
+
+    The manipulative agent [v], of degree 2 on the ring, splits into two
+    identities [v¹] and [v²] with weights [w_{v¹} + w_{v²} = w_v]; each of
+    [v]'s neighbours is attached to one identity.  The result is the path
+    [v¹ — u_1 — … — u_{n-1} — v²] (notation [P_v(w_{v¹}, w_{v²})]).
+
+    Identity conventions for the path returned by {!split}:
+    vertices keep their ring ids, except that [v] becomes [v¹] (attached to
+    the {e smaller-id} ring neighbour) and the fresh vertex [n] is [v²]
+    (attached to the other neighbour). *)
+
+type split = {
+  path : Graph.t;
+  v1 : int;  (** id of v¹ in [path] *)
+  v2 : int;  (** id of v² in [path] *)
+}
+
+val split : Graph.t -> v:int -> w1:Rational.t -> w2:Rational.t -> split
+(** @raise Invalid_argument if the graph is not a ring, or the weights are
+    negative or do not sum to [w_v]. *)
+
+val split_free : Graph.t -> v:int -> w1:Rational.t -> w2:Rational.t -> split
+(** Like {!split} but without the [w1 + w2 = w_v] constraint: the stage
+    analysis of Section III walks through intermediate paths — e.g.
+    [P_v(w₁⁰, w₂⋆)] — whose identity weights do not sum to [w_v]. *)
+
+val split_utility :
+  ?solver:Decompose.solver -> Graph.t -> v:int -> w1:Rational.t -> Rational.t
+(** [U_{v¹} + U_{v²}] on [P_v(w1, w_v − w1)] — the attacker's post-attack
+    utility. *)
+
+val utilities_of_split :
+  ?solver:Decompose.solver -> split -> Rational.t * Rational.t
+(** The two identities' utilities separately. *)
+
+val honest_utility : ?solver:Decompose.solver -> Graph.t -> v:int -> Rational.t
+(** [U_v] on the original ring (Proposition 6). *)
+
+val initial_split : ?solver:Decompose.solver -> Graph.t -> v:int -> Rational.t * Rational.t
+(** [(w₁⁰, w₂⁰)]: the amounts [v] ships to its two neighbours under the BD
+    allocation on the ring (smaller-id neighbour first, matching
+    {!split}).  Lemma 9: the split utility at this point equals [U_v]. *)

@@ -1,0 +1,187 @@
+module Q = Rational
+
+type interval = {
+  lo : Q.t;
+  hi : Q.t;
+  num : Poly.t;
+  den : Poly.t;
+  bound_holds : bool;
+  best_here : Q.t;
+}
+
+type report = {
+  v : int;
+  honest : Q.t;
+  intervals : interval list;
+  gaps : (Q.t * Q.t) list;
+  certified : bool;
+  best_found : Q.t;
+}
+
+(* Weight of a vertex set as a linear polynomial in w1 (the first
+   identity's weight), given the two identity ids and the total W. *)
+let set_weight_poly g ~v1 ~v2 ~total set =
+  let const = ref Q.zero and slope = ref Q.zero in
+  Vset.iter
+    (fun u ->
+      if u = v1 then slope := Q.add !slope Q.one
+      else if u = v2 then begin
+        (* v2 carries W - w1 *)
+        const := Q.add !const total;
+        slope := Q.sub !slope Q.one
+      end
+      else const := Q.add !const (Graph.weight g u))
+    set;
+  Poly.linear !const !slope
+
+(* One identity's utility as a rational function (numerator, denominator)
+   of w1, inside a fixed decomposition structure. *)
+let identity_utility g ~v1 ~v2 ~total structure id =
+  let p = Decompose.pair_of structure id in
+  let own =
+    if id = v1 then Poly.x else Poly.linear total (Q.of_int (-1))
+  in
+  if Vset.equal p.Decompose.b p.Decompose.c then
+    (* self pair (alpha = 1): the identity receives its own weight *)
+    (own, Poly.one)
+  else begin
+    let wb = set_weight_poly g ~v1 ~v2 ~total p.Decompose.b in
+    let wc = set_weight_poly g ~v1 ~v2 ~total p.Decompose.c in
+    if Vset.mem id p.Decompose.b then
+      (* U = w_id * w(C)/w(B) *)
+      if Poly.is_zero wb then (Poly.zero, Poly.one)
+      else (Poly.mul own wc, wb)
+    else if Poly.is_zero wc then (Poly.zero, Poly.one)
+    else (Poly.mul own wb, wc)
+  end
+
+let utility_function g ~v ~structure ~v2 =
+  let total = Graph.weight g v in
+  let n1, d1 = identity_utility g ~v1:v ~v2 ~total structure v in
+  let n2, d2 = identity_utility g ~v1:v ~v2 ~total structure v2 in
+  ( Poly.add (Poly.mul n1 d2) (Poly.mul n2 d1),
+    Poly.mul d1 d2 )
+
+(* Exact attack utility at a concrete split, straight from the mechanism. *)
+let exact_utility ~solver g ~v w1 =
+  Sybil.split_utility ~solver g ~v ~w1
+
+let verify_theorem8 ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
+  let total = Graph.weight g v in
+  let honest = Sybil.honest_utility ~solver g ~v in
+  if Q.is_zero total then
+    Ok
+      {
+        v;
+        honest;
+        intervals = [];
+        gaps = [];
+        certified = true;
+        best_found = honest;
+      }
+  else begin
+    let events = Breakpoints.scan_split ~solver ~grid ?tolerance g ~v in
+    let pieces =
+      (* closed intervals between consecutive event brackets *)
+      let cuts =
+        Q.zero
+        :: List.concat_map
+             (fun (ev : Breakpoints.event) -> [ ev.lo; ev.hi ])
+             events
+        @ [ total ]
+      in
+      let rec pair_up = function
+        | a :: b :: rest -> (a, b) :: pair_up rest
+        | _ -> []
+      in
+      pair_up cuts
+    in
+    let gaps =
+      List.map (fun (ev : Breakpoints.event) -> (ev.lo, ev.hi)) events
+    in
+    let best = ref honest in
+    let note_candidate w1 =
+      let w1 = Q.max Q.zero (Q.min total w1) in
+      let u = exact_utility ~solver g ~v w1 in
+      if Q.compare u !best > 0 then best := u;
+      u
+    in
+    let error = ref None in
+    let two_h = Q.mul_int honest 2 in
+    let intervals =
+      List.map
+        (fun (a, b) ->
+          if Q.compare a b >= 0 then begin
+            let u = note_candidate a in
+            {
+              lo = a;
+              hi = b;
+              num = Poly.constant u;
+              den = Poly.one;
+              bound_holds = Q.compare u two_h <= 0;
+              best_here = u;
+            }
+          end
+          else begin
+            let mid = Q.div_int (Q.add a b) 2 in
+            let s = Sybil.split_free g ~v ~w1:mid ~w2:(Q.sub total mid) in
+            let structure = Decompose.compute ~solver s.Sybil.path in
+            let num, den =
+              utility_function g ~v ~structure ~v2:s.Sybil.v2
+            in
+            (* consistency: the rational function must agree exactly with
+               the mechanism at interior sample points *)
+            let consistent pt =
+              let dv = Poly.eval den pt in
+              if Q.sign dv <= 0 then false
+              else
+                Q.equal (Q.div (Poly.eval num pt) dv)
+                  (exact_utility ~solver g ~v pt)
+            in
+            let third = Q.add a (Q.div_int (Q.sub b a) 3) in
+            if not (consistent mid && consistent third) then
+              error :=
+                Some
+                  (Format.asprintf
+                     "symbolic utility mismatch on [%a, %a]" Q.pp a Q.pp b);
+            (* the certified inequality *)
+            let margin =
+              Poly.sub (Poly.scale two_h den) num
+            in
+            let bound_holds =
+              Poly.non_negative_on den ~lo:a ~hi:b
+              && Poly.non_negative_on margin ~lo:a ~hi:b
+            in
+            (* candidate optima: endpoints + critical points of N/D *)
+            let deriv_num =
+              Poly.sub
+                (Poly.mul (Poly.derive num) den)
+                (Poly.mul num (Poly.derive den))
+            in
+            let criticals =
+              if Poly.is_zero deriv_num then []
+              else
+                Poly.isolate_roots
+                  ~tolerance:(Q.div_int (Q.sub b a) 4096)
+                  deriv_num ~lo:a ~hi:b
+                |> List.map (fun (l, h) -> Q.div_int (Q.add l h) 2)
+            in
+            let best_here =
+              List.fold_left
+                (fun acc pt -> Q.max acc (note_candidate pt))
+                (Q.max (note_candidate a) (note_candidate b))
+                criticals
+            in
+            { lo = a; hi = b; num; den; bound_holds; best_here }
+          end)
+        pieces
+    in
+    match !error with
+    | Some m -> Error m
+    | None ->
+        let certified =
+          List.for_all (fun iv -> iv.bound_holds) intervals
+          && Q.compare !best two_h <= 0
+        in
+        Ok { v; honest; intervals; gaps; certified; best_found = !best }
+  end

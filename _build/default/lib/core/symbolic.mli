@@ -1,0 +1,58 @@
+(** Symbolic per-instance verification of Theorem 8.
+
+    Sampled attack searches certify lower bounds; this module certifies
+    the {e upper} bound.  On every structure-constant interval of the
+    split parameter [w1], the attacker's utility is an explicit rational
+    function
+
+    [U(w1) = U_{v¹} + U_{v²} = N(w1) / D(w1)]
+
+    with [deg N ≤ 3], [deg D ≤ 2] (each identity contributes [w1·α] or
+    [w1/α] with [α] a ratio of weight sums that are {e linear} in [w1]).
+    The claim [U(w1) ≤ 2·U_v] on the interval is then the polynomial
+    inequality [2·U_v·D − N ≥ 0], which {!Poly.non_negative_on} decides
+    exactly.  The result is a machine-checked proof of [ζ_v ≤ 2] over the
+    scanned intervals — not a sample-based estimate.
+
+    Scope note: the intervals come from a bisection scan, so change
+    points are bracketed to width [w_v·2⁻²⁰] rather than resolved
+    exactly; the report lists those gap brackets.  [U] extends
+    continuously across them (Theorem 10 gives continuity in each
+    identity's weight), and each gap's endpoints are verified by exact
+    point evaluation, but strictly speaking the symbolic certificate
+    covers the closed scanned intervals. *)
+
+type interval = {
+  lo : Rational.t;
+  hi : Rational.t;
+  num : Poly.t;  (** N: utility numerator on the interval *)
+  den : Poly.t;  (** D: utility denominator (positive inside) *)
+  bound_holds : bool;  (** [2·U_v·D − N ≥ 0] on [lo, hi], decided exactly *)
+  best_here : Rational.t;
+      (** largest exact utility found at candidate optima of this
+          interval (endpoints and isolated critical points of N/D) *)
+}
+
+type report = {
+  v : int;
+  honest : Rational.t;  (** U_v *)
+  intervals : interval list;
+  gaps : (Rational.t * Rational.t) list;  (** unresolved change brackets *)
+  certified : bool;  (** every interval's inequality proved, every
+                         consistency check passed *)
+  best_found : Rational.t;  (** best exact attack utility encountered *)
+}
+
+val utility_function :
+  Graph.t -> v:int -> structure:Decompose.t -> v2:int -> Poly.t * Poly.t
+(** [(N, D)] such that the attacker's total utility equals [N(w1)/D(w1)]
+    while the split path's decomposition structure stays [structure]
+    ([v2] is the second identity's vertex id).  Exposed for tests. *)
+
+val verify_theorem8 :
+  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
+  Graph.t -> v:int -> (report, string) result
+(** Scan, build the per-interval rational functions, cross-check them
+    against the mechanism at interior sample points (exact equality), and
+    decide the bound on every interval.  [Error] means an internal
+    consistency check failed — a bug, not a disproof. *)

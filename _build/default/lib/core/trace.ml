@@ -1,0 +1,127 @@
+module Q = Rational
+
+type interval = {
+  lo : Q.t;
+  hi : Q.t;
+  sample : Q.t;
+  structure : Decompose.t;
+  v_class : Classes.cls;
+  v_pair : int;
+}
+
+type transition = {
+  at : Q.t * Q.t;
+  kind : [ `Merge | `Split | `Other ];
+}
+
+type t = { v : int; intervals : interval list; transitions : transition list }
+
+let compute ?(solver = Decompose.Auto) ?grid ?tolerance g ~v =
+  let w = Graph.weight g v in
+  let events = Breakpoints.scan ~solver ?grid ?tolerance g ~v in
+  (* interval boundaries: 0, each event bracket, w *)
+  let boundaries =
+    (Q.zero, Q.zero)
+    :: List.map (fun (ev : Breakpoints.event) -> (ev.lo, ev.hi)) events
+    @ [ (w, w) ]
+  in
+  let rec intervals = function
+    | (_, lo) :: ((hi, _) :: _ as rest) ->
+        let sample =
+          if Q.equal lo hi then lo else Q.div_int (Q.add lo hi) 2
+        in
+        let g' = Graph.with_weight g v sample in
+        let d = Decompose.compute ~solver g' in
+        {
+          lo;
+          hi;
+          sample;
+          structure = d;
+          v_class = (Classes.of_decomposition g' d).(v);
+          v_pair = Decompose.pair_index d v;
+        }
+        :: intervals rest
+    | _ -> []
+  in
+  let transitions =
+    List.map
+      (fun (ev : Breakpoints.event) ->
+        { at = (ev.lo, ev.hi); kind = Breakpoints.classify_event ev ~v })
+      events
+  in
+  { v; intervals = intervals boundaries; transitions }
+
+let check_prop12 t =
+  (* class sides: C-phase then B-phase *)
+  let rec phases phase = function
+    | [] -> Ok ()
+    | iv :: rest -> (
+        match (iv.v_class, phase) with
+        | Classes.Both, _ -> phases phase rest
+        | Classes.C, `C_phase -> phases `C_phase rest
+        | Classes.C, `B_phase ->
+            Error "v returns to C class after being B class"
+        | Classes.B, _ -> phases `B_phase rest)
+  in
+  match phases `C_phase t.intervals with
+  | Error _ as e -> e
+  | Ok () ->
+      (* pair-count deltas across merge/split transitions *)
+      let rec steps ivs trs =
+        match (ivs, trs) with
+        | a :: (b :: _ as rest), (tr : transition) :: trs -> (
+            let da = List.length a.structure
+            and db = List.length b.structure in
+            match tr.kind with
+            | `Merge ->
+                if db = da - 1 then steps rest trs
+                else Error "merge event does not reduce pair count by one"
+            | `Split ->
+                if db = da + 1 then steps rest trs
+                else Error "split event does not raise pair count by one"
+            | `Other -> steps rest trs)
+        | _ -> Ok ()
+      in
+      steps t.intervals t.transitions
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>trace for agent %d (%d intervals)@," t.v
+    (List.length t.intervals);
+  let rec go ivs trs =
+    match ivs with
+    | [] -> ()
+    | iv :: rest ->
+        Format.fprintf fmt "x in [%.5f, %.5f]: %d pairs, v in pair %d, class %a@,"
+          (Q.to_float iv.lo) (Q.to_float iv.hi)
+          (List.length iv.structure)
+          (iv.v_pair + 1) Classes.pp_cls iv.v_class;
+        (match trs with
+        | (tr : transition) :: trs' ->
+            if rest <> [] then begin
+              Format.fprintf fmt "  -- %s at x ~ %.5f --@,"
+                (match tr.kind with
+                | `Merge -> "merge"
+                | `Split -> "split"
+                | `Other -> "reshape")
+                (Q.to_float (fst tr.at));
+              go rest trs'
+            end
+            else go rest trs
+        | [] -> go rest [])
+  in
+  go t.intervals t.transitions;
+  Format.fprintf fmt "@]"
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "lo,hi,pairs,v_class,v_alpha\n";
+  List.iter
+    (fun iv ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%s,%s\n" (Q.to_string iv.lo)
+           (Q.to_string iv.hi)
+           (List.length iv.structure)
+           (Format.asprintf "%a" Classes.pp_cls iv.v_class)
+           (Q.to_string (Decompose.alpha_of iv.structure t.v))))
+    t.intervals;
+  Buffer.contents buf

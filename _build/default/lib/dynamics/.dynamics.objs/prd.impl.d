@@ -1,0 +1,1 @@
+lib/dynamics/prd.ml: Allocation Array Graph List Rational

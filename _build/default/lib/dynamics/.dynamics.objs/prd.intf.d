@@ -1,0 +1,1 @@
+lib/dynamics/prd.mli: Allocation Graph

@@ -1,0 +1,1 @@
+lib/dynamics/prd_exact.ml: Allocation Array Graph Rational

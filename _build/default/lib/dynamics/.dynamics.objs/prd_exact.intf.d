@@ -1,0 +1,1 @@
+lib/dynamics/prd_exact.mli: Allocation Graph Rational

@@ -1,0 +1,83 @@
+type t = {
+  g : Graph.t;
+  send : float array array; (* send.(v).(i): v -> (neighbors g v).(i) *)
+}
+
+let graph st = st.g
+
+let init g =
+  let send =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        let w = Rational.to_float (Graph.weight g v) in
+        Array.make d (if d = 0 then 0.0 else w /. float_of_int d))
+  in
+  { g; send }
+
+(* Index of u within v's neighbour array. *)
+let slot g v u =
+  let nb = Graph.neighbors g v in
+  let rec find i = if nb.(i) = u then i else find (i + 1) in
+  find 0
+
+let sends st ~src ~dst =
+  if Graph.mem_edge st.g src dst then st.send.(src).(slot st.g src dst)
+  else 0.0
+
+let received st v =
+  let nb = Graph.neighbors st.g v in
+  Array.fold_left
+    (fun acc u -> acc +. st.send.(u).(slot st.g u v))
+    0.0 nb
+
+let utilities st = Array.init (Graph.n st.g) (received st)
+
+let step st =
+  let g = st.g in
+  let send' =
+    Array.init (Graph.n g) (fun v ->
+        let nb = Graph.neighbors g v in
+        let w = Rational.to_float (Graph.weight g v) in
+        let total = received st v in
+        if total <= 0.0 then
+          Array.make (Array.length nb)
+            (if Array.length nb = 0 then 0.0
+             else w /. float_of_int (Array.length nb))
+        else
+          Array.map (fun u -> st.send.(u).(slot g u v) /. total *. w) nb)
+  in
+  { g; send = send' }
+
+let run ~iters g =
+  let rec go st n = if n = 0 then st else go (step st) (n - 1) in
+  go (init g) iters
+
+let l1_distance a b =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun v row ->
+      Array.iteri
+        (fun i x -> acc := !acc +. abs_float (x -. b.send.(v).(i)))
+        row)
+    a.send;
+  !acc
+
+let l1_distance_to_allocation st alloc =
+  let g = st.g in
+  let acc = ref 0.0 in
+  for v = 0 to Graph.n g - 1 do
+    let nb = Graph.neighbors g v in
+    Array.iteri
+      (fun i u ->
+        let target = Rational.to_float (Allocation.amount alloc ~src:v ~dst:u) in
+        acc := !acc +. abs_float (st.send.(v).(i) -. target))
+      nb
+  done;
+  !acc
+
+let trajectory ~iters g alloc =
+  let rec go st t acc =
+    let acc = (t, l1_distance_to_allocation st alloc) :: acc in
+    if t >= iters then List.rev acc else go (step st) (t + 1) acc
+  in
+  go (init g) 0 []

@@ -1,0 +1,31 @@
+(** Proportional response dynamics (paper, Definition 1), float fast path.
+
+    [x_{vu}(0) = w_v / d_v] and
+    [x_{vu}(t+1) = x_{uv}(t) / Σ_k x_{kv}(t) · w_v]: each agent splits its
+    whole resource proportionally to what it received from each neighbour
+    in the previous round.  Proposition 6 states the iterates converge to
+    the BD allocation; experiment E7 measures the rate.
+
+    A vertex that received nothing (possible only with zero-weight
+    neighbourhoods) falls back to the uniform split. *)
+
+type t
+
+val init : Graph.t -> t
+val step : t -> t
+val run : iters:int -> Graph.t -> t
+val graph : t -> Graph.t
+
+val sends : t -> src:int -> dst:int -> float
+(** Current [x_{src,dst}]; 0.0 for non-edges. *)
+
+val utilities : t -> float array
+
+val l1_distance : t -> t -> float
+(** Σ over directed edges of |difference|. *)
+
+val l1_distance_to_allocation : t -> Allocation.t -> float
+
+val trajectory :
+  iters:int -> Graph.t -> Allocation.t -> (int * float) list
+(** [(t, L1 distance to the BD allocation)] for [t = 0 .. iters]. *)

@@ -1,0 +1,69 @@
+module Q = Rational
+
+type t = { g : Graph.t; send : Q.t array array }
+
+let init g =
+  let send =
+    Array.init (Graph.n g) (fun v ->
+        let d = Graph.degree g v in
+        let w = Graph.weight g v in
+        Array.make d (if d = 0 then Q.zero else Q.div_int w d))
+  in
+  { g; send }
+
+let slot g v u =
+  let nb = Graph.neighbors g v in
+  let rec find i = if nb.(i) = u then i else find (i + 1) in
+  find 0
+
+let of_allocation alloc =
+  let g = Allocation.graph alloc in
+  let send =
+    Array.init (Graph.n g) (fun v ->
+        Array.map
+          (fun u -> Allocation.amount alloc ~src:v ~dst:u)
+          (Graph.neighbors g v))
+  in
+  { g; send }
+
+let sends st ~src ~dst =
+  if Graph.mem_edge st.g src dst then st.send.(src).(slot st.g src dst)
+  else Q.zero
+
+let received st v =
+  Array.fold_left
+    (fun acc u -> Q.add acc (st.send.(u).(slot st.g u v)))
+    Q.zero (Graph.neighbors st.g v)
+
+let utilities st = Array.init (Graph.n st.g) (received st)
+
+let step st =
+  let g = st.g in
+  let send' =
+    Array.init (Graph.n g) (fun v ->
+        let nb = Graph.neighbors g v in
+        let w = Graph.weight g v in
+        let total = received st v in
+        if Q.is_zero total then
+          Array.make (Array.length nb)
+            (if Array.length nb = 0 then Q.zero
+             else Q.div_int w (Array.length nb))
+        else
+          Array.map
+            (fun u -> Q.mul (Q.div (st.send.(u).(slot g u v)) total) w)
+            nb)
+  in
+  { g; send = send' }
+
+let run ~iters g =
+  let rec go st n = if n = 0 then st else go (step st) (n - 1) in
+  go (init g) iters
+
+let equal a b =
+  try
+    Array.for_all2
+      (fun ra rb -> Array.for_all2 Q.equal ra rb)
+      a.send b.send
+  with Invalid_argument _ -> false
+
+let agrees_with_allocation st alloc = equal st (of_allocation alloc)

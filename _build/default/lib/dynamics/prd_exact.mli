@@ -1,0 +1,21 @@
+(** Proportional response dynamics over exact rationals.
+
+    Identical recurrence to {!Prd}, but every iterate is an exact rational
+    allocation.  Denominators grow with each round, so this path is meant
+    for short horizons and for checking the float path and fixed-point
+    property, not for long trajectories. *)
+
+type t
+
+val init : Graph.t -> t
+val step : t -> t
+val run : iters:int -> Graph.t -> t
+
+val of_allocation : Allocation.t -> t
+(** Starts the dynamics {e at} a given allocation — used to verify that the
+    BD allocation is a fixed point. *)
+
+val sends : t -> src:int -> dst:int -> Rational.t
+val utilities : t -> Rational.t array
+val equal : t -> t -> bool
+val agrees_with_allocation : t -> Allocation.t -> bool

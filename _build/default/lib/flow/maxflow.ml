@@ -1,0 +1,194 @@
+module Q = Rational
+
+(* Adjacency as edge indices; edge i and its reverse i lxor 1 are adjacent
+   in the arrays, the classic arc-pairing trick. *)
+
+type t = {
+  n : int;
+  mutable ecount : int;
+  mutable dst : int array;
+  mutable cap : Q.t array;
+  mutable flw : Q.t array;
+  adj : int list array; (* reversed insertion order; order is irrelevant *)
+  mutable adj_arr : int array array option; (* cache built at solve time *)
+}
+
+type edge = int
+
+let create n =
+  {
+    n;
+    ecount = 0;
+    dst = Array.make 16 0;
+    cap = Array.make 16 Q.zero;
+    flw = Array.make 16 Q.zero;
+    adj = Array.make n [];
+    adj_arr = None;
+  }
+
+let node_count net = net.n
+
+let ensure_capacity net =
+  if net.ecount + 2 > Array.length net.dst then begin
+    let grow a fill =
+      let b = Array.make (2 * Array.length a) fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    net.dst <- grow net.dst 0;
+    net.cap <- grow net.cap Q.zero;
+    net.flw <- grow net.flw Q.zero
+  end
+
+let add_edge net ~src ~dst ~cap =
+  if src < 0 || src >= net.n || dst < 0 || dst >= net.n then
+    invalid_arg "Maxflow.add_edge: endpoint out of range";
+  if Q.sign cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  ensure_capacity net;
+  let e = net.ecount in
+  net.dst.(e) <- dst;
+  net.cap.(e) <- cap;
+  net.flw.(e) <- Q.zero;
+  net.dst.(e + 1) <- src;
+  net.cap.(e + 1) <- Q.zero;
+  net.flw.(e + 1) <- Q.zero;
+  net.adj.(src) <- e :: net.adj.(src);
+  net.adj.(dst) <- (e + 1) :: net.adj.(dst);
+  net.ecount <- net.ecount + 2;
+  net.adj_arr <- None;
+  e
+
+let adjacency net =
+  match net.adj_arr with
+  | Some a -> a
+  | None ->
+      let a = Array.map Array.of_list net.adj in
+      net.adj_arr <- Some a;
+      a
+
+let residual net e = Q.sub net.cap.(e) net.flw.(e)
+let has_residual net e = Q.compare net.flw.(e) net.cap.(e) < 0
+let flow net e = net.flw.(e)
+let capacity net e = net.cap.(e)
+
+let reset_flow net =
+  for e = 0 to net.ecount - 1 do
+    net.flw.(e) <- Q.zero
+  done
+
+(* BFS level graph over residual edges. Returns true iff sink reached. *)
+let bfs net adj level ~source ~sink =
+  Array.fill level 0 net.n (-1);
+  level.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  let reached = ref false in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun e ->
+        let v = net.dst.(e) in
+        if level.(v) < 0 && has_residual net e then begin
+          level.(v) <- level.(u) + 1;
+          if v = sink then reached := true;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  !reached
+
+(* DFS blocking flow with per-node arc pointer. Returns the amount pushed
+   (bounded by [limit], which may be Q.inf on the first call). *)
+let rec dfs net adj level ptr u ~sink limit =
+  if u = sink then limit
+  else begin
+    let pushed = ref Q.zero in
+    let continue_ = ref true in
+    while !continue_ && ptr.(u) < Array.length adj.(u) do
+      let e = adj.(u).(ptr.(u)) in
+      let v = net.dst.(e) in
+      if level.(v) = level.(u) + 1 && has_residual net e then begin
+        let remaining =
+          if Q.is_inf limit then residual net e
+          else Q.min (Q.sub limit !pushed) (residual net e)
+        in
+        let amount =
+          if Q.is_inf remaining then
+            (* Unbounded residual: cap the probe; unboundedness of the whole
+               problem is detected by the caller via capacity reasoning. *)
+            invalid_arg "Maxflow.max_flow: unbounded flow (inf path)"
+          else dfs net adj level ptr v ~sink remaining
+        in
+        if Q.is_zero amount then begin
+          (* Dead end through this arc within the level graph. *)
+          incr_ptr ptr u
+        end
+        else begin
+          net.flw.(e) <- Q.add net.flw.(e) amount;
+          net.flw.(e lxor 1) <- Q.sub net.flw.(e lxor 1) amount;
+          pushed := Q.add !pushed amount;
+          if (not (Q.is_inf limit)) && Q.equal !pushed limit then
+            continue_ := false
+        end
+      end
+      else incr_ptr ptr u
+    done;
+    !pushed
+  end
+
+and incr_ptr ptr u = ptr.(u) <- ptr.(u) + 1
+
+let max_flow net ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let adj = adjacency net in
+  let level = Array.make net.n (-1) in
+  let total = ref Q.zero in
+  while bfs net adj level ~source ~sink do
+    let ptr = Array.make net.n 0 in
+    let pushed = ref (dfs net adj level ptr source ~sink Q.inf) in
+    while Q.sign !pushed > 0 do
+      total := Q.add !total !pushed;
+      pushed := dfs net adj level ptr source ~sink Q.inf
+    done
+  done;
+  !total
+
+let min_cut_source_side net ~source =
+  let adj = adjacency net in
+  let visited = Array.make net.n false in
+  let rec go u =
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      Array.iter
+        (fun e -> if has_residual net e then go net.dst.(e))
+        adj.(u)
+    end
+  in
+  go source;
+  let s = ref Vset.empty in
+  Array.iteri (fun v seen -> if seen then s := Vset.add v !s) visited;
+  !s
+
+let max_cut_source_side net ~sink =
+  (* Nodes that reach the sink via residual edges; found by walking residual
+     edges backwards: u reaches t iff some residual edge u→v with v
+     reaching t.  Walk the reverse residual graph from t: v is reached from
+     u when edge e:u→v has residual, i.e. from v follow reverse arcs whose
+     partner has residual. *)
+  let adj = adjacency net in
+  let reaches = Array.make net.n false in
+  let rec go v =
+    if not reaches.(v) then begin
+      reaches.(v) <- true;
+      Array.iter
+        (fun e ->
+          (* e: v→u; its partner (e lxor 1): u→v. u→v residual means u can
+             step towards the sink through v. *)
+          if has_residual net (e lxor 1) then go net.dst.(e))
+        adj.(v)
+    end
+  in
+  go sink;
+  let s = ref Vset.empty in
+  Array.iteri (fun v r -> if not r then s := Vset.add v !s) reaches;
+  !s

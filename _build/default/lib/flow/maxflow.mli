@@ -1,0 +1,50 @@
+(** Maximum flow with exact rational capacities (Dinic's algorithm).
+
+    Exactness matters twice in this reproduction: the BD Allocation
+    Mechanism saturates capacities [w_u] and [w_v / α_i] that are rationals
+    (Definition 5), and the parametric-network bottleneck solver decides
+    [h(α) = 0] versus [h(α) < 0], a comparison no float can be trusted
+    with.
+
+    Dinic runs in O(V²E) augmenting steps independent of capacity values,
+    so rational capacities do not threaten termination. *)
+
+type t
+(** A mutable flow network. *)
+
+type edge
+(** Handle to a directed edge, valid for the network that created it. *)
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0 .. n-1]. *)
+
+val node_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:Rational.t -> edge
+(** Adds a directed edge (and its zero-capacity reverse).  The capacity may
+    be [Rational.inf].
+    @raise Invalid_argument on out-of-range endpoints or negative
+    capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> Rational.t
+(** Computes a maximum [source]→[sink] flow, leaving it recorded on the
+    edges.  Calling it again reuses the current flow as a starting point.
+    @raise Invalid_argument if the maximum flow is unbounded (an [inf]-
+    capacity path from source to sink). *)
+
+val flow : t -> edge -> Rational.t
+(** Current flow on an edge (negative values never occur on forward
+    edges). *)
+
+val capacity : t -> edge -> Rational.t
+
+val min_cut_source_side : t -> source:int -> Vset.t
+(** After [max_flow]: the {e minimal} minimiser — nodes reachable from
+    [source] in the residual network. *)
+
+val max_cut_source_side : t -> sink:int -> Vset.t
+(** After [max_flow]: the {e maximal} minimiser — the complement of the set
+    of nodes that reach [sink] in the residual network.  Minimisers of a
+    min-cut form a lattice; this returns its top element. *)
+
+val reset_flow : t -> unit

@@ -1,0 +1,1 @@
+lib/graph/serial.ml: Array Buffer Fun Graph List Printf Rational String

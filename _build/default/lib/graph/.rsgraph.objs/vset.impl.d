@@ -1,0 +1,1 @@
+lib/graph/vset.ml: Array Format Int List Set String

@@ -1,0 +1,28 @@
+let to_dot ?(highlight = fun _ -> None) ?(name = "G") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Graph.n g - 1 do
+    let colour =
+      match highlight v with
+      | Some c -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" c
+      | None -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%d (w=%s)\"%s];\n" v v
+         (Rational.to_string (Graph.weight g v))
+         colour)
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let weights_to_csv g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "vertex,weight\n";
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%s\n" v (Rational.to_string (Graph.weight g v)))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz DOT and CSV export, for inspecting instances and results. *)
+
+val to_dot :
+  ?highlight:(int -> string option) -> ?name:string -> Graph.t -> string
+(** [highlight v] may return a colour name for vertex [v] (e.g. class
+    colouring of a bottleneck decomposition). *)
+
+val weights_to_csv : Graph.t -> string
+(** One [vertex,weight] line per vertex. *)

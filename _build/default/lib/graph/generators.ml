@@ -1,0 +1,38 @@
+module Q = Rational
+
+let ring weights =
+  let n = Array.length weights in
+  if n < 3 then invalid_arg "Generators.ring: need at least 3 vertices";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.create ~weights ~edges
+
+let ring_of_ints w = ring (Array.map Q.of_int w)
+
+let path weights =
+  let n = Array.length weights in
+  if n < 2 then invalid_arg "Generators.path: need at least 2 vertices";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.create ~weights ~edges
+
+let path_of_ints w = path (Array.map Q.of_int w)
+
+let complete weights =
+  let n = Array.length weights in
+  if n < 2 then invalid_arg "Generators.complete: need at least 2 vertices";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~weights ~edges:!edges
+
+let star weights =
+  let n = Array.length weights in
+  if n < 2 then invalid_arg "Generators.star: need at least 2 vertices";
+  Graph.create ~weights ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let fig1 () =
+  (* v1, v2 hang off v3; v3 attaches to the triangle v4-v5-v6. *)
+  Graph.of_int_weights ~weights:[| 3; 3; 2; 1; 1; 1 |]
+    ~edges:[ (0, 2); (1, 2); (2, 3); (3, 4); (4, 5); (5, 3) ]

@@ -1,0 +1,23 @@
+(** Deterministic graph builders for the topologies the paper discusses. *)
+
+val ring : Rational.t array -> Graph.t
+(** The cycle [0 - 1 - … - (n-1) - 0]; requires [n >= 3]. *)
+
+val ring_of_ints : int array -> Graph.t
+
+val path : Rational.t array -> Graph.t
+(** The path [0 - 1 - … - (n-1)]; requires [n >= 2]. *)
+
+val path_of_ints : int array -> Graph.t
+
+val complete : Rational.t array -> Graph.t
+(** The complete graph on [n >= 2] vertices. *)
+
+val star : Rational.t array -> Graph.t
+(** Vertex 0 joined to every other vertex; requires [n >= 2]. *)
+
+val fig1 : unit -> Graph.t
+(** The 6-vertex example of paper Fig. 1, with weights reverse-engineered so
+    that the decomposition is [(B1,C1) = ({0,1},{2})] with [α1 = 1/3] and
+    [(B2,C2) = ({3,4,5},{3,4,5})] with [α2 = 1].  Vertex [i] is the paper's
+    [v_{i+1}]. *)

@@ -1,0 +1,130 @@
+module Q = Rational
+
+type t = {
+  n : int;
+  adj : int array array; (* sorted neighbour lists *)
+  w : Q.t array;
+}
+
+let n g = g.n
+let weight g v = g.w.(v)
+let weights g = Array.copy g.w
+let degree g v = Array.length g.adj.(v)
+let neighbors g v = g.adj.(v)
+
+let create ~weights ~edges =
+  let n = Array.length weights in
+  Array.iteri
+    (fun i w ->
+      if Q.sign w < 0 then
+        invalid_arg
+          (Printf.sprintf "Graph.create: negative weight at vertex %d" i))
+    weights;
+  let lists = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.create: edge endpoint out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      let key = (Stdlib.min u v, Stdlib.max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add seen key ();
+      lists.(u) <- v :: lists.(u);
+      lists.(v) <- u :: lists.(v))
+    edges;
+  let adj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) lists in
+  { n; adj; w = Array.copy weights }
+
+let of_int_weights ~weights ~edges =
+  create ~weights:(Array.map Q.of_int weights) ~edges
+
+let with_weight g v w =
+  if Q.sign w < 0 then invalid_arg "Graph.with_weight: negative weight";
+  let w' = Array.copy g.w in
+  w'.(v) <- w;
+  { g with w = w' }
+
+let with_weights g ws =
+  if Array.length ws <> g.n then
+    invalid_arg "Graph.with_weights: length mismatch";
+  Array.iter
+    (fun w ->
+      if Q.sign w < 0 then invalid_arg "Graph.with_weights: negative weight")
+    ws;
+  { g with w = Array.copy ws }
+
+let mem_edge g u v =
+  let a = g.adj.(u) in
+  let rec bin lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bin (mid + 1) hi
+      else bin lo mid
+  in
+  bin 0 (Array.length a)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let nb = g.adj.(u) in
+    for i = Array.length nb - 1 downto 0 do
+      if u < nb.(i) then acc := (u, nb.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let max_degree g =
+  Array.fold_left (fun m a -> Stdlib.max m (Array.length a)) 0 g.adj
+
+let is_chain_graph g = max_degree g <= 2
+
+let is_ring g =
+  g.n >= 3
+  && Array.for_all (fun a -> Array.length a = 2) g.adj
+  &&
+  (* connectivity: walk the cycle from vertex 0 *)
+  let visited = Array.make g.n false in
+  let rec walk prev cur count =
+    if visited.(cur) then count
+    else begin
+      visited.(cur) <- true;
+      let next =
+        if g.adj.(cur).(0) = prev then g.adj.(cur).(1) else g.adj.(cur).(0)
+      in
+      walk cur next (count + 1)
+    end
+  in
+  walk (-1) 0 0 = g.n
+
+let full_mask g = Vset.range 0 g.n
+
+let weight_of_set g s = Vset.fold (fun v acc -> Q.add acc g.w.(v)) s Q.zero
+
+let gamma ?mask g s =
+  let in_mask =
+    match mask with None -> fun _ -> true | Some m -> fun v -> Vset.mem v m
+  in
+  Vset.fold
+    (fun v acc ->
+      Array.fold_left
+        (fun acc u -> if in_mask u then Vset.add u acc else acc)
+        acc g.adj.(v))
+    s Vset.empty
+
+let alpha_of_set ?mask g s =
+  if Vset.is_empty s then invalid_arg "Graph.alpha_of_set: empty set";
+  let ws = weight_of_set g s in
+  if Q.is_zero ws then Q.inf
+  else Q.div (weight_of_set g (gamma ?mask g s)) ws
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph on %d vertices@," g.n;
+  for v = 0 to g.n - 1 do
+    Format.fprintf fmt "  %d (w=%a):" v Q.pp g.w.(v);
+    Array.iter (fun u -> Format.fprintf fmt " %d" u) g.adj.(v);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,70 @@
+(** Undirected, vertex-weighted simple graphs.
+
+    Vertices are the integers [0 .. n-1].  Each vertex [v] carries a
+    non-negative resource amount [w_v] (paper, Section II).  The
+    decomposition recursion works on induced subgraphs of a fixed graph, so
+    most queries accept an optional [mask] restricting the vertex set
+    without rebuilding adjacency. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : weights:Rational.t array -> edges:(int * int) list -> t
+(** Builds a graph on [Array.length weights] vertices.
+    @raise Invalid_argument on out-of-range endpoints, self-loops, negative
+    weights, or duplicate edges. *)
+
+val of_int_weights : weights:int array -> edges:(int * int) list -> t
+
+val with_weight : t -> int -> Rational.t -> t
+(** Functional update of one vertex weight. *)
+
+val with_weights : t -> Rational.t array -> t
+(** Replace the whole weight profile (same adjacency).
+    @raise Invalid_argument when the lengths differ. *)
+
+(** {1 Basic queries} *)
+
+val n : t -> int
+val weight : t -> int -> Rational.t
+val weights : t -> Rational.t array
+(** A fresh copy of the weight profile. *)
+
+val degree : t -> int -> int
+val neighbors : t -> int -> int array
+(** Sorted, without duplicates.  Do not mutate. *)
+
+val mem_edge : t -> int -> int -> bool
+val edges : t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v]. *)
+
+val max_degree : t -> int
+val is_ring : t -> bool
+(** A single cycle covering every vertex (n >= 3, all degrees 2,
+    connected). *)
+
+val is_chain_graph : t -> bool
+(** Every component is a path or a cycle (max degree <= 2). *)
+
+(** {1 Weighted set functions (paper, Section II.B)} *)
+
+val weight_of_set : t -> Vset.t -> Rational.t
+(** [w(S) = Σ_{v ∈ S} w_v]. *)
+
+val gamma : ?mask:Vset.t -> t -> Vset.t -> Vset.t
+(** [gamma g s] is the inclusive neighbourhood [Γ(S) = ∪_{v∈S} Γ(v)]
+    within [mask] (default: all vertices).  [S] is assumed to lie inside
+    [mask]; vertices of [S] appear in the result iff they have a neighbour
+    in [S]. *)
+
+val alpha_of_set : ?mask:Vset.t -> t -> Vset.t -> Rational.t
+(** The inclusive expansion ratio [α(S) = w(Γ(S)) / w(S)]; [Rational.inf]
+    whenever [w(S) = 0] (zero-weight sets are never preferred bottlenecks).
+    @raise Invalid_argument when [S] is empty. *)
+
+val full_mask : t -> Vset.t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+let header = "ringshare-graph v1"
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "w %d %s\n" v (Rational.to_string (Graph.weight g v)))
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_string s =
+  let fail line fmt =
+    Printf.ksprintf
+      (fun m -> invalid_arg (Printf.sprintf "Serial.of_string: line %d: %s" line m))
+      fmt
+  in
+  let lines = String.split_on_char '\n' s in
+  let n = ref (-1) in
+  let weights = ref [||] in
+  let edges = ref [] in
+  let saw_header = ref false in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let text =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match
+        String.split_on_char ' ' (String.trim text)
+        |> List.filter (fun t -> t <> "")
+      with
+      | [] -> ()
+      | toks when not !saw_header ->
+          if String.trim text = header then saw_header := true
+          else fail line "expected header %S, got %S" header (String.concat " " toks)
+      | [ "n"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c >= 0 ->
+              n := c;
+              weights := Array.make c Rational.zero
+          | _ -> fail line "bad vertex count %S" count)
+      | [ "w"; v; q ] -> (
+          if !n < 0 then fail line "w before n";
+          match int_of_string_opt v with
+          | Some v when v >= 0 && v < !n -> (
+              match Rational.of_string q with
+              | q -> !weights.(v) <- q
+              | exception _ -> fail line "bad weight %S" q)
+          | _ -> fail line "bad vertex id %S" v)
+      | [ "e"; u; v ] -> (
+          if !n < 0 then fail line "e before n";
+          match (int_of_string_opt u, int_of_string_opt v) with
+          | Some u, Some v -> edges := (u, v) :: !edges
+          | _ -> fail line "bad edge %S %S" u v)
+      | toks -> fail line "unrecognised directive %S" (String.concat " " toks))
+    lines;
+  if not !saw_header then invalid_arg "Serial.of_string: missing header";
+  if !n < 0 then invalid_arg "Serial.of_string: missing n directive";
+  try Graph.create ~weights:!weights ~edges:(List.rev !edges)
+  with Invalid_argument m -> invalid_arg ("Serial.of_string: " ^ m)
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

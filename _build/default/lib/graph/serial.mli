@@ -1,0 +1,22 @@
+(** Plain-text instance files, so networks can be saved, shared and fed to
+    the CLI.
+
+    Format (line-based, [#] comments allowed):
+    {v
+    ringshare-graph v1
+    n 5
+    w 0 3
+    w 1 1/2
+    e 0 1
+    e 1 2
+    v}
+    Weights are rationals ([p] or [p/q]); unlisted weights default to 0. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Invalid_argument with a line-numbered message on parse or
+    structural errors. *)
+
+val save : string -> Graph.t -> unit
+val load : string -> Graph.t

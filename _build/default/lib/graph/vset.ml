@@ -1,0 +1,38 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let cardinal = S.cardinal
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let disjoint = S.disjoint
+let equal = S.equal
+let compare = S.compare
+let elements = S.elements
+let of_list = S.of_list
+let of_array a = Array.fold_left (fun s v -> S.add v s) S.empty a
+let to_array s = Array.of_list (S.elements s)
+let iter = S.iter
+let fold = S.fold
+let filter = S.filter
+let for_all = S.for_all
+let exists = S.exists
+let choose = S.choose
+let min_elt = S.min_elt
+let max_elt = S.max_elt
+
+let range a b =
+  let rec go i acc = if i >= b then acc else go (i + 1) (S.add i acc) in
+  go a S.empty
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", " (List.map string_of_int (S.elements s)))

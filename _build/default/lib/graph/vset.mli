@@ -1,0 +1,37 @@
+(** Finite sets of vertices (non-negative [int] identifiers).
+
+    A thin wrapper over [Set.Make (Int)] with the conversions the
+    decomposition code needs. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val elements : t -> int list
+val of_list : int list -> t
+val of_array : int array -> t
+val to_array : t -> int array
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (int -> bool) -> t -> t
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val choose : t -> int
+val min_elt : t -> int
+val max_elt : t -> int
+val range : int -> int -> t
+(** [range a b] is [{a, a+1, …, b-1}]; empty when [a >= b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mechanism/allocation.ml: Array Classes Decompose Format Graph Hashtbl List Maxflow Printf Rational Utility Vset

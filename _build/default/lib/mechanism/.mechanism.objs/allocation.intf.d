@@ -1,0 +1,1 @@
+lib/mechanism/allocation.mli: Decompose Format Graph Rational

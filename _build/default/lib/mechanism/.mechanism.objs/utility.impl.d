@@ -1,0 +1,1 @@
+lib/mechanism/utility.ml: Array Decompose Graph Rational Vset

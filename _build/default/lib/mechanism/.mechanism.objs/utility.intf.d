@@ -1,0 +1,1 @@
+lib/mechanism/utility.mli: Decompose Graph Rational

@@ -1,0 +1,181 @@
+module Q = Rational
+
+type t = {
+  g : Graph.t;
+  d : Decompose.t;
+  x : (int * int, Q.t) Hashtbl.t; (* (src, dst) -> amount, absent = 0 *)
+}
+
+let graph a = a.g
+let decomposition a = a.d
+
+let amount a ~src ~dst =
+  match Hashtbl.find_opt a.x (src, dst) with Some q -> q | None -> Q.zero
+
+let add_amount x (u, v) q =
+  if Q.sign q > 0 then
+    let cur =
+      match Hashtbl.find_opt x (u, v) with Some c -> c | None -> Q.zero
+    in
+    Hashtbl.replace x (u, v) (Q.add cur q)
+
+(* Pair with α < 1: flow from B side to C side over real edges. *)
+let allocate_cross g x (p : Decompose.pair) =
+  let bs = Vset.to_array p.b and cs = Vset.to_array p.c in
+  let bi = Hashtbl.create 8 and ci = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.add bi v i) bs;
+  Array.iteri (fun i v -> Hashtbl.add ci v i) cs;
+  let nb = Array.length bs and nc = Array.length cs in
+  let source = nb + nc and sink = nb + nc + 1 in
+  let net = Maxflow.create (nb + nc + 2) in
+  Array.iteri
+    (fun i u ->
+      ignore
+        (Maxflow.add_edge net ~src:source ~dst:i ~cap:(Graph.weight g u)))
+    bs;
+  Array.iteri
+    (fun j v ->
+      ignore
+        (Maxflow.add_edge net ~src:(nb + j) ~dst:sink
+           ~cap:(Q.div (Graph.weight g v) p.alpha)))
+    cs;
+  let cross = ref [] in
+  Array.iteri
+    (fun i u ->
+      Array.iter
+        (fun v ->
+          match Hashtbl.find_opt ci v with
+          | Some j ->
+              let e = Maxflow.add_edge net ~src:i ~dst:(nb + j) ~cap:Q.inf in
+              cross := (u, v, e) :: !cross
+          | None -> ())
+        (Graph.neighbors g u))
+    bs;
+  ignore (Maxflow.max_flow net ~source ~sink);
+  List.iter
+    (fun (u, v, e) ->
+      let f = Maxflow.flow net e in
+      add_amount x (u, v) f;
+      add_amount x (v, u) (Q.mul p.alpha f))
+    !cross
+
+(* Last pair with α = 1: bipartite doubling of the induced subgraph. *)
+let allocate_self g x (p : Decompose.pair) =
+  let bs = Vset.to_array p.b in
+  let bi = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.add bi v i) bs;
+  let nb = Array.length bs in
+  let source = 2 * nb and sink = (2 * nb) + 1 in
+  let net = Maxflow.create ((2 * nb) + 2) in
+  Array.iteri
+    (fun i u ->
+      let w = Graph.weight g u in
+      ignore (Maxflow.add_edge net ~src:source ~dst:i ~cap:w);
+      ignore (Maxflow.add_edge net ~src:(nb + i) ~dst:sink ~cap:w))
+    bs;
+  let cross = ref [] in
+  Array.iteri
+    (fun i u ->
+      Array.iter
+        (fun v ->
+          match Hashtbl.find_opt bi v with
+          | Some j ->
+              let e = Maxflow.add_edge net ~src:i ~dst:(nb + j) ~cap:Q.inf in
+              cross := (u, v, e) :: !cross
+          | None -> ())
+        (Graph.neighbors g u))
+    bs;
+  ignore (Maxflow.max_flow net ~source ~sink);
+  (* Symmetrise: (f + fᵀ)/2 is still a feasible saturating flow, and the
+     symmetric allocation is an exact fixed point of the proportional
+     response dynamics (x_{uv} = x_{vu} is forced at a fixed point when
+     U_u = w_u). *)
+  let raw = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, e) -> Hashtbl.replace raw (u, v) (Maxflow.flow net e))
+    !cross;
+  List.iter
+    (fun (u, v, _) ->
+      let f = Hashtbl.find raw (u, v) in
+      let ft =
+        match Hashtbl.find_opt raw (v, u) with Some q -> q | None -> Q.zero
+      in
+      add_amount x (u, v) (Q.div_int (Q.add f ft) 2))
+    !cross
+
+let of_decomposition g d =
+  let x = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Decompose.pair) ->
+      if Q.is_inf p.alpha || Q.is_zero p.alpha then
+        (* Degenerate zero-weight pair: nothing moves. *)
+        ()
+      else if Q.equal p.alpha Q.one then allocate_self g x p
+      else allocate_cross g x p)
+    d;
+  { g; d; x }
+
+let compute ?solver g =
+  let d =
+    match solver with
+    | None -> Decompose.compute g
+    | Some s -> Decompose.compute ~solver:s g
+  in
+  of_decomposition g d
+
+let utility a v =
+  Array.fold_left
+    (fun acc u -> Q.add acc (amount a ~src:u ~dst:v))
+    Q.zero (Graph.neighbors a.g v)
+
+let utilities a = Array.init (Graph.n a.g) (utility a)
+
+let validate a =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let g = a.g in
+  (* Transfers only on exchanging edges, and non-negative. *)
+  let bad = ref None in
+  Hashtbl.iter
+    (fun (u, v) q ->
+      if Q.sign q < 0 then bad := Some (Printf.sprintf "negative x_%d,%d" u v)
+      else if Q.sign q > 0 && not (Classes.may_exchange g a.d u v) then
+        bad := Some (Printf.sprintf "transfer on non-exchanging edge %d-%d" u v))
+    a.x;
+  match !bad with
+  | Some m -> Error m
+  | None ->
+      let rec check_vertex v =
+        if v >= Graph.n g then Ok ()
+        else
+          let shipped =
+            Array.fold_left
+              (fun acc u -> Q.add acc (amount a ~src:v ~dst:u))
+              Q.zero (Graph.neighbors g v)
+          in
+          let w = Graph.weight g v in
+          let p = Decompose.pair_of a.d v in
+          if
+            (not (Q.is_inf p.alpha))
+            && (not (Q.is_zero p.alpha))
+            && not (Q.equal shipped w)
+          then err "vertex %d ships %s, owns %s" v (Q.to_string shipped) (Q.to_string w)
+          else if not (Q.equal (utility a v) (Utility.of_vertex g a.d v))
+          then
+            err "vertex %d receives %s, Proposition 6 gives %s" v
+              (Q.to_string (utility a v))
+              (Q.to_string (Utility.of_vertex g a.d v))
+          else check_vertex (v + 1)
+      in
+      check_vertex 0
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>";
+  let items =
+    Hashtbl.fold (fun k q acc -> (k, q) :: acc) a.x []
+    |> List.filter (fun (_, q) -> Q.sign q > 0)
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((u, v), q) -> Format.fprintf fmt "x[%d -> %d] = %a@," u v Q.pp q)
+    items;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** The BD Allocation Mechanism (paper, Definition 5).
+
+    For each bottleneck pair [(B_i, C_i)] with [α_i < 1], a max flow on the
+    bipartite network [s →(w_u) u →(∞) v →(w_v/α_i) t] (over the {e graph}
+    edges between [B_i] and [C_i]) saturates both sides — the Hall-type
+    condition follows from [B_i] being a bottleneck — and yields
+    [x_{uv} = f_{uv}], [x_{vu} = α_i·f_{uv}].  For the last pair with
+    [α_k = 1], the bipartite doubling of the induced subgraph is used.  All
+    other edges carry no resource. *)
+
+type t
+
+val of_decomposition : Graph.t -> Decompose.t -> t
+
+val compute : ?solver:Decompose.solver -> Graph.t -> t
+(** Decomposition plus allocation in one step. *)
+
+val amount : t -> src:int -> dst:int -> Rational.t
+(** Resource flowing from [src] to its neighbour [dst]; zero on non-edges
+    and non-exchanging edges. *)
+
+val utility : t -> int -> Rational.t
+(** [U_v(X) = Σ_u x_{uv}], summed from the allocation itself (Proposition 6
+    guarantees it matches {!Utility.of_vertex}). *)
+
+val utilities : t -> Rational.t array
+val graph : t -> Graph.t
+val decomposition : t -> Decompose.t
+
+val validate : t -> (unit, string) result
+(** Checks feasibility and the closed form: every vertex with positive
+    weight ships exactly its weight; transfers sit only on exchanging
+    edges; received totals equal Proposition 6 utilities. *)
+
+val pp : Format.formatter -> t -> unit

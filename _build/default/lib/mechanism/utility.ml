@@ -1,0 +1,15 @@
+module Q = Rational
+
+let of_vertex g d v =
+  let p = Decompose.pair_of d v in
+  let w = Graph.weight g v in
+  if Q.is_zero w then Q.zero
+  else if Q.equal p.alpha Q.one then w
+  else if Vset.mem v p.b then Q.mul w p.alpha
+  else Q.div w p.alpha
+
+let of_decomposition g d =
+  Array.init (Graph.n g) (fun v -> of_vertex g d v)
+
+let total g d =
+  Array.fold_left Q.add Q.zero (of_decomposition g d)

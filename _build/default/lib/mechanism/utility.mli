@@ -1,0 +1,9 @@
+(** Closed-form utilities of the BD allocation (paper, Proposition 6):
+    [U_v = w_v·α_i] for [v ∈ B_i] and [U_v = w_v/α_i] for [v ∈ C_i]
+    (hence [U_v = w_v] in an [α = 1] pair). *)
+
+val of_vertex : Graph.t -> Decompose.t -> int -> Rational.t
+val of_decomposition : Graph.t -> Decompose.t -> Rational.t array
+
+val total : Graph.t -> Decompose.t -> Rational.t
+(** Σ_v U_v; equals Σ_v w_v since every transferred unit is received. *)

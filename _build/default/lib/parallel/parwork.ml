@@ -1,0 +1,42 @@
+let recommended_domains () = Stdlib.min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> Stdlib.max 1 d | None -> recommended_domains ()
+  in
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.map f xs
+  else begin
+    (* results buffer; each slot written exactly once by one worker *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue_ := false
+        else
+          match f xs.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+              ignore (Atomic.compare_and_set failure None (Some e));
+              continue_ := false
+      done
+    in
+    let spawned =
+      List.init (domains - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some y -> y
+        | None -> invalid_arg "Parwork.map: missing result (worker died?)")
+      results
+  end
+
+let map_list ?domains f xs =
+  Array.to_list (map ?domains f (Array.of_list xs))

@@ -1,0 +1,29 @@
+(** Minimal multicore work-sharing on OCaml 5 domains.
+
+    The attack search evaluates many independent exact decompositions
+    (one per candidate split, one per vertex); they are pure computations
+    over immutable graphs, so they parallelise embarrassingly.  This
+    module provides a self-scheduling parallel map over domains — no
+    external dependency ([domainslib] is not in the sealed container).
+
+    Scaling caveat: exact rational arithmetic allocates heavily, and
+    OCaml 5 minor collections synchronise all domains, so speedups on
+    this workload are well below linear (≈1.1–1.5× on two cores).  The
+    map is still worthwhile for the long sweeps in the experiment
+    harness, and the primitive is the right shape for machines with more
+    cores.
+
+    Determinism: results are written to fixed indices, so the output is
+    identical to the sequential map regardless of scheduling. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped to 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] evaluates [f] on every element using [domains]
+    worker domains (default {!recommended_domains}; [1] degenerates to
+    [Array.map]).  Work is claimed element-by-element off an atomic
+    counter, so uneven task costs balance.  The first exception raised by
+    any worker is re-raised after all domains join. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,78 @@
+(** Univariate polynomials over exact rationals, with Sturm-sequence root
+    counting and sign analysis on intervals.
+
+    This is the engine behind the symbolic Theorem 8 verifier: on a
+    structure-constant interval the attacker's utility is a rational
+    function [N(x)/D(x)] with small-degree polynomials, so
+    "[U(x) ≤ 2·U_v] on [a,b]" reduces to "[2·U_v·D − N ≥ 0] on [a,b]" —
+    a decidable question answered exactly here. *)
+
+type t
+(** A polynomial; the zero polynomial has degree [-1]. *)
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+val x : t
+
+val of_coeffs : Rational.t list -> t
+(** Coefficients from constant term upward: [of_coeffs [a0; a1; a2]] is
+    [a0 + a1·x + a2·x²].
+    @raise Invalid_argument on an infinite coefficient. *)
+
+val constant : Rational.t -> t
+val linear : Rational.t -> Rational.t -> t
+(** [linear a b] is [a + b·x]. *)
+
+(** {1 Structure} *)
+
+val degree : t -> int
+val coeff : t -> int -> Rational.t
+val coeffs : t -> Rational.t list
+(** Constant term upward; empty for zero. *)
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val leading : t -> Rational.t
+(** @raise Invalid_argument on the zero polynomial. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Rational.t -> t -> t
+val pow : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division.
+    @raise Division_by_zero on a zero divisor. *)
+
+val derive : t -> t
+val eval : t -> Rational.t -> Rational.t
+
+(** {1 Roots and signs} *)
+
+val sturm_sequence : t -> t list
+(** The canonical Sturm chain of a non-zero polynomial (square-free part
+    is taken internally, so repeated roots are counted once). *)
+
+val count_roots : t -> lo:Rational.t -> hi:Rational.t -> int
+(** Number of {e distinct} real roots in the half-open interval
+    [(lo, hi]].  [t] must be non-zero. *)
+
+val isolate_roots :
+  ?tolerance:Rational.t -> t -> lo:Rational.t -> hi:Rational.t ->
+  (Rational.t * Rational.t) list
+(** Disjoint brackets, each containing exactly one distinct root of [t]
+    in [(lo, hi]], refined by bisection until narrower than [tolerance]
+    (default: [(hi − lo)/2^30]).  Brackets are [(l, h]] with the root in
+    the half-open interval. *)
+
+val non_negative_on : t -> lo:Rational.t -> hi:Rational.t -> bool
+(** Exact decision of [∀ x ∈ [lo, hi]. t(x) ≥ 0]: endpoint signs plus a
+    sign sample between consecutive isolated roots. *)
+
+val pp : Format.formatter -> t -> unit

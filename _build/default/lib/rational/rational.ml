@@ -1,0 +1,128 @@
+(* Normalised rationals: den > 0 and gcd (num, den) = 1, except for the
+   single infinity point which is stored as 1/0. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let inf = { num = B.one; den = B.zero }
+let is_inf x = B.is_zero x.den
+
+let make num den =
+  let s = B.sign den in
+  if s = 0 then begin
+    match B.sign num with
+    | 0 -> raise Division_by_zero
+    | n when n < 0 -> raise Division_by_zero
+    | _ -> inf
+  end
+  else
+    let num = if s < 0 then B.neg num else num in
+    let den = B.abs den in
+    if B.is_zero num then { num = B.zero; den = B.one }
+    else
+      let g = B.gcd num den in
+      { num = B.div num g; den = B.div den g }
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let half = of_ints 1 2
+let num x = x.num
+let den x = x.den
+let is_zero x = B.is_zero x.num && not (is_inf x)
+let sign x = if is_inf x then 1 else B.sign x.num
+
+let equal a b =
+  (* Normalised representation makes structural equality semantic. *)
+  B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b =
+  match (is_inf a, is_inf b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash x = (B.hash x.num * 31) + B.hash x.den
+
+let neg x =
+  if is_inf x then raise Division_by_zero else { x with num = B.neg x.num }
+
+let abs x = if B.sign x.num < 0 then neg x else x
+
+let add a b =
+  match (is_inf a, is_inf b) with
+  | true, _ | _, true -> inf
+  | false, false ->
+      make
+        (B.add (B.mul a.num b.den) (B.mul b.num a.den))
+        (B.mul a.den b.den)
+
+let sub a b =
+  if is_inf b then raise Division_by_zero
+  else if is_inf a then inf
+  else
+    make (B.sub (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let mul a b =
+  match (is_inf a, is_inf b) with
+  | true, _ ->
+      if sign b <= 0 then raise Division_by_zero else inf
+  | _, true ->
+      if sign a <= 0 then raise Division_by_zero else inf
+  | false, false -> make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let inv x =
+  if is_inf x then zero
+  else if B.is_zero x.num then inf
+  else make x.den x.num
+
+let div a b =
+  match (is_inf a, is_inf b) with
+  | true, true -> raise Division_by_zero
+  | true, false ->
+      if sign b < 0 then raise Division_by_zero else inf
+  | false, true -> zero
+  | false, false ->
+      if B.is_zero b.num then raise Division_by_zero
+      else make (B.mul a.num b.den) (B.mul a.den b.num)
+
+let mul_int x n = mul x (of_int n)
+let div_int x n = div x (of_int n)
+let to_float x = if is_inf x then Float.infinity else B.to_float x.num /. B.to_float x.den
+
+let to_string x =
+  if is_inf x then "inf"
+  else if B.equal x.den B.one then B.to_string x.num
+  else B.to_string x.num ^ "/" ^ B.to_string x.den
+
+let of_string s =
+  if String.trim s = "inf" then inf
+  else
+    match String.index_opt s '/' with
+    | None -> of_bigint (B.of_string s)
+    | Some i ->
+        let p = String.sub s 0 i in
+        let q = String.sub s (i + 1) (String.length s - i - 1) in
+        make (B.of_string p) (B.of_string q)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

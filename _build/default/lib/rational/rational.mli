@@ -1,0 +1,96 @@
+(** Exact rational numbers over {!Bigint}, extended with a single point at
+    positive infinity.
+
+    The infinity point exists because α-ratios [w(Γ(S)) / w(S)] are taken of
+    vertex sets that may have zero weight — Sybil splits legitimately assign
+    weight 0 to one identity (paper, Case C-2).  Such sets are never
+    bottlenecks unless every candidate is infinite, and a total order that
+    places [+∞] above all finite values makes the decomposition code
+    uniform.
+
+    Values are kept normalised: [den > 0], [gcd (num, den) = 1], and
+    infinity is the unique value with [den = 0] (represented as [1/0]). *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val half : t
+val inf : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalises the fraction.  [den] may be negative (the sign
+    moves to the numerator) or zero (the result is [inf] when [num > 0]).
+    @raise Division_by_zero when both [num] and [den] are zero, or when
+    [num < 0] and [den = 0] (there is no negative infinity). *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+val of_bigint : Bigint.t -> t
+
+val of_string : string -> t
+(** Accepts ["p"], ["p/q"] and ["inf"].
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Destruction} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val to_float : t -> float
+val to_string : t -> string
+
+(** {1 Predicates and comparison} *)
+
+val is_inf : t -> bool
+val is_zero : t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]; [inf] has sign [1]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order with [inf] as the maximum. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic}
+
+    Operations involving [inf] follow the usual conventions where the result
+    is determined ([inf + x = inf], [inf * x = inf] for [x > 0], [x / inf =
+    0], …) and raise [Division_by_zero] on the indeterminate forms
+    [inf - inf], [0 * inf] and [inf / inf]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/instances.ml: Generators Graph List Printf Prng Weights

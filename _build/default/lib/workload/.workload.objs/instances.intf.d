@@ -1,0 +1,1 @@
+lib/workload/instances.mli: Graph Weights

@@ -1,0 +1,1 @@
+lib/workload/weights.ml: Array Float Printf Prng Rational Stdlib

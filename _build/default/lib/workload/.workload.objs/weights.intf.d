@@ -1,0 +1,1 @@
+lib/workload/weights.mli: Prng Rational

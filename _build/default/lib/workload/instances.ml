@@ -1,0 +1,43 @@
+let ring ~seed ~n dist =
+  let rng = Prng.create seed in
+  Generators.ring (Weights.sample rng dist n)
+
+let path ~seed ~n dist =
+  let rng = Prng.create seed in
+  Generators.path (Weights.sample rng dist n)
+
+let random_graph ~seed ~n ~p dist =
+  let rng = Prng.create seed in
+  let attempt () =
+    let weights = Weights.sample rng dist n in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Prng.float rng < p then edges := (u, v) :: !edges
+      done
+    done;
+    Graph.create ~weights ~edges:!edges
+  in
+  let rec retry k =
+    let g = attempt () in
+    let isolated = ref false in
+    for v = 0 to n - 1 do
+      if Graph.degree g v = 0 then isolated := true
+    done;
+    if (not !isolated) || k = 0 then g else retry (k - 1)
+  in
+  retry 50
+
+let ring_family ~seeds ~sizes dists =
+  List.concat_map
+    (fun seed ->
+      List.concat_map
+        (fun n ->
+          List.map
+            (fun dist ->
+              ( Printf.sprintf "ring(n=%d,%s,seed=%d)" n (Weights.name dist)
+                  seed,
+                ring ~seed ~n dist ))
+            dists)
+        sizes)
+    seeds

@@ -1,0 +1,14 @@
+(** Instance families for the experiment harness. *)
+
+val ring : seed:int -> n:int -> Weights.distribution -> Graph.t
+val path : seed:int -> n:int -> Weights.distribution -> Graph.t
+
+val random_graph : seed:int -> n:int -> p:float -> Weights.distribution -> Graph.t
+(** Erdős–Rényi G(n, p), re-drawn until no vertex is isolated (bounded
+    retries).  Used by the general-graph cross-checks. *)
+
+val ring_family :
+  seeds:int list -> sizes:int list -> Weights.distribution list ->
+  (string * Graph.t) list
+(** Cartesian product of seeds, sizes and distributions, with descriptive
+    labels. *)

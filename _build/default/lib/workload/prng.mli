@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Experiments must be reproducible run-to-run and machine-to-machine, so
+    nothing in this repository uses [Random]; every randomised workload is
+    seeded through this module. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds yield equal streams. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val shuffle : t -> 'a array -> unit

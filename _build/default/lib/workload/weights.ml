@@ -1,0 +1,38 @@
+module Q = Rational
+
+type distribution =
+  | Uniform of int * int
+  | Powerlaw of int * float
+  | Bimodal of int * int * float
+  | Constant of int
+
+let sample_one rng = function
+  | Uniform (lo, hi) ->
+      if lo < 1 || hi < lo then invalid_arg "Weights: bad uniform range";
+      Prng.int_in rng lo hi
+  | Powerlaw (wmax, s) ->
+      if wmax < 1 then invalid_arg "Weights: bad powerlaw max";
+      (* Inverse-transform sample of a continuous power law truncated to
+         [1, wmax], rounded to an integer weight. *)
+      let u = Prng.float rng in
+      let x =
+        if Float.abs (s -. 1.0) < 1e-9 then
+          Float.exp (u *. Float.log (float_of_int wmax))
+        else
+          let p = 1.0 -. s in
+          ((u *. ((float_of_int wmax ** p) -. 1.0)) +. 1.0) ** (1.0 /. p)
+      in
+      Stdlib.max 1 (Stdlib.min wmax (int_of_float (Float.round x)))
+  | Bimodal (small, large, p_large) ->
+      if Prng.float rng < p_large then large else small
+  | Constant w ->
+      if w < 1 then invalid_arg "Weights: non-positive constant";
+      w
+
+let sample rng dist n = Array.init n (fun _ -> Q.of_int (sample_one rng dist))
+
+let name = function
+  | Uniform (lo, hi) -> Printf.sprintf "uniform[%d,%d]" lo hi
+  | Powerlaw (wmax, s) -> Printf.sprintf "powerlaw(max=%d,s=%.1f)" wmax s
+  | Bimodal (a, b, p) -> Printf.sprintf "bimodal(%d,%d,p=%.2f)" a b p
+  | Constant w -> Printf.sprintf "constant(%d)" w

@@ -1,0 +1,15 @@
+(** Weight-profile distributions for experiment workloads. *)
+
+type distribution =
+  | Uniform of int * int  (** integer weights uniform in [lo, hi] *)
+  | Powerlaw of int * float
+      (** [Powerlaw (wmax, s)]: Zipf-like integer weights with exponent
+          [s] scaled into [1, wmax] *)
+  | Bimodal of int * int * float
+      (** [Bimodal (small, large, p_large)] *)
+  | Constant of int
+
+val sample : Prng.t -> distribution -> int -> Rational.t array
+(** [sample rng dist n] draws [n] positive weights. *)
+
+val name : distribution -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bigint Generators Graph List Prng QCheck2 QCheck_alcotest Random Rational String Vset

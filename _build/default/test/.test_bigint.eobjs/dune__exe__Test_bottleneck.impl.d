@@ -1,0 +1,1 @@
+test/test_bottleneck.ml: Alcotest Array Brute Chain_solver Classes Decompose Flow_solver Generators Graph Helpers List Rational Utility Vset

@@ -1,0 +1,1 @@
+test/test_breakpoints.ml: Alcotest Breakpoints Decompose Generators Graph Helpers List Misreport Rational Sybil Theorems

@@ -1,0 +1,1 @@
+test/test_certificate.ml: Alcotest Certificate Decompose Generators Helpers List Lower_bound Rational

@@ -1,0 +1,1 @@
+test/test_chain_fast.ml: Alcotest Array Chain_fast Chain_solver Decompose Generators Graph Helpers List Prng QCheck2 Rational Vset

@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Allocation Array Decompose Float Fun Generators Graph Helpers List Prd Prd_exact Rational Utility

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Helpers List Maxflow Prng QCheck2 Rational Vset

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dot Generators Graph Helpers List Rational Stdlib String Vset

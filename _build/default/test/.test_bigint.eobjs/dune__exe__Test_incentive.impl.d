@@ -1,0 +1,1 @@
+test/test_incentive.ml: Alcotest Array Generators Graph Helpers Incentive List Lower_bound Printf Rational Sybil Theorems

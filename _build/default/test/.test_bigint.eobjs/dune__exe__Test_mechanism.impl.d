@@ -1,0 +1,1 @@
+test/test_mechanism.ml: Alcotest Allocation Array Classes Decompose Fun Generators Graph Helpers List Printf Rational Utility Vset

@@ -1,0 +1,1 @@
+test/test_misreport.ml: Alcotest Array Format Generators Graph Helpers List Misreport Rational String Sybil Theorems

@@ -1,0 +1,1 @@
+test/test_parwork.ml: Alcotest Array Fun Generators Helpers Incentive Parwork

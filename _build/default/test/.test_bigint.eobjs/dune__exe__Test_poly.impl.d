@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Helpers List Poly QCheck2 Rational

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Bigint Float Helpers List QCheck2 Rational

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Filename Generators Graph Helpers List Rational Serial Sys

@@ -1,0 +1,1 @@
+test/test_stages.ml: Adjusting Alcotest Decompose Format Generators Graph Helpers Incentive List Lower_bound Rational Stages Sybil Theorems

@@ -1,0 +1,1 @@
+test/test_sybil.ml: Alcotest Array Decompose Generators Graph Helpers List Printf Rational Sybil Theorems Utility

@@ -1,0 +1,1 @@
+test/test_sybil_general.ml: Alcotest Array Decompose Generators Graph Helpers Incentive List Rational Sybil Sybil_general Utility

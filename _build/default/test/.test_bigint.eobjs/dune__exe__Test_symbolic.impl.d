@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Decompose Generators Graph Helpers Incentive List Lower_bound Poly Rational Sybil Symbolic

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Array Generators Graph Helpers Incentive List Lower_bound Rational Stages Theorems

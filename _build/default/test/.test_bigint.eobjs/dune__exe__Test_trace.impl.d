@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Classes Decompose Generators Graph Helpers List Rational String Trace

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Graph Helpers Instances List Prng Rational String Weights

@@ -1,0 +1,184 @@
+(* Unit and property tests for the arbitrary-precision integer layer. *)
+
+module B = Bigint
+
+let b = B.of_int
+let check_b = Alcotest.check (Alcotest.testable B.pp B.equal)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_constants () =
+  check_b "zero" B.zero (b 0);
+  check_b "one" B.one (b 1);
+  check_b "two" B.two (b 2);
+  check_b "minus_one" B.minus_one (b (-1));
+  Alcotest.(check bool) "is_zero" true (B.is_zero B.zero);
+  Alcotest.(check bool) "one not zero" false (B.is_zero B.one)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (string_of_int n) (Some n)
+        (B.to_int (b n)))
+    [ 0; 1; -1; 42; -42; 999_999_999; 1_000_000_000; max_int; min_int;
+      max_int - 1; min_int + 1 ]
+
+let test_to_int_overflow () =
+  let big = B.mul (b max_int) (b 10) in
+  Alcotest.(check (option int)) "overflow" None (B.to_int big);
+  Alcotest.check_raises "to_int_exn" (Failure "Bigint.to_int_exn: value out of int range")
+    (fun () -> ignore (B.to_int_exn big))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [
+      "0"; "1"; "-1"; "123456789"; "1000000000"; "-1000000000";
+      "999999999999999999999999999999";
+      "-123456789012345678901234567890123456789";
+    ]
+
+let test_of_string_forms () =
+  check_b "plus sign" (b 42) (B.of_string "+42");
+  check_b "underscores" (b 1_000_000) (B.of_string "1_000_000");
+  check_b "leading zeros" (b 7) (B.of_string "0007");
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (B.of_string ""));
+  Alcotest.check_raises "junk" (Invalid_argument "Bigint.of_string: invalid character")
+    (fun () -> ignore (B.of_string "12x4"))
+
+let test_arith_small () =
+  check_b "add" (b 7) (B.add (b 3) (b 4));
+  check_b "sub" (b (-1)) (B.sub (b 3) (b 4));
+  check_b "mul" (b 12) (B.mul (b 3) (b 4));
+  check_b "mul neg" (b (-12)) (B.mul (b (-3)) (b 4));
+  check_b "div" (b 3) (B.div (b 7) (b 2));
+  check_b "div trunc neg" (b (-3)) (B.div (b (-7)) (b 2));
+  check_b "rem sign" (b (-1)) (B.rem (b (-7)) (b 2));
+  check_b "succ" (b 1) (B.succ B.zero);
+  check_b "pred" (b (-1)) (B.pred B.zero)
+
+let test_min_int_division () =
+  (* min_int is the classic trap for sign-magnitude conversions. *)
+  let q, r = B.divmod (b min_int) (b (-1)) in
+  check_b "min_int / -1" (B.neg (b min_int)) q;
+  check_b "min_int mod -1" B.zero r
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_pow () =
+  check_b "2^10" (b 1024) (B.pow (b 2) 10);
+  check_b "x^0" B.one (B.pow (b 999) 0);
+  check_b "0^5" B.zero (B.pow B.zero 5);
+  check_b "10^30"
+    (B.of_string "1000000000000000000000000000000")
+    (B.pow (b 10) 30);
+  Alcotest.check_raises "neg exponent"
+    (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (B.pow (b 2) (-1)))
+
+let test_gcd () =
+  check_b "gcd 12 18" (b 6) (B.gcd (b 12) (b 18));
+  check_b "gcd 0 5" (b 5) (B.gcd B.zero (b 5));
+  check_b "gcd neg" (b 6) (B.gcd (b (-12)) (b 18));
+  check_b "gcd 0 0" B.zero (B.gcd B.zero B.zero)
+
+let test_compare_order () =
+  Alcotest.(check bool) "lt" true (B.compare (b 3) (b 4) < 0);
+  Alcotest.(check bool) "neg lt pos" true (B.compare (b (-1)) (b 1) < 0);
+  Alcotest.(check bool) "mag order neg" true (B.compare (b (-10)) (b (-2)) < 0);
+  check_b "min" (b (-3)) (B.min (b 5) (b (-3)));
+  check_b "max" (b 5) (B.max (b 5) (b (-3)))
+
+let test_karatsuba_crossover () =
+  (* Exercise the Karatsuba path with operands above the threshold and
+     check against the identity (10^n - 1)^2 = 10^2n - 2*10^n + 1. *)
+  let n = 1500 in
+  let x = B.pred (B.pow (b 10) n) in
+  let expected =
+    B.succ (B.sub (B.pow (b 10) (2 * n)) (B.mul_int (B.pow (b 10) n) 2))
+  in
+  check_b "(10^1500-1)^2" expected (B.mul x x)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "42." 42.0 (B.to_float (b 42));
+  Alcotest.(check (float 1e6)) "1e18" 1e18 (B.to_float (B.pow (b 10) 18));
+  Alcotest.(check (float 1e-9)) "-3." (-3.0) (B.to_float (b (-3)))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen2 = QCheck2.Gen.pair Helpers.bigint_gen Helpers.bigint_gen
+let gen3 = QCheck2.Gen.triple Helpers.bigint_gen Helpers.bigint_gen Helpers.bigint_gen
+
+let props =
+  [
+    Helpers.qtest "add commutative" gen2 (fun (x, y) -> let open B.Infix in x + y = y + x);
+    Helpers.qtest "add associative" gen3 (fun (x, y, z) ->
+        let open B.Infix in
+        x + y + z = x + (y + z));
+    Helpers.qtest "mul commutative" gen2 (fun (x, y) -> let open B.Infix in x * y = y * x);
+    Helpers.qtest "mul associative" gen3 (fun (x, y, z) ->
+        let open B.Infix in
+        x * y * z = x * (y * z));
+    Helpers.qtest "distributivity" gen3 (fun (x, y, z) ->
+        let open B.Infix in
+        x * (y + z) = (x * y) + (x * z));
+    Helpers.qtest "sub inverse" gen2 (fun (x, y) -> let open B.Infix in x - y + y = x);
+    Helpers.qtest "neg involution" Helpers.bigint_gen (fun x ->
+        B.equal (B.neg (B.neg x)) x);
+    Helpers.qtest "divmod identity" gen2 (fun (x, y) ->
+        B.is_zero y
+        ||
+        let q, r = B.divmod x y in
+        B.equal (B.add (B.mul q y) r) x
+        && B.compare (B.abs r) (B.abs y) < 0
+        && (B.is_zero r || B.sign r = B.sign x));
+    Helpers.qtest "string roundtrip" Helpers.bigint_gen (fun x ->
+        B.equal (B.of_string (B.to_string x)) x);
+    Helpers.qtest "gcd divides" gen2 (fun (x, y) ->
+        let g = B.gcd x y in
+        if B.is_zero g then B.is_zero x && B.is_zero y
+        else B.is_zero (B.rem x g) && B.is_zero (B.rem y g));
+    Helpers.qtest "gcd linearity" gen2 (fun (x, y) ->
+        (* gcd(x, y) = gcd(y, x) and gcd(x+y, y) = gcd(x, y) *)
+        B.equal (B.gcd x y) (B.gcd y x)
+        && B.equal (B.gcd (B.add x y) y) (B.gcd x y));
+    Helpers.qtest "compare antisymmetric" gen2 (fun (x, y) ->
+        B.compare x y = -B.compare y x);
+    Helpers.qtest "int embedding" QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+      (fun (a, c) -> B.to_int_exn (B.add (b a) (b c)) = a + c);
+    Helpers.qtest "int embedding mul" QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+      (fun (a, c) -> B.to_int_exn (B.mul (b a) (b c)) = a * c);
+    Helpers.qtest "hash equal on equal" gen2 (fun (x, y) ->
+        (not (B.equal x y)) || B.hash x = B.hash y);
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "of_string forms" `Quick test_of_string_forms;
+          Alcotest.test_case "small arithmetic" `Quick test_arith_small;
+          Alcotest.test_case "min_int division" `Quick test_min_int_division;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "ordering" `Quick test_compare_order;
+          Alcotest.test_case "karatsuba" `Quick test_karatsuba_crossover;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", props);
+    ]

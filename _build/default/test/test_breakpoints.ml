@@ -1,0 +1,169 @@
+(* Tests for decomposition breakpoint isolation (Proposition 12 support). *)
+
+module Q = Rational
+
+let test_no_events_on_flat_instance () =
+  (* A two-vertex path where v's class never changes... the decomposition
+     does change as x crosses the other weight; instead use a vertex whose
+     variation cannot reorder anything: single edge with x in [0, w] and
+     the partner's weight far larger keeps B = {v} throughout (the alpha
+     value changes but the PAIR SETS stay equal only if alpha is part of
+     equality...).  Decompose.same_structure compares alphas too, so events exist;
+     assert the scan is consistent instead: events are ordered and
+     bracket-tight. *)
+  let g = Generators.path_of_ints [| 4; 100 |] in
+  let events = Breakpoints.scan ~grid:16 g ~v:0 in
+  let w = Graph.weight g 0 in
+  List.iter
+    (fun (ev : Breakpoints.event) ->
+      Alcotest.(check bool) "lo < hi" true (Q.compare ev.lo ev.hi < 0);
+      Alcotest.(check bool) "in range" true
+        (Q.sign ev.lo >= 0 && Q.compare ev.hi w <= 0);
+      Alcotest.(check bool) "bracket tight" true
+        (Q.compare (Q.sub ev.hi ev.lo) (Q.div_int w (1 lsl 18)) <= 0))
+    events
+
+let test_zero_weight_vertex_no_scan () =
+  let g =
+    Graph.of_int_weights ~weights:[| 0; 5; 5 |] ~edges:[ (0, 1); (1, 2) ]
+  in
+  Alcotest.(check int) "no range to scan" 0
+    (List.length (Breakpoints.scan g ~v:0))
+
+let test_uniform_ring_has_event () =
+  (* Uniform even ring: at x = w_v everything is one alpha = 1 pair, at
+     small x the decomposition differs -> at least one event. *)
+  let g = Generators.ring_of_ints [| 5; 5; 5; 5 |] in
+  let events = Breakpoints.scan ~grid:16 g ~v:0 in
+  Alcotest.(check bool) "at least one event" true (List.length events >= 1);
+  (* events ordered by position *)
+  let rec ordered = function
+    | (a : Breakpoints.event) :: (b :: _ as rest) ->
+        Q.compare a.hi b.lo <= 0 && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ordered" true (ordered events)
+
+let test_events_are_real_changes () =
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let events = Breakpoints.scan ~grid:24 g ~v:0 in
+  List.iter
+    (fun (ev : Breakpoints.event) ->
+      Alcotest.(check bool) "decompositions differ" false
+        (Decompose.same_structure ev.before ev.after);
+      (* endpoints really produce those decompositions *)
+      Alcotest.(check bool) "before matches" true
+        (Decompose.same_structure ev.before
+           (Breakpoints.decomposition_at g ~v:0 ~x:ev.lo));
+      Alcotest.(check bool) "after matches" true
+        (Decompose.same_structure ev.after
+           (Breakpoints.decomposition_at g ~v:0 ~x:ev.hi)))
+    events
+
+let test_classify_merge_or_split () =
+  (* On the uniform even ring the event at the top of the range merges
+     pairs into the single alpha = 1 pair as x grows. *)
+  let g = Generators.ring_of_ints [| 5; 5; 5; 5 |] in
+  let events = Breakpoints.scan ~grid:16 g ~v:0 in
+  Alcotest.(check bool) "classifiable" true
+    (List.for_all
+       (fun ev ->
+         match Breakpoints.classify_event ev ~v:0 with
+         | `Merge | `Split | `Other -> true)
+       events)
+
+let props =
+  [
+    Helpers.qtest ~count:20 "Proposition 12: class stable across events"
+      (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
+        match Theorems.proposition12 ~grid:16 g ~v:0 with
+        | Ok () -> true
+        | Error _ -> false);
+    Helpers.qtest ~count:15 "scan finds every grid-visible change"
+      (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
+        let v = 0 in
+        let w = Graph.weight g v in
+        let events = Breakpoints.scan ~grid:12 g ~v in
+        (* between consecutive events the decomposition at the midpoints
+           of event-free stretches equals the stretch endpoints' *)
+        let boundaries =
+          Q.zero
+          :: List.concat_map
+               (fun (ev : Breakpoints.event) -> [ ev.lo; ev.hi ])
+               events
+          @ [ w ]
+        in
+        let rec stretches = function
+          | a :: (b :: _ as rest) -> (a, b) :: stretches rest
+          | _ -> []
+        in
+        (* check only the event-free stretches: (hi_i, lo_i+1) pairs, which
+           are the even-indexed stretches after inserting 0 and w *)
+        let all = stretches boundaries in
+        List.for_all
+          (fun ((a : Q.t), (b : Q.t)) ->
+            if Q.compare a b >= 0 then true
+            else
+              let da = Breakpoints.decomposition_at g ~v ~x:a in
+              let db = Breakpoints.decomposition_at g ~v ~x:b in
+              (* either this is an event bracket (allowed to differ) or a
+                 flat stretch *)
+              Decompose.same_structure da db
+              || List.exists
+                   (fun (ev : Breakpoints.event) ->
+                     Q.equal ev.lo a && Q.equal ev.hi b)
+                   events)
+          all);
+  ]
+
+let continuity_prop =
+  (* Theorem 10 also gives continuity of U_v(x): across every isolated
+     breakpoint bracket, the utility jump is bounded by what the narrow
+     bracket allows (a crude Lipschitz-style check: |U(hi) - U(lo)| small
+     relative to the full range). *)
+  Helpers.qtest ~count:12 "utility continuous across breakpoints"
+    (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
+      let v = 0 in
+      let events = Breakpoints.scan ~grid:12 g ~v in
+      let u x = (Misreport.at g ~v ~x).Misreport.utility in
+      let range =
+        Q.to_float (Sybil.honest_utility g ~v) +. 1.0
+      in
+      List.for_all
+        (fun (ev : Breakpoints.event) ->
+          let jump = Q.to_float (Q.abs (Q.sub (u ev.hi) (u ev.lo))) in
+          (* bracket width is ~w * 2^-20; a genuine discontinuity would
+             show up as a jump comparable to the utility scale *)
+          jump < 0.01 *. range)
+        events)
+
+let split_scan_prop =
+  Helpers.qtest ~count:10 "split-parameter scan events are real"
+    (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
+      let v = 0 in
+      let events = Breakpoints.scan_split ~grid:12 g ~v in
+      let w = Graph.weight g v in
+      List.for_all
+        (fun (ev : Breakpoints.event) ->
+          let d_at w1 =
+            let s = Sybil.split_free g ~v ~w1 ~w2:(Q.sub w w1) in
+            Decompose.compute s.Sybil.path
+          in
+          (not (Decompose.same_structure ev.before ev.after))
+          && Decompose.same_structure ev.before (d_at ev.lo)
+          && Decompose.same_structure ev.after (d_at ev.hi))
+        events)
+
+let () =
+  Alcotest.run "breakpoints"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "brackets tight" `Quick test_no_events_on_flat_instance;
+          Alcotest.test_case "zero weight" `Quick test_zero_weight_vertex_no_scan;
+          Alcotest.test_case "uniform ring event" `Quick test_uniform_ring_has_event;
+          Alcotest.test_case "events are real" `Quick test_events_are_real_changes;
+          Alcotest.test_case "classification total" `Quick test_classify_merge_or_split;
+        ] );
+      ("properties", continuity_prop :: split_scan_prop :: props);
+    ]

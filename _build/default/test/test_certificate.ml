@@ -1,0 +1,94 @@
+(* Tests for flow-witness certificates of decompositions. *)
+
+module Q = Rational
+
+let build_verify g =
+  let d = Decompose.compute g in
+  let cert = Certificate.build g d in
+  Certificate.verify g d cert
+
+let test_fig1 () =
+  match build_verify (Generators.fig1 ()) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_family () =
+  match build_verify (Lower_bound.family ~k:3) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_rejects_wrong_alpha () =
+  let g = Generators.fig1 () in
+  let d = Decompose.compute g in
+  let cert = Certificate.build g d in
+  (* corrupt the claimed decomposition's first alpha *)
+  let d' =
+    match d with
+    | p :: rest -> { p with Decompose.alpha = Q.half } :: rest
+    | [] -> Alcotest.fail "empty"
+  in
+  (match Certificate.verify g d' cert with
+  | Ok () -> Alcotest.fail "accepted corrupted alpha"
+  | Error _ -> ());
+  (* corrupt the certificate's flow: scale one entry *)
+  let cert' =
+    match cert with
+    | (st : Certificate.stage) :: rest ->
+        let flow =
+          match st.flow with
+          | ((uv, f) : (int * int) * Q.t) :: more -> (uv, Q.mul_int f 2) :: more
+          | [] -> Alcotest.fail "no flow"
+        in
+        { st with flow } :: rest
+    | [] -> Alcotest.fail "empty cert"
+  in
+  match Certificate.verify g d cert' with
+  | Ok () -> Alcotest.fail "accepted corrupted flow"
+  | Error _ -> ()
+
+let test_rejects_swapped_pair () =
+  let g = Generators.fig1 () in
+  let d = Decompose.compute g in
+  let cert = Certificate.build g d in
+  (* swap B and C of the first pair: Gamma(B) check must fire *)
+  let d' =
+    match d with
+    | p :: rest -> { p with Decompose.b = p.Decompose.c; c = p.Decompose.b } :: rest
+    | [] -> Alcotest.fail "empty"
+  in
+  match Certificate.verify g d' cert with
+  | Ok () -> Alcotest.fail "accepted swapped pair"
+  | Error _ -> ()
+
+let test_stage_count_mismatch () =
+  let g = Generators.fig1 () in
+  let d = Decompose.compute g in
+  let cert = Certificate.build g d in
+  match Certificate.verify g d (List.tl cert) with
+  | Ok () -> Alcotest.fail "accepted short certificate"
+  | Error m ->
+      Alcotest.(check string) "message" "stage count mismatch" m
+
+let props =
+  [
+    Helpers.qtest ~count:60 "build+verify on random rings" (Helpers.ring_gen ())
+      (fun g -> build_verify g = Ok ());
+    Helpers.qtest ~count:40 "build+verify on random graphs"
+      (Helpers.graph_gen ()) (fun g -> build_verify g = Ok ());
+    Helpers.qtest ~count:40 "build+verify on zero-weight paths"
+      (Helpers.path_gen ~allow_zero:true ()) (fun g -> build_verify g = Ok ());
+  ]
+
+let () =
+  Alcotest.run "certificate"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fig1" `Quick test_fig1;
+          Alcotest.test_case "tightness family" `Quick test_family;
+          Alcotest.test_case "rejects corruption" `Quick test_rejects_wrong_alpha;
+          Alcotest.test_case "rejects swapped pair" `Quick test_rejects_swapped_pair;
+          Alcotest.test_case "stage count" `Quick test_stage_count_mismatch;
+        ] );
+      ("properties", props);
+    ]

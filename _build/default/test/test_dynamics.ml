@@ -1,0 +1,133 @@
+(* Tests for proportional response dynamics: fixed point, convergence and
+   the float/exact agreement. *)
+
+module Q = Rational
+
+(* ------------------------------------------------------------------ *)
+(* Exact dynamics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_point_fig1 () =
+  let a = Allocation.compute (Generators.fig1 ()) in
+  let st = Prd_exact.of_allocation a in
+  Alcotest.(check bool) "BD allocation is a fixed point" true
+    (Prd_exact.equal (Prd_exact.step st) st)
+
+let test_exact_init_shares_evenly () =
+  let g = Generators.ring_of_ints [| 4; 2; 6 |] in
+  let st = Prd_exact.init g in
+  Helpers.check_q "half each" (Q.of_int 2) (Prd_exact.sends st ~src:0 ~dst:1);
+  Helpers.check_q "half each the other way" (Q.of_int 2)
+    (Prd_exact.sends st ~src:0 ~dst:2)
+
+let test_exact_two_vertices_immediate () =
+  (* On a single edge each agent has one neighbour: the dynamics are at
+     the fixed point from round one. *)
+  let g = Generators.path_of_ints [| 3; 7 |] in
+  let st1 = Prd_exact.step (Prd_exact.init g) in
+  let st2 = Prd_exact.step st1 in
+  Alcotest.(check bool) "fixed" true (Prd_exact.equal st1 st2);
+  Helpers.check_q "ships all" (Q.of_int 3) (Prd_exact.sends st1 ~src:0 ~dst:1)
+
+let test_exact_utilities_sum () =
+  let g = Generators.ring_of_ints [| 1; 2; 3; 4 |] in
+  let st = Prd_exact.run ~iters:5 g in
+  let total = Array.fold_left Q.add Q.zero (Prd_exact.utilities st) in
+  Helpers.check_q "conservation" (Q.of_int 10) total
+
+(* ------------------------------------------------------------------ *)
+(* Float dynamics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_float_convergence_utilities () =
+  let g = Generators.ring_of_ints [| 5; 1; 3; 1; 2 |] in
+  let d = Decompose.compute g in
+  let st = Prd.run ~iters:4000 g in
+  let target = Utility.of_decomposition g d in
+  Array.iteri
+    (fun v u ->
+      let t = Q.to_float target.(v) in
+      if abs_float (u -. t) > 5e-3 *. (1.0 +. abs_float t) then
+        Alcotest.failf "vertex %d: %f vs %f" v u t)
+    (Prd.utilities st)
+
+let test_trajectory_monotone_tail () =
+  (* The L1 distance to the BD allocation must shrink substantially. *)
+  let g = Generators.ring_of_ints [| 5; 1; 3; 1; 2; 8 |] in
+  let alloc = Allocation.compute g in
+  let traj = Prd.trajectory ~iters:800 g alloc in
+  let d0 = List.assoc 0 traj and dend = List.assoc 800 traj in
+  Alcotest.(check bool) "distance shrinks 50x" true (dend < d0 /. 50.0)
+
+let test_float_matches_exact_early () =
+  let g = Generators.ring_of_ints [| 2; 7; 1; 4 |] in
+  let fl = ref (Prd.init g) and ex = ref (Prd_exact.init g) in
+  for _ = 1 to 6 do
+    fl := Prd.step !fl;
+    ex := Prd_exact.step !ex
+  done;
+  for v = 0 to Graph.n g - 1 do
+    Array.iter
+      (fun u ->
+        let a = Prd.sends !fl ~src:v ~dst:u
+        and b = Q.to_float (Prd_exact.sends !ex ~src:v ~dst:u) in
+        if abs_float (a -. b) > 1e-9 then
+          Alcotest.failf "send %d->%d: %.12f vs %.12f" v u a b)
+      (Graph.neighbors g v)
+  done
+
+let test_zero_received_fallback () =
+  (* A zero-weight pocket: vertices that receive nothing fall back to the
+     uniform split without dividing by zero. *)
+  let g =
+    Graph.of_int_weights ~weights:[| 0; 0; 5 |] ~edges:[ (0, 1); (1, 2) ]
+  in
+  let st = Prd.run ~iters:10 g in
+  Alcotest.(check bool) "finite" true
+    (Array.for_all Float.is_finite (Prd.utilities st))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    Helpers.qtest ~count:60 "BD allocation is a fixed point (rings)"
+      (Helpers.ring_gen ~nmax:8 ()) (fun g ->
+        let a = Allocation.compute g in
+        let st = Prd_exact.of_allocation a in
+        Prd_exact.equal (Prd_exact.step st) st);
+    Helpers.qtest ~count:40 "BD allocation is a fixed point (graphs)"
+      (Helpers.graph_gen ~nmax:7 ()) (fun g ->
+        let a = Allocation.compute g in
+        let st = Prd_exact.of_allocation a in
+        Prd_exact.equal (Prd_exact.step st) st);
+    Helpers.qtest ~count:40 "each round ships the full weight"
+      (Helpers.ring_gen ~nmax:8 ()) (fun g ->
+        let st = Prd_exact.run ~iters:3 g in
+        Array.for_all Fun.id
+          (Array.init (Graph.n g) (fun v ->
+               let shipped =
+                 Array.fold_left
+                   (fun acc u -> Q.add acc (Prd_exact.sends st ~src:v ~dst:u))
+                   Q.zero (Graph.neighbors g v)
+               in
+               Q.equal shipped (Graph.weight g v))));
+  ]
+
+let () =
+  Alcotest.run "dynamics"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fig1 fixed point" `Quick test_fixed_point_fig1;
+          Alcotest.test_case "init splits evenly" `Quick test_exact_init_shares_evenly;
+          Alcotest.test_case "two-vertex immediate" `Quick test_exact_two_vertices_immediate;
+          Alcotest.test_case "conservation" `Quick test_exact_utilities_sum;
+          Alcotest.test_case "float converges" `Slow test_float_convergence_utilities;
+          Alcotest.test_case "trajectory shrinks" `Quick test_trajectory_monotone_tail;
+          Alcotest.test_case "float = exact early" `Quick test_float_matches_exact_early;
+          Alcotest.test_case "zero-received fallback" `Quick test_zero_received_fallback;
+        ] );
+      ("properties", props);
+    ]

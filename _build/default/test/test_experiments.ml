@@ -1,0 +1,46 @@
+(* Integration test: the full experiment battery (quick mode) must report
+   every paper artefact as reproduced.  This is the closest thing to an
+   end-to-end check of the whole repository. *)
+
+let test_battery () =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let outcomes = Experiments.run_all ~quick:true fmt in
+  Format.pp_print_flush fmt ();
+  Alcotest.(check int) "thirteen experiments" 13 (List.length outcomes);
+  List.iter
+    (fun (o : Experiments.outcome) ->
+      if not o.ok then
+        Alcotest.failf "experiment %s failed: %s" o.id o.detail)
+    outcomes
+
+let test_individual_formatting () =
+  (* each experiment prints something non-trivial *)
+  let run f =
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    let o = f fmt in
+    Format.pp_print_flush fmt ();
+    (o, Buffer.length buf)
+  in
+  List.iter
+    (fun (name, f) ->
+      let o, len = run f in
+      Alcotest.(check bool) (name ^ " prints") true (len > 40);
+      Alcotest.(check bool) (name ^ " ok") true o.Experiments.ok)
+    [
+      ("E1", Experiments.run_e1_fig1);
+      ("E3", Experiments.run_e3_alpha_curves);
+      ("E4", Experiments.run_e4_breakpoints);
+      ("E7", Experiments.run_e7_dynamics_convergence);
+    ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "quick battery all green" `Slow test_battery;
+          Alcotest.test_case "individual experiments" `Slow test_individual_formatting;
+        ] );
+    ]

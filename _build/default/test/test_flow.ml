@@ -1,0 +1,177 @@
+(* Tests for the exact-rational Dinic max-flow. *)
+
+module Q = Rational
+
+let q = Q.of_ints
+let check_q = Helpers.check_q
+
+(* ------------------------------------------------------------------ *)
+(* Known small networks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_edge () =
+  let net = Maxflow.create 2 in
+  let e = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(q 3 2) in
+  check_q "flow value" (q 3 2) (Maxflow.max_flow net ~source:0 ~sink:1);
+  check_q "edge flow" (q 3 2) (Maxflow.flow net e);
+  check_q "capacity" (q 3 2) (Maxflow.capacity net e)
+
+let test_series_bottleneck () =
+  let net = Maxflow.create 3 in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(q 5 1) in
+  let _ = Maxflow.add_edge net ~src:1 ~dst:2 ~cap:(q 2 1) in
+  check_q "min of series" (q 2 1) (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_parallel_paths () =
+  let net = Maxflow.create 4 in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:Q.one in
+  let _ = Maxflow.add_edge net ~src:1 ~dst:3 ~cap:Q.one in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:2 ~cap:(q 1 3) in
+  let _ = Maxflow.add_edge net ~src:2 ~dst:3 ~cap:Q.one in
+  check_q "sum of parallel" (q 4 3) (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_classic_diamond () =
+  (* The classic 4-node diamond with a cross edge. *)
+  let net = Maxflow.create 4 in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(q 10 1) in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:2 ~cap:(q 10 1) in
+  let _ = Maxflow.add_edge net ~src:1 ~dst:2 ~cap:Q.one in
+  let _ = Maxflow.add_edge net ~src:1 ~dst:3 ~cap:(q 8 1) in
+  let _ = Maxflow.add_edge net ~src:2 ~dst:3 ~cap:(q 10 1) in
+  check_q "diamond" (q 18 1) (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_inf_middle () =
+  (* Infinite middle edges are the BD-allocation pattern. *)
+  let net = Maxflow.create 4 in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(q 7 3) in
+  let _ = Maxflow.add_edge net ~src:1 ~dst:2 ~cap:Q.inf in
+  let _ = Maxflow.add_edge net ~src:2 ~dst:3 ~cap:(q 5 3) in
+  check_q "finite despite inf" (q 5 3) (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_unbounded_detected () =
+  let net = Maxflow.create 2 in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:Q.inf in
+  Alcotest.check_raises "unbounded"
+    (Invalid_argument "Maxflow.max_flow: unbounded flow (inf path)")
+    (fun () -> ignore (Maxflow.max_flow net ~source:0 ~sink:1))
+
+let test_validation () =
+  let net = Maxflow.create 2 in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Maxflow.add_edge: endpoint out of range") (fun () ->
+      ignore (Maxflow.add_edge net ~src:0 ~dst:5 ~cap:Q.one));
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Maxflow.add_edge: negative capacity") (fun () ->
+      ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:(q (-1) 1)));
+  Alcotest.check_raises "s = t"
+    (Invalid_argument "Maxflow.max_flow: source = sink") (fun () ->
+      ignore (Maxflow.max_flow net ~source:0 ~sink:0))
+
+let test_min_cut_sides () =
+  (* 0 -(1)-> 1 -(1)-> 2, both cuts are min; check min and max sides. *)
+  let net = Maxflow.create 3 in
+  let _ = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:Q.one in
+  let _ = Maxflow.add_edge net ~src:1 ~dst:2 ~cap:Q.one in
+  ignore (Maxflow.max_flow net ~source:0 ~sink:2);
+  Helpers.check_vset "min side" (Vset.of_list [ 0 ])
+    (Maxflow.min_cut_source_side net ~source:0);
+  Helpers.check_vset "max side" (Vset.of_list [ 0; 1 ])
+    (Maxflow.max_cut_source_side net ~sink:2)
+
+let test_reset () =
+  let net = Maxflow.create 2 in
+  let e = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:Q.one in
+  ignore (Maxflow.max_flow net ~source:0 ~sink:1);
+  Maxflow.reset_flow net;
+  check_q "reset" Q.zero (Maxflow.flow net e)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised: flow value equals brute-force min cut                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random DAG-ish networks on <= 8 nodes with rational capacities. *)
+let network_gen =
+  QCheck2.Gen.(
+    int_range 3 8 >>= fun n ->
+    int >>= fun seed ->
+    let rng = Prng.create seed in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v && Prng.float rng < 0.4 then begin
+          let num = 1 + Prng.int rng 12 and den = 1 + Prng.int rng 4 in
+          edges := (u, v, Rational.of_ints num den) :: !edges
+        end
+      done
+    done;
+    return (n, !edges))
+
+let min_cut_brute (n, edges) =
+  (* minimum over all source-side sets containing 0 and excluding n-1 *)
+  let best = ref Q.inf in
+  for bits = 0 to (1 lsl n) - 1 do
+    if bits land 1 = 1 && bits land (1 lsl (n - 1)) = 0 then begin
+      let value =
+        List.fold_left
+          (fun acc (u, v, c) ->
+            if bits land (1 lsl u) <> 0 && bits land (1 lsl v) = 0 then
+              Q.add acc c
+            else acc)
+          Q.zero edges
+      in
+      if Q.compare value !best < 0 then best := value
+    end
+  done;
+  !best
+
+let props =
+  [
+    Helpers.qtest ~count:150 "max flow = min cut" network_gen (fun (n, edges) ->
+        let net = Maxflow.create n in
+        List.iter
+          (fun (u, v, c) -> ignore (Maxflow.add_edge net ~src:u ~dst:v ~cap:c))
+          edges;
+        let mf = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+        Q.equal mf (min_cut_brute (n, edges)));
+    Helpers.qtest ~count:100 "conservation and capacity" network_gen
+      (fun (n, edges) ->
+        let net = Maxflow.create n in
+        let handles =
+          List.map
+            (fun (u, v, c) -> (u, v, Maxflow.add_edge net ~src:u ~dst:v ~cap:c))
+            edges
+        in
+        let mf = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+        let excess = Array.make n Q.zero in
+        List.iter
+          (fun (u, v, e) ->
+            let f = Maxflow.flow net e in
+            if Q.sign f < 0 then raise Exit;
+            if Q.compare f (Maxflow.capacity net e) > 0 then raise Exit;
+            excess.(u) <- Q.sub excess.(u) f;
+            excess.(v) <- Q.add excess.(v) f)
+          handles;
+        Q.equal excess.(0) (Q.neg mf)
+        && Q.equal excess.(n - 1) mf
+        && Array.for_all
+             (fun x -> Q.is_zero x)
+             (Array.sub excess 1 (n - 2)));
+  ]
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "series" `Quick test_series_bottleneck;
+          Alcotest.test_case "parallel" `Quick test_parallel_paths;
+          Alcotest.test_case "diamond" `Quick test_classic_diamond;
+          Alcotest.test_case "inf middle" `Quick test_inf_middle;
+          Alcotest.test_case "unbounded" `Quick test_unbounded_detected;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "min cut sides" `Quick test_min_cut_sides;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the graph substrate: construction, queries, set functions,
+   generators and export. *)
+
+module Q = Rational
+
+let q = Q.of_ints
+let check_q = Helpers.check_q
+let check_vset = Helpers.check_vset
+let vs = Vset.of_list
+
+let triangle () = Graph.of_int_weights ~weights:[| 1; 2; 3 |] ~edges:[ (0, 1); (1, 2); (2, 0) ]
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_validation () =
+  let w = [| Q.one; Q.one |] in
+  Alcotest.check_raises "range" (Invalid_argument "Graph.create: edge endpoint out of range")
+    (fun () -> ignore (Graph.create ~weights:w ~edges:[ (0, 2) ]));
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (Graph.create ~weights:w ~edges:[ (1, 1) ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.create: duplicate edge")
+    (fun () -> ignore (Graph.create ~weights:w ~edges:[ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Graph.create: negative weight at vertex 0") (fun () ->
+      ignore (Graph.create ~weights:[| q (-1) 2 |] ~edges:[]))
+
+let test_basic_queries () =
+  let g = triangle () in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  check_q "weight" (q 2 1) (Graph.weight g 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 0);
+  Alcotest.(check (array int)) "neighbors sorted" [| 1; 2 |] (Graph.neighbors g 0);
+  Alcotest.(check bool) "mem_edge" true (Graph.mem_edge g 0 2);
+  Alcotest.(check bool) "mem_edge miss" false
+    (Graph.mem_edge (Generators.path_of_ints [| 1; 1; 1 |]) 0 2);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 2); (1, 2) ]
+    (Graph.edges g);
+  Alcotest.(check int) "max_degree" 2 (Graph.max_degree g)
+
+let test_weight_updates () =
+  let g = triangle () in
+  let g' = Graph.with_weight g 0 (q 7 2) in
+  check_q "updated" (q 7 2) (Graph.weight g' 0);
+  check_q "original untouched" Q.one (Graph.weight g 0);
+  let g'' = Graph.with_weights g [| Q.one; Q.one; Q.one |] in
+  check_q "bulk" Q.one (Graph.weight g'' 2);
+  Alcotest.check_raises "length"
+    (Invalid_argument "Graph.with_weights: length mismatch") (fun () ->
+      ignore (Graph.with_weights g [| Q.one |]))
+
+(* ------------------------------------------------------------------ *)
+(* Shape predicates                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_ring () =
+  Alcotest.(check bool) "ring yes" true
+    (Graph.is_ring (Generators.ring_of_ints [| 1; 1; 1; 1 |]));
+  Alcotest.(check bool) "path no" false
+    (Graph.is_ring (Generators.path_of_ints [| 1; 1; 1 |]));
+  Alcotest.(check bool) "triangle yes" true (Graph.is_ring (triangle ()));
+  (* two disjoint triangles: all degrees 2 but not connected *)
+  let two =
+    Graph.of_int_weights ~weights:[| 1; 1; 1; 1; 1; 1 |]
+      ~edges:[ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+  in
+  Alcotest.(check bool) "disjoint no" false (Graph.is_ring two);
+  Alcotest.(check bool) "chain graph" true (Graph.is_chain_graph two);
+  Alcotest.(check bool) "star not chain" false
+    (Graph.is_chain_graph (Generators.star (Array.make 4 Q.one)))
+
+(* ------------------------------------------------------------------ *)
+(* Set functions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_gamma () =
+  let g = Generators.path_of_ints [| 1; 1; 1; 1; 1 |] in
+  check_vset "gamma endpoint" (vs [ 1 ]) (Graph.gamma g (vs [ 0 ]));
+  check_vset "gamma middle" (vs [ 1; 3 ]) (Graph.gamma g (vs [ 2 ]));
+  check_vset "gamma union" (vs [ 1; 3 ]) (Graph.gamma g (vs [ 0; 2 ]));
+  check_vset "gamma adjacent pair" (vs [ 0; 1; 2; 3 ])
+    (Graph.gamma g (vs [ 1; 2 ]));
+  let mask = vs [ 0; 1; 2 ] in
+  check_vset "masked" (vs [ 1 ]) (Graph.gamma ~mask g (vs [ 2 ]))
+
+let test_alpha () =
+  let g = Generators.fig1 () in
+  check_q "fig1 B1" (q 1 3) (Graph.alpha_of_set g (vs [ 0; 1 ]));
+  check_q "fig1 triangle" Q.one
+    (Graph.alpha_of_set ~mask:(vs [ 3; 4; 5 ]) g (vs [ 3; 4; 5 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Graph.alpha_of_set: empty set")
+    (fun () -> ignore (Graph.alpha_of_set g Vset.empty));
+  (* zero-weight set has infinite alpha *)
+  let gz = Graph.of_int_weights ~weights:[| 0; 5 |] ~edges:[ (0, 1) ] in
+  check_q "zero set" Q.inf (Graph.alpha_of_set gz (vs [ 0 ]))
+
+let test_weight_of_set () =
+  let g = Generators.fig1 () in
+  check_q "sum" (q 8 1) (Graph.weight_of_set g (vs [ 0; 1; 2 ]));
+  check_q "empty" Q.zero (Graph.weight_of_set g Vset.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Generators and export                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_generators () =
+  let r = Generators.ring_of_ints [| 1; 2; 3; 4 |] in
+  Alcotest.(check bool) "ring is ring" true (Graph.is_ring r);
+  Alcotest.(check int) "ring edges" 4 (List.length (Graph.edges r));
+  let p = Generators.path_of_ints [| 1; 2; 3 |] in
+  Alcotest.(check int) "path edges" 2 (List.length (Graph.edges p));
+  Alcotest.(check int) "path endpoint degree" 1 (Graph.degree p 0);
+  let k = Generators.complete (Array.make 5 Q.one) in
+  Alcotest.(check int) "complete edges" 10 (List.length (Graph.edges k));
+  let s = Generators.star (Array.make 5 Q.one) in
+  Alcotest.(check int) "star centre degree" 4 (Graph.degree s 0);
+  Alcotest.check_raises "tiny ring"
+    (Invalid_argument "Generators.ring: need at least 3 vertices") (fun () ->
+      ignore (Generators.ring [| Q.one; Q.one |]))
+
+let test_dot_and_csv () =
+  let g = triangle () in
+  let dot = Dot.to_dot ~name:"T" g in
+  Alcotest.(check bool) "dot header" true
+    (String.length dot > 7 && String.sub dot 0 7 = "graph T");
+  Alcotest.(check bool) "dot edge" true (contains ~affix:"0 -- 1;" dot);
+  let hl v = if v = 0 then Some "red" else None in
+  Alcotest.(check bool) "dot highlight" true
+    (contains ~affix:"fillcolor=\"red\"" (Dot.to_dot ~highlight:hl g));
+  let csv = Dot.weights_to_csv g in
+  Alcotest.(check bool) "csv line" true (contains ~affix:"1,2" csv)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    Helpers.qtest "adjacency symmetric" (Helpers.graph_gen ()) (fun g ->
+        List.for_all
+          (fun (u, v) -> Graph.mem_edge g u v && Graph.mem_edge g v u)
+          (Graph.edges g));
+    Helpers.qtest "degree sums to 2|E|" (Helpers.graph_gen ()) (fun g ->
+        let sum = ref 0 in
+        for v = 0 to Graph.n g - 1 do
+          sum := !sum + Graph.degree g v
+        done;
+        !sum = 2 * List.length (Graph.edges g));
+    Helpers.qtest "gamma within mask" (Helpers.graph_gen ()) (fun g ->
+        let mask = Vset.range 0 (Stdlib.max 1 (Graph.n g - 1)) in
+        Vset.subset (Graph.gamma ~mask g mask) mask);
+    Helpers.qtest "alpha(all) <= 1 on rings" (Helpers.ring_gen ()) (fun g ->
+        Q.compare (Graph.alpha_of_set g (Graph.full_mask g)) Q.one <= 0);
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "basic queries" `Quick test_basic_queries;
+          Alcotest.test_case "weight updates" `Quick test_weight_updates;
+          Alcotest.test_case "is_ring" `Quick test_is_ring;
+          Alcotest.test_case "gamma" `Quick test_gamma;
+          Alcotest.test_case "alpha" `Quick test_alpha;
+          Alcotest.test_case "weight_of_set" `Quick test_weight_of_set;
+          Alcotest.test_case "generators" `Quick test_generators;
+          Alcotest.test_case "dot/csv export" `Quick test_dot_and_csv;
+        ] );
+      ("properties", props);
+    ]

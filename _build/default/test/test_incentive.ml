@@ -1,0 +1,139 @@
+(* Tests for the incentive-ratio search: Theorem 8 (ratio <= 2), the
+   tightness family and search mechanics. *)
+
+module Q = Rational
+
+let check_q = Helpers.check_q
+
+let test_best_split_includes_honest () =
+  (* The search must never report worse than honest play (w1 = w1⁰ is in
+     the candidate set and achieves exactly U_v by Lemma 9). *)
+  let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
+  for v = 0 to 4 do
+    let a = Incentive.best_split ~grid:8 ~refine:1 g ~v in
+    Alcotest.(check bool)
+      (Printf.sprintf "ratio >= 1 at v=%d" v)
+      true
+      (Q.compare a.ratio Q.one >= 0)
+  done
+
+let test_uniform_ring_truthful () =
+  (* Equal weights: no Sybil attack can gain anything. *)
+  List.iter
+    (fun n ->
+      let g = Generators.ring_of_ints (Array.make n 1) in
+      let a = Incentive.best_attack ~grid:16 ~refine:2 g in
+      check_q (Printf.sprintf "n=%d" n) Q.one a.ratio)
+    [ 3; 4; 5; 6 ]
+
+let test_known_profitable_instance () =
+  (* Found by this repository's own search: the ratio is large and the
+     attacker is vertex 0. *)
+  let g = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |] in
+  let a = Incentive.best_split ~grid:16 ~refine:2 g ~v:0 in
+  Alcotest.(check bool) "ratio > 1.9" true
+    (Q.compare a.ratio (Q.of_ints 19 10) > 0);
+  Alcotest.(check bool) "ratio <= 2" true (Q.compare a.ratio Q.two <= 0)
+
+let test_theorem8_families () =
+  List.iter
+    (fun weights ->
+      let g = Generators.ring_of_ints weights in
+      match Theorems.theorem8 ~grid:12 ~refine:2 g with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    [
+      [| 1; 2; 3; 4 |];
+      [| 10; 1; 10; 1; 10 |];
+      [| 5; 5; 1; 5; 5; 1 |];
+      [| 200; 40; 10000; 10; 1 |];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Tightness family (Lower_bound)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_family_structure () =
+  let g = Lower_bound.family ~k:3 in
+  Alcotest.(check bool) "is ring" true (Graph.is_ring g);
+  Alcotest.(check int) "five vertices" 5 (Graph.n g);
+  check_q "honest utility is 1" Q.one
+    (Sybil.honest_utility g ~v:Lower_bound.attacker)
+
+let test_family_closed_form () =
+  (* The closed form must match the full mechanism exactly. *)
+  List.iter
+    (fun k ->
+      let g = Lower_bound.family ~k in
+      List.iter
+        (fun eps ->
+          let w1 = Q.sub (Q.of_int (20 * k)) eps in
+          check_q
+            (Printf.sprintf "k=%d eps=%s" k (Q.to_string eps))
+            (Lower_bound.ratio_at ~k ~epsilon:eps)
+            (Sybil.split_utility g ~v:0 ~w1))
+        [ Q.of_ints 1 2; Q.of_ints 1 7; Q.of_ints 9 10 ])
+    [ 1; 2; 5 ]
+
+let test_family_approaches_two () =
+  let r1 = Lower_bound.supremum_ratio ~k:1 in
+  let r10 = Lower_bound.supremum_ratio ~k:10 in
+  let r100 = Lower_bound.supremum_ratio ~k:100 in
+  check_q "k=1" (Q.of_ints 11 6) r1;
+  check_q "k=10" (Q.of_ints 101 51) r10;
+  Alcotest.(check bool) "monotone" true
+    (Q.compare r1 r10 < 0 && Q.compare r10 r100 < 0);
+  Alcotest.(check bool) "below 2" true (Q.compare r100 Q.two < 0)
+
+let test_family_measured_close_to_sup () =
+  let k = 4 in
+  let measured = Lower_bound.measured_ratio ~grid:32 ~refine:3 ~k () in
+  let sup = Lower_bound.supremum_ratio ~k in
+  Alcotest.(check bool) "measured <= sup" true (Q.compare measured sup <= 0);
+  (* the grid search must get within 2% of the supremum *)
+  Alcotest.(check bool) "measured close" true
+    (Q.compare measured (Q.mul sup (Q.of_ints 49 50)) >= 0)
+
+let test_family_validation () =
+  Alcotest.check_raises "k >= 1"
+    (Invalid_argument "Lower_bound.family: k must be >= 1") (fun () ->
+      ignore (Lower_bound.family ~k:0))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: the headline theorem                                    *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    Helpers.qtest ~count:25 "Theorem 8: ratio <= 2 on random rings"
+      (Helpers.ring_gen ~nmax:7 ~wmax:40 ()) (fun g ->
+        match Theorems.theorem8 ~grid:10 ~refine:1 g with
+        | Ok a -> Q.compare a.Incentive.ratio Q.two <= 0
+        | Error _ -> false);
+    Helpers.qtest ~count:25 "search reports a real achievable utility"
+      (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
+        let a = Incentive.best_split ~grid:8 ~refine:1 g ~v:0 in
+        Q.equal a.Incentive.utility
+          (Sybil.split_utility g ~v:0 ~w1:a.Incentive.w1));
+  ]
+
+let () =
+  Alcotest.run "incentive"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "includes honest" `Quick test_best_split_includes_honest;
+          Alcotest.test_case "uniform rings truthful" `Slow test_uniform_ring_truthful;
+          Alcotest.test_case "profitable instance" `Quick test_known_profitable_instance;
+          Alcotest.test_case "Theorem 8 known rings" `Slow test_theorem8_families;
+        ] );
+      ( "tightness family",
+        [
+          Alcotest.test_case "structure" `Quick test_family_structure;
+          Alcotest.test_case "closed form = mechanism" `Quick test_family_closed_form;
+          Alcotest.test_case "approaches 2" `Quick test_family_approaches_two;
+          Alcotest.test_case "measured near sup" `Slow test_family_measured_close_to_sup;
+          Alcotest.test_case "validation" `Quick test_family_validation;
+        ] );
+      ("properties", props);
+    ]

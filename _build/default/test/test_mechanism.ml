@@ -1,0 +1,130 @@
+(* Tests for the BD Allocation Mechanism and the closed-form utilities. *)
+
+module Q = Rational
+
+let q = Q.of_ints
+let check_q = Helpers.check_q
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form utilities (Proposition 6)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_utilities_fig1 () =
+  let g = Generators.fig1 () in
+  let d = Decompose.compute g in
+  (* B1 = {0,1} at alpha 1/3: U = w * alpha; C1 = {2}: U = w / alpha;
+     triangle at alpha 1: U = w. *)
+  check_q "U v0" Q.one (Utility.of_vertex g d 0);
+  check_q "U v1" Q.one (Utility.of_vertex g d 1);
+  check_q "U v2" (q 6 1) (Utility.of_vertex g d 2);
+  check_q "U v3" Q.one (Utility.of_vertex g d 3);
+  check_q "total = total weight" (q 11 1) (Utility.total g d)
+
+let test_utilities_two_vertices () =
+  let g = Generators.path_of_ints [| 1; 4 |] in
+  let d = Decompose.compute g in
+  (* B = {0} alpha 1/4... wait: B is the lighter side {1}? alpha({0}) = 4,
+     alpha({1}) = 1/4: B = {1}, C = {0}. U_1 = 4 * 1/4 = 1, U_0 = 1/(1/4)
+     = 4. *)
+  check_q "light receives heavy" (q 4 1) (Utility.of_vertex g d 0);
+  check_q "heavy receives light" Q.one (Utility.of_vertex g d 1)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation mechanics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_allocation_two_vertices () =
+  let g = Generators.path_of_ints [| 1; 4 |] in
+  let a = Allocation.compute g in
+  check_q "x 0->1" Q.one (Allocation.amount a ~src:0 ~dst:1);
+  check_q "x 1->0" (q 4 1) (Allocation.amount a ~src:1 ~dst:0);
+  check_q "non-edge" Q.zero (Allocation.amount a ~src:0 ~dst:0);
+  Alcotest.(check bool) "validate" true (Allocation.validate a = Ok ())
+
+let test_allocation_fig1 () =
+  let g = Generators.fig1 () in
+  let a = Allocation.compute g in
+  Alcotest.(check bool) "validate" true (Allocation.validate a = Ok ());
+  (* v0 and v1 ship everything to v2 and get back alpha-scaled amounts. *)
+  check_q "x 0->2" (q 3 1) (Allocation.amount a ~src:0 ~dst:2);
+  check_q "x 2->0" Q.one (Allocation.amount a ~src:2 ~dst:0);
+  (* No exchange across pairs. *)
+  check_q "x 2->3" Q.zero (Allocation.amount a ~src:2 ~dst:3);
+  check_q "x 3->2" Q.zero (Allocation.amount a ~src:3 ~dst:2)
+
+let test_alpha_one_symmetry () =
+  (* In the alpha = 1 pair the symmetrised allocation satisfies
+     x_{uv} = x_{vu}. *)
+  let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5; 9 |] in
+  let a = Allocation.compute g in
+  let d = Allocation.decomposition a in
+  List.iter
+    (fun (p : Decompose.pair) ->
+      if Q.equal p.alpha Q.one then
+        Vset.iter
+          (fun u ->
+            Array.iter
+              (fun v ->
+                if Vset.mem v p.b then
+                  check_q
+                    (Printf.sprintf "sym %d-%d" u v)
+                    (Allocation.amount a ~src:u ~dst:v)
+                    (Allocation.amount a ~src:v ~dst:u))
+              (Graph.neighbors g u))
+          p.b)
+    d
+
+let test_utility_accessor_consistency () =
+  let g = Generators.fig1 () in
+  let a = Allocation.compute g in
+  let us = Allocation.utilities a in
+  Array.iteri
+    (fun v u -> check_q (Printf.sprintf "u%d" v) u (Allocation.utility a v))
+    us
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    Helpers.qtest ~count:100 "allocation valid on rings" (Helpers.ring_gen ())
+      (fun g -> Allocation.validate (Allocation.compute g) = Ok ());
+    Helpers.qtest ~count:80 "allocation valid on random graphs"
+      (Helpers.graph_gen ()) (fun g ->
+        Allocation.validate (Allocation.compute g) = Ok ());
+    Helpers.qtest ~count:80 "allocation valid on paths with zeros"
+      (Helpers.path_gen ~allow_zero:true ()) (fun g ->
+        Allocation.validate (Allocation.compute g) = Ok ());
+    Helpers.qtest ~count:100 "utility total equals weight total"
+      (Helpers.ring_gen ()) (fun g ->
+        let d = Decompose.compute g in
+        Q.equal (Utility.total g d)
+          (Graph.weight_of_set g (Graph.full_mask g)));
+    Helpers.qtest ~count:100 "B-class utility <= weight <= C-class utility"
+      (Helpers.ring_gen ()) (fun g ->
+        let d = Decompose.compute g in
+        let cls = Classes.of_decomposition g d in
+        Array.for_all Fun.id
+          (Array.init (Graph.n g) (fun v ->
+               let u = Utility.of_vertex g d v and w = Graph.weight g v in
+               match cls.(v) with
+               | Classes.B -> Q.compare u w <= 0
+               | Classes.C -> Q.compare u w >= 0
+               | Classes.Both -> Q.equal u w)));
+  ]
+
+let () =
+  Alcotest.run "mechanism"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fig1 utilities" `Quick test_utilities_fig1;
+          Alcotest.test_case "two-vertex utilities" `Quick test_utilities_two_vertices;
+          Alcotest.test_case "two-vertex allocation" `Quick test_allocation_two_vertices;
+          Alcotest.test_case "fig1 allocation" `Quick test_allocation_fig1;
+          Alcotest.test_case "alpha=1 symmetry" `Quick test_alpha_one_symmetry;
+          Alcotest.test_case "utility accessors" `Quick test_utility_accessor_consistency;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,114 @@
+(* Tests for the misreport machinery: Theorem 10 and Proposition 11. *)
+
+module Q = Rational
+
+let q = Q.of_ints
+let check_q = Helpers.check_q
+
+let test_at_endpoints () =
+  let g = Generators.ring_of_ints [| 4; 1; 3; 1 |] in
+  let p0 = Misreport.at g ~v:0 ~x:Q.zero in
+  check_q "x=0 utility 0" Q.zero p0.Misreport.utility;
+  let pw = Misreport.at g ~v:0 ~x:(q 4 1) in
+  check_q "x=w is honest" (Sybil.honest_utility g ~v:0) pw.Misreport.utility;
+  Alcotest.check_raises "range"
+    (Invalid_argument "Misreport.at: reported weight out of range") (fun () ->
+      ignore (Misreport.at g ~v:0 ~x:(q 5 1)))
+
+let test_curve_length_and_grid () =
+  let g = Generators.ring_of_ints [| 4; 1; 3; 1 |] in
+  let pts = Misreport.curve g ~v:0 ~samples:8 in
+  Alcotest.(check int) "points" 9 (List.length pts);
+  (match pts with
+  | first :: _ -> check_q "starts at 0" Q.zero first.Misreport.x
+  | [] -> Alcotest.fail "empty");
+  check_q "ends at w" (q 4 1)
+    (List.nth pts 8).Misreport.x
+
+(* Hand-constructed instances for each Proposition 11 case. *)
+
+let test_case_b1 () =
+  (* A heavy vertex stays C class for every report: neighbours are tiny,
+     so v's side always has the surplus. *)
+  let g = Generators.ring_of_ints [| 20; 1; 1; 1 |] in
+  (* v = 0 heavy: its reported weight varies in [0, 20].  At x = 20 its
+     alpha is small...  class depends on structure; just assert the curve
+     is one of the legal shapes and utilities are monotone. *)
+  let pts = Misreport.curve g ~v:0 ~samples:16 in
+  (match Misreport.classify_shape pts with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  match Misreport.check_utility_monotone pts with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_case_b3_switch () =
+  (* Uniform even ring: at x = w_v the vertex sits in the alpha = 1 pair;
+     reporting less makes it C class (its neighbourhood out-weighs it).
+     The shape must be B-1 or B-3, never a C-after-B switch. *)
+  let g = Generators.ring_of_ints [| 5; 5; 5; 5 |] in
+  let pts = Misreport.curve g ~v:0 ~samples:10 in
+  match Misreport.classify_shape pts with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_theorem10_known () =
+  List.iter
+    (fun weights ->
+      let g = Generators.ring_of_ints weights in
+      for v = 0 to Array.length weights - 1 do
+        match Theorems.theorem10 ~samples:12 g ~v with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "v=%d: %s" v m
+      done)
+    [ [| 1; 2; 3; 4 |]; [| 10; 1; 10; 1 |]; [| 7; 3; 7; 3; 7 |] ]
+
+let test_shape_printer () =
+  Alcotest.(check bool) "printable" true
+    (String.length (Format.asprintf "%a" Misreport.pp_shape Misreport.B3) > 0)
+
+let props =
+  [
+    Helpers.qtest ~count:30 "Theorem 10 on random rings"
+      (Helpers.ring_gen ~nmax:7 ~wmax:30 ()) (fun g ->
+        let ok = ref true in
+        for v = 0 to Graph.n g - 1 do
+          match Theorems.theorem10 ~samples:10 g ~v with
+          | Ok () -> ()
+          | Error _ -> ok := false
+        done;
+        !ok);
+    Helpers.qtest ~count:30 "Proposition 11 on random rings"
+      (Helpers.ring_gen ~nmax:7 ~wmax:30 ()) (fun g ->
+        let ok = ref true in
+        for v = 0 to Graph.n g - 1 do
+          match Theorems.proposition11 ~samples:10 g ~v with
+          | Ok _ -> ()
+          | Error _ -> ok := false
+        done;
+        !ok);
+    Helpers.qtest ~count:20 "Proposition 11 on random graphs"
+      (Helpers.graph_gen ~nmax:6 ~wmax:20 ()) (fun g ->
+        match Theorems.proposition11 ~samples:8 g ~v:0 with
+        | Ok _ -> true
+        | Error _ -> false);
+    Helpers.qtest ~count:20 "utility at full weight equals honest utility"
+      (Helpers.ring_gen ~nmax:7 ()) (fun g ->
+        let p = Misreport.at g ~v:0 ~x:(Graph.weight g 0) in
+        Q.equal p.Misreport.utility (Sybil.honest_utility g ~v:0));
+  ]
+
+let () =
+  Alcotest.run "misreport"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "endpoints" `Quick test_at_endpoints;
+          Alcotest.test_case "curve grid" `Quick test_curve_length_and_grid;
+          Alcotest.test_case "heavy vertex shape" `Quick test_case_b1;
+          Alcotest.test_case "uniform ring shape" `Quick test_case_b3_switch;
+          Alcotest.test_case "Theorem 10 known" `Quick test_theorem10_known;
+          Alcotest.test_case "shape printer" `Quick test_shape_printer;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,57 @@
+(* Tests for the domains-based parallel map. *)
+
+let test_matches_sequential () =
+  let xs = Array.init 500 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "same results" (Array.map f xs)
+    (Parwork.map ~domains:4 f xs);
+  Alcotest.(check (array int)) "single domain" (Array.map f xs)
+    (Parwork.map ~domains:1 f xs);
+  Alcotest.(check (array int)) "empty" [||] (Parwork.map ~domains:4 f [||])
+
+let test_uneven_work () =
+  (* element cost varies by orders of magnitude; self-scheduling must
+     still produce position-correct results *)
+  let xs = Array.init 60 (fun i -> i) in
+  let f i =
+    let acc = ref 0 in
+    for k = 0 to (i mod 7) * 10_000 do
+      acc := !acc + k
+    done;
+    (i, !acc)
+  in
+  let seq = Array.map f xs and par = Parwork.map ~domains:4 f xs in
+  Alcotest.(check bool) "equal" true (seq = par)
+
+exception Boom
+
+let test_exception_propagates () =
+  let xs = Array.init 100 Fun.id in
+  Alcotest.check_raises "raises" Boom (fun () ->
+      ignore (Parwork.map ~domains:4 (fun x -> if x = 57 then raise Boom else x) xs))
+
+let test_map_list () =
+  Alcotest.(check (list int)) "list version" [ 2; 4; 6 ]
+    (Parwork.map_list ~domains:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_parallel_best_attack_matches () =
+  (* exact-arithmetic search must be scheduling-independent *)
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let a1 = Incentive.best_attack ~grid:8 ~refine:1 ~domains:1 g in
+  let a4 = Incentive.best_attack ~grid:8 ~refine:1 ~domains:4 g in
+  Alcotest.(check int) "same vertex" a1.Incentive.v a4.Incentive.v;
+  Helpers.check_q "same ratio" a1.Incentive.ratio a4.Incentive.ratio;
+  Helpers.check_q "same split" a1.Incentive.w1 a4.Incentive.w1
+
+let () =
+  Alcotest.run "parwork"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "uneven work" `Quick test_uneven_work;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "parallel attack search" `Quick test_parallel_best_attack_matches;
+        ] );
+    ]

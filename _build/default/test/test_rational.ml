@@ -1,0 +1,126 @@
+(* Unit and property tests for exact rationals with the +infinity point. *)
+
+module Q = Rational
+module B = Bigint
+
+let q = Q.of_ints
+let check_q = Helpers.check_q
+
+let test_normalisation () =
+  check_q "6/4 = 3/2" (q 3 2) (q 6 4);
+  check_q "-6/4 = -3/2" (q (-3) 2) (q (-6) 4);
+  check_q "sign in num" (q (-1) 2) (Q.make (B.of_int 1) (B.of_int (-2)));
+  check_q "0/7 = 0" Q.zero (q 0 7);
+  Alcotest.(check string) "num" "3" (B.to_string (Q.num (q 6 4)));
+  Alcotest.(check string) "den" "2" (B.to_string (Q.den (q 6 4)))
+
+let test_infinity () =
+  Alcotest.(check bool) "is_inf" true (Q.is_inf Q.inf);
+  Alcotest.(check bool) "1/0 = inf" true (Q.is_inf (Q.make B.one B.zero));
+  Alcotest.(check int) "inf sign" 1 (Q.sign Q.inf);
+  Alcotest.(check bool) "inf > x" true (Q.compare Q.inf (q 1000000 1) > 0);
+  Alcotest.(check bool) "inf = inf" true (Q.equal Q.inf Q.inf);
+  check_q "inf + x" Q.inf (Q.add Q.inf (q 3 2));
+  check_q "inf * 2" Q.inf (Q.mul Q.inf Q.two);
+  check_q "x / inf" Q.zero (Q.div Q.one Q.inf);
+  check_q "inv inf" Q.zero (Q.inv Q.inf);
+  check_q "inv 0" Q.inf (Q.inv Q.zero);
+  Alcotest.check_raises "inf - inf" Division_by_zero (fun () ->
+      ignore (Q.sub Q.inf Q.inf));
+  Alcotest.check_raises "0 * inf" Division_by_zero (fun () ->
+      ignore (Q.mul Q.zero Q.inf));
+  Alcotest.check_raises "inf/inf" Division_by_zero (fun () ->
+      ignore (Q.div Q.inf Q.inf));
+  Alcotest.check_raises "neg inf" Division_by_zero (fun () ->
+      ignore (Q.neg Q.inf));
+  Alcotest.check_raises "-1/0" Division_by_zero (fun () ->
+      ignore (Q.make (B.of_int (-1)) B.zero));
+  Alcotest.check_raises "0/0" Division_by_zero (fun () ->
+      ignore (Q.make B.zero B.zero))
+
+let test_arith () =
+  check_q "1/2 + 1/3" (q 5 6) (Q.add Q.half (q 1 3));
+  check_q "1/2 - 1/3" (q 1 6) (Q.sub Q.half (q 1 3));
+  check_q "2/3 * 3/4" Q.half (Q.mul (q 2 3) (q 3 4));
+  check_q "(1/2) / (1/4)" Q.two (Q.div Q.half (q 1 4));
+  check_q "neg" (q (-1) 2) (Q.neg Q.half);
+  check_q "abs" Q.half (Q.abs (q (-1) 2));
+  check_q "mul_int" (q 3 2) (Q.mul_int Q.half 3);
+  check_q "div_int" (q 1 6) (Q.div_int Q.half 3);
+  Alcotest.check_raises "x/0" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_ordering () =
+  Alcotest.(check bool) "1/2 < 2/3" true (Q.compare Q.half (q 2 3) < 0);
+  Alcotest.(check bool) "-1 < 0" true (Q.compare (q (-1) 1) Q.zero < 0);
+  check_q "min" Q.half (Q.min Q.half (q 2 3));
+  check_q "max" (q 2 3) (Q.max Q.half (q 2 3))
+
+let test_strings () =
+  Alcotest.(check string) "int form" "5" (Q.to_string (q 5 1));
+  Alcotest.(check string) "frac form" "5/3" (Q.to_string (q 5 3));
+  Alcotest.(check string) "inf" "inf" (Q.to_string Q.inf);
+  check_q "parse frac" (q 7 3) (Q.of_string "7/3");
+  check_q "parse int" (q (-4) 1) (Q.of_string "-4");
+  check_q "parse inf" Q.inf (Q.of_string "inf")
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "1/2" 0.5 (Q.to_float Q.half);
+  Alcotest.(check bool) "inf" true (Q.to_float Q.inf = Float.infinity)
+
+(* Finite-only generator pairs. *)
+let gen2 = QCheck2.Gen.pair Helpers.rational_gen Helpers.rational_gen
+let gen3 =
+  QCheck2.Gen.triple Helpers.rational_gen Helpers.rational_gen
+    Helpers.rational_gen
+
+let props =
+  [
+    Helpers.qtest "add commutative" gen2 (fun (x, y) -> let open Q.Infix in x + y = y + x);
+    Helpers.qtest "mul commutative" gen2 (fun (x, y) -> let open Q.Infix in x * y = y * x);
+    Helpers.qtest "add associative" gen3 (fun (x, y, z) ->
+        let open Q.Infix in
+        x + y + z = x + (y + z));
+    Helpers.qtest "mul associative" gen3 (fun (x, y, z) ->
+        let open Q.Infix in
+        x * y * z = x * (y * z));
+    Helpers.qtest "distributive" gen3 (fun (x, y, z) ->
+        let open Q.Infix in
+        x * (y + z) = (x * y) + (x * z));
+    Helpers.qtest "sub inverse" gen2 (fun (x, y) -> let open Q.Infix in x - y + y = x);
+    Helpers.qtest "div inverse" gen2 (fun (x, y) ->
+        let open Q.Infix in
+        Q.is_zero y || x / y * y = x);
+    Helpers.qtest "normalised gcd" Helpers.rational_gen (fun x ->
+        Q.is_inf x
+        || Bigint.equal (Bigint.gcd (Q.num x) (Q.den x)) Bigint.one
+           && Bigint.sign (Q.den x) = 1);
+    Helpers.qtest "compare total order" gen3 (fun (x, y, z) ->
+        (* transitivity on a sorted triple *)
+        let open Q.Infix in
+        let l = List.sort Q.compare [ x; y; z ] in
+        match l with
+        | [ a; b; c ] -> a <= b && b <= c && a <= c
+        | _ -> false);
+    Helpers.qtest "inv involution" Helpers.rational_gen (fun x ->
+        Q.is_zero x || Q.equal (Q.inv (Q.inv x)) x);
+    Helpers.qtest "float consistent order" gen2 (fun (x, y) ->
+        (* floats can collapse close values but must not invert strictly
+           separated ones by much *)
+        Q.compare x y <> 1 || Q.to_float x >= Q.to_float y -. 1e-6);
+  ]
+
+let () =
+  Alcotest.run "rational"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalisation" `Quick test_normalisation;
+          Alcotest.test_case "infinity" `Quick test_infinity;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,77 @@
+(* Tests for the instance file format. *)
+
+module Q = Rational
+
+let roundtrip g =
+  let g' = Serial.of_string (Serial.to_string g) in
+  Graph.n g = Graph.n g'
+  && Graph.edges g = Graph.edges g'
+  && Array.for_all2 Q.equal (Graph.weights g) (Graph.weights g')
+
+let test_roundtrip_known () =
+  List.iter
+    (fun g -> Alcotest.(check bool) "roundtrip" true (roundtrip g))
+    [
+      Generators.fig1 ();
+      Generators.ring_of_ints [| 1; 2; 3 |];
+      Graph.create
+        ~weights:[| Q.of_ints 1 2; Q.of_ints 7 3 |]
+        ~edges:[ (0, 1) ];
+      Graph.of_int_weights ~weights:[| 5 |] ~edges:[];
+    ]
+
+let test_parse_with_comments () =
+  let text =
+    "ringshare-graph v1\n# a triangle\nn 3\nw 0 1\nw 1 2 # inline\nw 2 1/2\n\ne 0 1\ne 1 2\ne 2 0\n"
+  in
+  let g = Serial.of_string text in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Helpers.check_q "fraction weight" (Q.of_ints 1 2) (Graph.weight g 2);
+  Alcotest.(check int) "edges" 3 (List.length (Graph.edges g))
+
+let test_unlisted_weight_defaults_zero () =
+  let g = Serial.of_string "ringshare-graph v1\nn 2\nw 0 5\ne 0 1\n" in
+  Helpers.check_q "default" Q.zero (Graph.weight g 1)
+
+let expect_invalid text =
+  match Serial.of_string text with
+  | _ -> Alcotest.fail "accepted malformed input"
+  | exception Invalid_argument _ -> ()
+
+let test_parse_errors () =
+  expect_invalid "";
+  expect_invalid "not-a-header\nn 2\n";
+  expect_invalid "ringshare-graph v1\nw 0 5\n";
+  expect_invalid "ringshare-graph v1\nn 2\nw 7 5\n";
+  expect_invalid "ringshare-graph v1\nn 2\nw 0 abc\n";
+  expect_invalid "ringshare-graph v1\nn 2\ne 0 0\n";
+  expect_invalid "ringshare-graph v1\nn 2\nbogus directive\n"
+
+let test_file_io () =
+  let g = Generators.ring_of_ints [| 4; 5; 6 |] in
+  let path = Filename.temp_file "ringshare" ".graph" in
+  Serial.save path g;
+  let g' = Serial.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (roundtrip g')
+
+let props =
+  [
+    Helpers.qtest ~count:60 "roundtrip on random graphs" (Helpers.graph_gen ())
+      roundtrip;
+    Helpers.qtest ~count:40 "roundtrip on rings" (Helpers.ring_gen ()) roundtrip;
+  ]
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip known" `Quick test_roundtrip_known;
+          Alcotest.test_case "comments" `Quick test_parse_with_comments;
+          Alcotest.test_case "default weight" `Quick test_unlisted_weight_defaults_zero;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ("properties", props);
+    ]

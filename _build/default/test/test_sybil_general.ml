@@ -1,0 +1,129 @@
+(* Tests for general-network Sybil attacks (Definition 7 in full
+   generality). *)
+
+module Q = Rational
+
+
+let test_partitions () =
+  let ps = Sybil_general.partitions [ 1; 2; 3 ] ~max_groups:3 in
+  (* Bell(3) = 5 *)
+  Alcotest.(check int) "bell(3)" 5 (List.length ps);
+  let ps2 = Sybil_general.partitions [ 1; 2; 3 ] ~max_groups:2 in
+  (* 5 minus the all-singletons partition *)
+  Alcotest.(check int) "capped" 4 (List.length ps2);
+  List.iter
+    (fun p ->
+      let flat = List.concat p in
+      Alcotest.(check (list int)) "partition covers" [ 1; 2; 3 ]
+        (List.sort compare flat))
+    ps
+
+let test_apply_matches_ring_split () =
+  (* On a ring, the 2-identity split with separated neighbours must agree
+     with the dedicated Sybil module. *)
+  let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
+  let v = 0 in
+  let a, b =
+    match Graph.neighbors g v with
+    | [| a; b |] -> (a, b)
+    | _ -> Alcotest.fail "degree"
+  in
+  let w1 = Q.one and w2 = Q.two in
+  let spec =
+    Sybil_general.{ groups = [| [ a ]; [ b ] |]; weights = [| w1; w2 |] }
+  in
+  let u_general = Sybil_general.attack_utility g ~v spec in
+  let u_ring = Sybil.split_utility g ~v ~w1 in
+  Helpers.check_q "same utility" u_ring u_general
+
+let test_apply_validation () =
+  let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
+  let nb = Graph.neighbors g 0 in
+  Alcotest.check_raises "bad sum"
+    (Invalid_argument "Sybil_general.apply: weights must sum to w_v")
+    (fun () ->
+      ignore
+        (Sybil_general.apply g ~v:0
+           {
+             groups = [| [ nb.(0) ]; [ nb.(1) ] |];
+             weights = [| Q.one; Q.one |];
+           }));
+  Alcotest.check_raises "bad partition"
+    (Invalid_argument "Sybil_general.apply: groups must partition the neighbours")
+    (fun () ->
+      ignore
+        (Sybil_general.apply g ~v:0
+           {
+             groups = [| [ nb.(0) ]; [ nb.(0) ] |];
+             weights = [| Q.one; Q.two |];
+           }));
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Sybil_general.apply: empty identity group")
+    (fun () ->
+      ignore
+        (Sybil_general.apply g ~v:0
+           {
+             groups = [| [ nb.(0); nb.(1) ]; [] |];
+             weights = [| Q.one; Q.two |];
+           }))
+
+let test_single_identity_is_honest () =
+  (* m = 1 with all neighbours reproduces the original network exactly. *)
+  let g = Generators.fig1 () in
+  let v = 2 in
+  let spec =
+    Sybil_general.
+      {
+        groups = [| Array.to_list (Graph.neighbors g v) |];
+        weights = [| Graph.weight g v |];
+      }
+  in
+  Helpers.check_q "identity split = honest"
+    (Utility.of_vertex g (Decompose.compute g) v)
+    (Sybil_general.attack_utility g ~v spec)
+
+let test_best_attack_beats_honest () =
+  let g = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |] in
+  let _, u, ratio = Sybil_general.best_attack ~grid:8 g ~v:0 in
+  Alcotest.(check bool) "ratio >= 1" true (Q.compare ratio Q.one >= 0);
+  Alcotest.(check bool) "utility positive" true (Q.sign u > 0)
+
+let test_degree_guard () =
+  let g = Generators.star (Array.make 8 Q.one) in
+  Alcotest.check_raises "degree guard"
+    (Invalid_argument "Sybil_general.best_attack: degree exceeds max_degree")
+    (fun () -> ignore (Sybil_general.best_attack g ~v:0))
+
+(* The conjecture probe: ratio <= 2 on small general graphs. *)
+let props =
+  [
+    Helpers.qtest ~count:12 "conjectured bound 2 on random graphs"
+      (Helpers.graph_gen ~nmax:6 ~wmax:12 ()) (fun g ->
+        let v = 0 in
+        if Graph.degree g v = 0 || Graph.degree g v > 4 then true
+        else
+          let _, _, ratio = Sybil_general.best_attack ~grid:4 g ~v in
+          Q.compare ratio Q.two <= 0);
+    Helpers.qtest ~count:12 "general best >= ring best on rings"
+      (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
+        (* the general search includes the ring split as a special case
+           (coarser grid, so compare against the same grid) *)
+        let _, _, r_general = Sybil_general.best_attack ~grid:8 g ~v:0 in
+        let r_ring = (Incentive.best_split ~grid:8 ~refine:0 g ~v:0).ratio in
+        Q.compare r_general (Q.mul r_ring (Q.of_ints 999 1000)) >= 0);
+  ]
+
+let () =
+  Alcotest.run "sybil_general"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "partitions" `Quick test_partitions;
+          Alcotest.test_case "matches ring split" `Quick test_apply_matches_ring_split;
+          Alcotest.test_case "validation" `Quick test_apply_validation;
+          Alcotest.test_case "single identity" `Quick test_single_identity_is_honest;
+          Alcotest.test_case "profitable instance" `Quick test_best_attack_beats_honest;
+          Alcotest.test_case "degree guard" `Quick test_degree_guard;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,83 @@
+(* Tests for the symbolic Theorem 8 verifier. *)
+
+module Q = Rational
+
+let test_utility_function_matches_mechanism () =
+  (* On a structure-constant stretch the rational function must equal the
+     mechanism's exact utility. *)
+  let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
+  let v = 0 in
+  let total = Graph.weight g v in
+  let w1 = Q.of_ints 3 4 in
+  let s = Sybil.split_free g ~v ~w1 ~w2:(Q.sub total w1) in
+  let structure = Decompose.compute s.Sybil.path in
+  let num, den = Symbolic.utility_function g ~v ~structure ~v2:s.Sybil.v2 in
+  Helpers.check_q "N/D = mechanism"
+    (Sybil.split_utility g ~v ~w1)
+    (Q.div (Poly.eval num w1) (Poly.eval den w1))
+
+let certify g v =
+  match Symbolic.verify_theorem8 ~grid:24 g ~v with
+  | Ok r -> r
+  | Error m -> Alcotest.fail m
+
+let test_certifies_known_instances () =
+  List.iter
+    (fun (name, g, v) ->
+      let r = certify g v in
+      Alcotest.(check bool) (name ^ " certified") true r.Symbolic.certified;
+      Alcotest.(check bool)
+        (name ^ " best <= 2 honest")
+        true
+        (Q.compare r.Symbolic.best_found (Q.mul_int r.Symbolic.honest 2) <= 0))
+    [
+      ("plain ring", Generators.ring_of_ints [| 3; 1; 4; 1; 5 |], 0);
+      ("uniform", Generators.ring_of_ints [| 5; 5; 5; 5 |], 0);
+      ("family k=2", Lower_bound.family ~k:2, 0);
+      ("engineered", Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |], 0);
+    ]
+
+let test_best_found_beats_grid_search () =
+  (* The symbolic candidate set (endpoints + critical points) must find at
+     least as much utility as a coarse grid search. *)
+  let g = Lower_bound.family ~k:3 in
+  let r = certify g 0 in
+  let grid_best = (Incentive.best_split ~grid:16 ~refine:1 g ~v:0).utility in
+  Alcotest.(check bool) "symbolic >= grid" true
+    (Q.compare r.Symbolic.best_found (Q.mul grid_best (Q.of_ints 999 1000)) >= 0)
+
+let test_interval_structure () =
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let r = certify g 0 in
+  Alcotest.(check bool) "has intervals" true (List.length r.Symbolic.intervals >= 1);
+  (* intervals and gaps alternate over [0, w] *)
+  let first = List.hd r.Symbolic.intervals in
+  Helpers.check_q "starts at 0" Q.zero first.Symbolic.lo;
+  List.iter
+    (fun (iv : Symbolic.interval) ->
+      Alcotest.(check bool) "den nonneg on interval" true
+        (Poly.non_negative_on iv.num ~lo:iv.lo ~hi:iv.hi
+         |> fun _ -> Poly.non_negative_on iv.den ~lo:iv.lo ~hi:iv.hi))
+    r.Symbolic.intervals
+
+let props =
+  [
+    Helpers.qtest ~count:10 "certifies random rings"
+      (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
+        match Symbolic.verify_theorem8 ~grid:16 g ~v:0 with
+        | Ok r -> r.Symbolic.certified
+        | Error _ -> false);
+  ]
+
+let () =
+  Alcotest.run "symbolic"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "utility function" `Quick test_utility_function_matches_mechanism;
+          Alcotest.test_case "certifies instances" `Slow test_certifies_known_instances;
+          Alcotest.test_case "beats grid search" `Quick test_best_found_beats_grid_search;
+          Alcotest.test_case "interval structure" `Quick test_interval_structure;
+        ] );
+      ("properties", props);
+    ]

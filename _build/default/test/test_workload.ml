@@ -1,0 +1,117 @@
+(* Tests for the deterministic workload generators. *)
+
+module Q = Rational
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in rng 5 9 in
+    Alcotest.(check bool) "int_in" true (y >= 5 && y <= 9);
+    let f = Prng.float rng in
+    Alcotest.(check bool) "float" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_split_independent () =
+  let a = Prng.create 1 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "different streams" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_weights_positive () =
+  let rng = Prng.create 11 in
+  List.iter
+    (fun dist ->
+      let ws = Weights.sample rng dist 200 in
+      Array.iter
+        (fun w ->
+          Alcotest.(check bool) (Weights.name dist) true (Q.sign w > 0))
+        ws)
+    [
+      Weights.Uniform (1, 100);
+      Weights.Powerlaw (1000, 2.0);
+      Weights.Bimodal (1, 100, 0.3);
+      Weights.Constant 5;
+    ]
+
+let test_weights_ranges () =
+  let rng = Prng.create 13 in
+  let ws = Weights.sample rng (Weights.Uniform (5, 9)) 300 in
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "uniform range" true
+        (Q.compare w (Q.of_int 5) >= 0 && Q.compare w (Q.of_int 9) <= 0))
+    ws;
+  let ws = Weights.sample rng (Weights.Bimodal (2, 50, 0.5)) 100 in
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "bimodal values" true
+        (Q.equal w (Q.of_int 2) || Q.equal w (Q.of_int 50)))
+    ws
+
+let test_instances_shapes () =
+  let g = Instances.ring ~seed:5 ~n:7 (Weights.Uniform (1, 10)) in
+  Alcotest.(check bool) "ring" true (Graph.is_ring g);
+  Alcotest.(check int) "ring size" 7 (Graph.n g);
+  let p = Instances.path ~seed:5 ~n:6 (Weights.Uniform (1, 10)) in
+  Alcotest.(check int) "path size" 6 (Graph.n p);
+  Alcotest.(check int) "path endpoint" 1 (Graph.degree p 0);
+  let r = Instances.random_graph ~seed:5 ~n:10 ~p:0.4 (Weights.Uniform (1, 10)) in
+  let isolated = ref false in
+  for v = 0 to 9 do
+    if Graph.degree r v = 0 then isolated := true
+  done;
+  Alcotest.(check bool) "no isolated vertex" false !isolated
+
+let test_instances_deterministic () =
+  let g1 = Instances.ring ~seed:9 ~n:6 (Weights.Uniform (1, 10)) in
+  let g2 = Instances.ring ~seed:9 ~n:6 (Weights.Uniform (1, 10)) in
+  for v = 0 to 5 do
+    Helpers.check_q "same weights" (Graph.weight g1 v) (Graph.weight g2 v)
+  done
+
+let test_ring_family_labels () =
+  let fam =
+    Instances.ring_family ~seeds:[ 1; 2 ] ~sizes:[ 4; 5 ]
+      [ Weights.Constant 3 ]
+  in
+  Alcotest.(check int) "cartesian size" 4 (List.length fam);
+  List.iter
+    (fun (label, g) ->
+      Alcotest.(check bool) "labelled" true (String.length label > 0);
+      Alcotest.(check bool) "is ring" true (Graph.is_ring g))
+    fam
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "weights positive" `Quick test_weights_positive;
+          Alcotest.test_case "weights ranges" `Quick test_weights_ranges;
+          Alcotest.test_case "instance shapes" `Quick test_instances_shapes;
+          Alcotest.test_case "instances deterministic" `Quick test_instances_deterministic;
+          Alcotest.test_case "ring family" `Quick test_ring_family_labels;
+        ] );
+    ]
