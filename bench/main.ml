@@ -49,6 +49,16 @@ let test_decompose_brute n =
     ~name:(Printf.sprintf "decompose/brute/n=%d" n)
     (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Brute g)))
 
+let test_decompose_fast_budgeted n =
+  (* the cost of cooperative budget metering on the hot solver: same
+     decomposition with a (never-tripping) budget threaded through *)
+  let g = ring n in
+  let budget = Budget.create ~steps:max_int () in
+  Test.make
+    ~name:(Printf.sprintf "decompose/fast-chain+budget/n=%d" n)
+    (Staged.stage (fun () ->
+         ignore (Decompose.compute ~solver:Decompose.FastChain ~budget g)))
+
 let test_allocation n =
   let g = ring n in
   Test.make
@@ -108,8 +118,10 @@ let benchmarks () =
           test_decompose_brute 8;
           test_decompose_chain 32;
           test_decompose_fast 32;
+          test_decompose_fast_budgeted 32;
           test_decompose_flow 32;
           test_decompose_fast 128;
+          test_decompose_fast_budgeted 128;
         ];
       Test.make_grouped ~name:"mechanism"
         [ test_allocation 8; test_allocation 64 ];

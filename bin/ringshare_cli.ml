@@ -28,22 +28,32 @@ let parse_weights s =
   |> List.filter (fun x -> x <> "")
   |> List.map Q.of_string |> Array.of_list
 
+(* Instance-spec problems are user errors: report them through Cmdliner
+   as a clean one-line message, never an exception backtrace. *)
 let graph_of_spec ~ring ~path ~fig1 ~file ~seed ~n ~dist =
+  let build f =
+    match f () with
+    | g -> Ok g
+    | exception (Invalid_argument m | Failure m) -> Error m
+  in
   match (ring, path, fig1, file) with
-  | Some w, None, false, None -> Generators.ring (parse_weights w)
-  | None, Some w, false, None -> Generators.path (parse_weights w)
-  | None, None, true, None -> Generators.fig1 ()
-  | None, None, false, Some f -> Serial.load f
-  | None, None, false, None ->
-      let d =
-        match dist with
-        | "uniform" -> Weights.Uniform (1, 100)
-        | "powerlaw" -> Weights.Powerlaw (1000, 2.0)
-        | "bimodal" -> Weights.Bimodal (1, 100, 0.3)
-        | s -> failwith ("unknown distribution: " ^ s)
-      in
-      Instances.ring ~seed ~n d
-  | _ -> failwith "give at most one of --ring, --path, --fig1, --file"
+  | Some w, None, false, None -> build (fun () -> Generators.ring (parse_weights w))
+  | None, Some w, false, None -> build (fun () -> Generators.path (parse_weights w))
+  | None, None, true, None -> Ok (Generators.fig1 ())
+  | None, None, false, Some f -> (
+      match Serial.load_r f with
+      | Ok g -> Ok g
+      | Error e -> Error (Ringshare_error.to_string e))
+  | None, None, false, None -> (
+      match dist with
+      | "uniform" -> Ok (Instances.ring ~seed ~n (Weights.Uniform (1, 100)))
+      | "powerlaw" -> Ok (Instances.ring ~seed ~n (Weights.Powerlaw (1000, 2.0)))
+      | "bimodal" -> Ok (Instances.ring ~seed ~n (Weights.Bimodal (1, 100, 0.3)))
+      | s ->
+          Error
+            ("unknown distribution: " ^ s
+           ^ " (expected uniform, powerlaw or bimodal)"))
+  | _ -> Error "give at most one of --ring, --path, --fig1, --file"
 
 let ring_arg =
   Arg.(value & opt (some string) None
@@ -74,8 +84,9 @@ let graph_term =
   let make ring path fig1 file seed n dist =
     graph_of_spec ~ring ~path ~fig1 ~file ~seed ~n ~dist
   in
-  Term.(const make $ ring_arg $ path_arg $ fig1_arg $ file_arg $ seed_arg
-        $ n_arg $ dist_arg)
+  Term.term_result'
+    Term.(const make $ ring_arg $ path_arg $ fig1_arg $ file_arg $ seed_arg
+          $ n_arg $ dist_arg)
 
 let v_arg =
   Arg.(value & opt int 0
@@ -146,7 +157,13 @@ let dynamics g iters =
     (Prd.utilities final);
   Format.printf "max utility error after %d rounds: %.3e@." iters !err
 
-let sybil g v_opt grid refine =
+let budget_of ~time_budget ~step_budget =
+  match (time_budget, step_budget) with
+  | None, None -> Budget.unlimited
+  | seconds, steps -> Budget.create ?seconds ?steps ()
+
+let sybil g v_opt grid refine time_budget step_budget checkpoint resume =
+  let budget = budget_of ~time_budget ~step_budget in
   let report (a : Incentive.attack) =
     Format.printf
       "v=%d  best w1=%s  attack utility=%s  honest=%s  ratio=%s (%.5f)@." a.v
@@ -154,10 +171,26 @@ let sybil g v_opt grid refine =
       (Q.to_string a.ratio) (Q.to_float a.ratio)
   in
   (match v_opt with
-  | Some v -> report (Incentive.best_split ~grid ~refine g ~v)
-  | None ->
-      let a = Incentive.best_attack ~grid ~refine g in
-      report a);
+  | Some v -> report (Incentive.best_split ~grid ~refine ~budget g ~v)
+  | None when Budget.is_limited budget || checkpoint <> None || resume ->
+      (* fault-tolerant path: sequential scan, snapshot per vertex,
+         partial best on budget exhaustion *)
+      let p =
+        Incentive.best_attack_within ~grid ~refine ~budget ?checkpoint ~resume
+          g
+      in
+      Format.printf "searched %d/%d vertices@." p.Incentive.completed
+        p.Incentive.total;
+      Option.iter report p.Incentive.best;
+      (match p.Incentive.status with
+      | Ok () -> ()
+      | Error e ->
+          (* partial results above; exit through the taxonomy (code 4/...) *)
+          if checkpoint <> None then
+            Format.printf "stopped early (checkpoint saved; rerun with --resume)@."
+          else Format.printf "stopped early@.";
+          Ringshare_error.error e)
+  | None -> report (Incentive.best_attack ~grid ~refine g));
   Format.printf "Theorem 8 bound: 2@."
 
 let curve g v samples =
@@ -285,34 +318,26 @@ let verify g v grid =
         (if r.Symbolic.certified then "CERTIFIED (zeta_v <= 2)"
          else "NOT fully certified")
 
-(* The search that discovered the tightness family: random rings with
-   mixed weight magnitudes, best attack per instance, report the record
-   holders. *)
-let hunt seed trials =
-  let rng = Prng.create seed in
-  let best = ref 0.0 in
-  for trial = 1 to trials do
-    let n = 4 + Prng.int rng 4 in
-    let weights =
-      Array.init n (fun _ ->
-          Q.of_int
-            (match Prng.int rng 4 with
-            | 0 -> 1
-            | 1 -> 1 + Prng.int rng 9
-            | 2 -> 10 * (1 + Prng.int rng 10)
-            | _ -> 100 * (1 + Prng.int rng 10)))
-    in
-    let g = Generators.ring weights in
-    let a = Incentive.best_attack ~grid:12 ~refine:2 g in
-    let r = Incentive.ratio_of_attack a in
-    if r > !best +. 1e-9 then begin
-      best := r;
-      Format.printf "trial %-5d ratio %.5f  v=%d  weights=[%s]@." trial r a.v
-        (String.concat ";"
-           (Array.to_list (Array.map Q.to_string weights)))
-    end
-  done;
-  Format.printf "best ratio found: %.5f (Theorem 8 bound: 2)@." !best
+(* The search that discovered the tightness family, now living in
+   Experiments.hunt so the harness and the CLI share the checkpointed,
+   budget-aware implementation. *)
+let hunt seed trials time_budget step_budget checkpoint resume =
+  let budget = budget_of ~time_budget ~step_budget in
+  let r =
+    Experiments.hunt ~grid:12 ~refine:2 ?checkpoint ~resume ~budget ~seed
+      ~trials Format.std_formatter
+  in
+  match r.Experiments.hunt_status with
+  | Ok () -> ()
+  | Error e ->
+      Format.printf
+        "hunt stopped after trial %d/%d; best so far %.5f%s@."
+        r.Experiments.trials_done r.Experiments.trials_total
+        (Q.to_float r.Experiments.best_ratio)
+        (match checkpoint with
+        | Some _ -> " (checkpoint saved; rerun with --resume)"
+        | None -> "");
+      Ringshare_error.error e
 
 (* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
@@ -333,6 +358,26 @@ let v_opt_arg =
        & info [ "agent"; "v" ] ~docv:"V"
          ~doc:"Restrict to one manipulative agent.")
 
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ] ~docv:"SECONDS"
+         ~doc:"Stop with partial results after this much wall clock.")
+
+let step_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "step-budget" ] ~docv:"STEPS"
+         ~doc:"Stop with partial results after this many solver steps.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Atomically snapshot progress to $(docv) as the search runs.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+         ~doc:"Continue from the --checkpoint snapshot instead of restarting.")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let decompose_cmd =
@@ -349,7 +394,8 @@ let dynamics_cmd =
 
 let sybil_cmd =
   cmd "sybil" "Best Sybil attack and incentive ratio"
-    Term.(const sybil $ graph_term $ v_opt_arg $ grid_arg $ refine_arg)
+    Term.(const sybil $ graph_term $ v_opt_arg $ grid_arg $ refine_arg
+          $ time_budget_arg $ step_budget_arg $ checkpoint_arg $ resume_arg)
 
 let curve_cmd =
   cmd "curve" "Misreport curves U_v(x) and alpha_v(x)"
@@ -396,7 +442,8 @@ let trials_arg =
 
 let hunt_cmd =
   cmd "hunt" "Random search for high-incentive-ratio rings"
-    Term.(const hunt $ seed_arg $ trials_arg)
+    Term.(const hunt $ seed_arg $ trials_arg $ time_budget_arg
+          $ step_budget_arg $ checkpoint_arg $ resume_arg)
 
 let verify_cmd =
   cmd "verify" "Symbolic certificate that zeta_v <= 2 (Theorem 8)"
@@ -409,10 +456,12 @@ let () =
   in
   (* user-input errors (bad weights, malformed files, out-of-range
      agents) surface as exceptions from the libraries; report them
-     tersely instead of a backtrace *)
+     tersely instead of a backtrace.  Structured errors carry their own
+     exit-code class (2 input, 3 inconsistency, 4 budget, 5 I/O); spec
+     errors from graph_term go through Cmdliner with ~term_err:2. *)
   exit
     (try
-       Cmd.eval ~catch:false
+       Cmd.eval ~catch:false ~term_err:2
          (Cmd.group info
           [
             decompose_cmd;
@@ -430,6 +479,14 @@ let () =
             verify_cmd;
             save_cmd;
           ])
-     with Invalid_argument m | Failure m ->
-       Format.eprintf "ringshare: %s@." m;
-       2)
+     with
+    | Ringshare_error.Error e ->
+        Format.eprintf "ringshare: %s@." (Ringshare_error.to_string e);
+        Ringshare_error.exit_code e
+    | Budget.Exhausted { steps; elapsed } ->
+        Format.eprintf "ringshare: compute budget exhausted (%d steps, %.1f s)@."
+          steps elapsed;
+        4
+    | Invalid_argument m | Failure m ->
+        Format.eprintf "ringshare: %s@." m;
+        2)

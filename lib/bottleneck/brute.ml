@@ -1,12 +1,14 @@
 module Q = Rational
 
-let subsets_fold g ~mask f init =
+let subsets_fold ?(budget = Budget.unlimited) g ~mask f init =
   let verts = Vset.to_array mask in
   let k = Array.length verts in
   if k = 0 then invalid_arg "Brute: empty mask";
   if k > 22 then invalid_arg "Brute: mask too large for exhaustive search";
   let acc = ref init in
   for bits = 1 to (1 lsl k) - 1 do
+    (* amortise the budget check over 256-subset chunks *)
+    if bits land 0xFF = 0 then Budget.tick ~cost:256 budget;
     let s = ref Vset.empty in
     for i = 0 to k - 1 do
       if bits land (1 lsl i) <> 0 then s := Vset.add verts.(i) !s
@@ -15,11 +17,11 @@ let subsets_fold g ~mask f init =
   done;
   !acc
 
-let min_alpha g ~mask =
-  subsets_fold g ~mask (fun best _ a -> Q.min best a) Q.inf
+let min_alpha ?budget g ~mask =
+  subsets_fold ?budget g ~mask (fun best _ a -> Q.min best a) Q.inf
 
-let maximal_bottleneck g ~mask =
-  let best = min_alpha g ~mask in
-  subsets_fold g ~mask
+let maximal_bottleneck ?budget g ~mask =
+  let best = min_alpha ?budget g ~mask in
+  subsets_fold ?budget g ~mask
     (fun acc s a -> if Q.equal a best then Vset.union acc s else acc)
     Vset.empty

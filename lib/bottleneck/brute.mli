@@ -8,9 +8,11 @@
     Exponential — intended for cross-validating the polynomial solvers on
     instances with at most ~20 masked vertices. *)
 
-val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
+val maximal_bottleneck : ?budget:Budget.t -> Graph.t -> mask:Vset.t -> Vset.t
 (** @raise Invalid_argument when the mask is empty or has more than 22
-    vertices. *)
+    vertices.
+    @raise Budget.Exhausted when the budget trips (checked every 256
+    subsets). *)
 
-val min_alpha : Graph.t -> mask:Vset.t -> Rational.t
+val min_alpha : ?budget:Budget.t -> Graph.t -> mask:Vset.t -> Rational.t
 (** The bottleneck ratio [min_S α(S)] itself. *)

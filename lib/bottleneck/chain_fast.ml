@@ -95,7 +95,7 @@ let table_min t =
 
 let get = function
   | Some x -> x
-  | None -> invalid_arg "Chain_fast: infeasible DP"
+  | None -> Ringshare_error.(error (Infeasible_dp "Chain_fast: empty table"))
 
 (* ------------------------------------------------------------------ *)
 (* Path components                                                     *)
@@ -196,7 +196,7 @@ let solve_cycle g ~alpha verts =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let h_and_argmax g ~mask ~alpha =
+let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   if not (Chain_solver.supports g ~mask) then
     invalid_arg "Chain_fast: masked graph has a vertex of degree > 2";
   let comps = Chain_solver.components g ~mask in
@@ -204,6 +204,7 @@ let h_and_argmax g ~mask ~alpha =
   let s_max = ref Vset.empty in
   List.iter
     (fun (comp : Chain_solver.component) ->
+      Budget.tick ~cost:(1 + Array.length comp.verts) budget;
       let m, members =
         if comp.cycle then solve_cycle g ~alpha comp.verts
         else solve_path g ~alpha comp.verts
@@ -213,16 +214,19 @@ let h_and_argmax g ~mask ~alpha =
     comps;
   (!h, !s_max)
 
-let maximal_bottleneck g ~mask =
+let maximal_bottleneck ?budget g ~mask =
   if Vset.is_empty mask then invalid_arg "Chain_fast: empty mask";
   let total = Graph.weight_of_set g mask in
   if Q.is_zero total then mask
   else
     let init = Graph.alpha_of_set ~mask g mask in
     let b, _alpha =
-      Dinkelbach.solve
-        ~oracle:(fun ~alpha -> h_and_argmax g ~mask ~alpha)
+      Dinkelbach.solve ?budget
+        ~oracle:(fun ~alpha -> h_and_argmax ?budget g ~mask ~alpha)
         ~alpha_of:(fun s -> Graph.alpha_of_set ~mask g s)
-        ~init
+        init
     in
     b
+
+let maximal_bottleneck_r ?budget g ~mask =
+  Ringshare_error.capture (fun () -> maximal_bottleneck ?budget g ~mask)

@@ -15,9 +15,19 @@
     the ablation benchmark quantifies the speedup. *)
 
 val h_and_argmax :
-  Graph.t -> mask:Vset.t -> alpha:Rational.t -> Rational.t * Vset.t
+  ?budget:Budget.t -> Graph.t -> mask:Vset.t -> alpha:Rational.t ->
+  Rational.t * Vset.t
 (** Drop-in replacement for {!Chain_solver.h_and_argmax}.
     @raise Invalid_argument if a masked vertex has in-mask degree > 2. *)
 
-val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
-(** Dinkelbach iteration over this oracle. *)
+val maximal_bottleneck : ?budget:Budget.t -> Graph.t -> mask:Vset.t -> Vset.t
+(** Dinkelbach iteration over this oracle.  [budget] is ticked per
+    iteration and per component sweep.
+    @raise Budget.Exhausted when the budget trips. *)
+
+val maximal_bottleneck_r :
+  ?budget:Budget.t -> Graph.t -> mask:Vset.t ->
+  (Vset.t, Ringshare_error.t) result
+(** {!maximal_bottleneck} behind {!Ringshare_error.capture}: budget
+    exhaustion, oracle inconsistency and infeasible DPs come back as
+    structured [Error]s. *)

@@ -107,7 +107,9 @@ let path_min g ~alpha verts ~forced =
   done;
   let best = ref None in
   Array.iter (fun c -> match c with Some c -> best := better !best c | None -> ()) !dp;
-  match !best with Some b -> b | None -> invalid_arg "Chain_solver: infeasible DP"
+  match !best with
+  | Some b -> b
+  | None -> Ringshare_error.(error (Infeasible_dp "Chain_solver: path DP"))
 
 (* Minimum cost over a cycle component (k >= 3): enumerate the choices at
    positions 0 and 1, run the path DP over positions 2..k-1, then close the
@@ -171,13 +173,15 @@ let cycle_min g ~alpha verts ~forced =
           end)
         [ false; true ])
     [ false; true ];
-  match !best with Some b -> b | None -> invalid_arg "Chain_solver: infeasible DP"
+  match !best with
+  | Some b -> b
+  | None -> Ringshare_error.(error (Infeasible_dp "Chain_solver: cycle DP"))
 
 let component_min g ~alpha comp ~forced =
   if comp.cycle then cycle_min g ~alpha comp.verts ~forced
   else path_min g ~alpha comp.verts ~forced
 
-let h_and_argmax g ~mask ~alpha =
+let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   if not (supports g ~mask) then
     invalid_arg "Chain_solver: masked graph has a vertex of degree > 2";
   let comps = components g ~mask in
@@ -185,6 +189,9 @@ let h_and_argmax g ~mask ~alpha =
   let s_max = ref Vset.empty in
   List.iter
     (fun comp ->
+      (* one budget unit per DP sweep: the n + 1 sweeps of a component
+         dominate this oracle's cost *)
+      Budget.tick ~cost:(1 + Array.length comp.verts) budget;
       let m = component_min g ~alpha comp ~forced:(-1) in
       h := Q.add !h m;
       Array.iteri
@@ -195,16 +202,19 @@ let h_and_argmax g ~mask ~alpha =
     comps;
   (!h, !s_max)
 
-let maximal_bottleneck g ~mask =
+let maximal_bottleneck ?budget g ~mask =
   if Vset.is_empty mask then invalid_arg "Chain_solver: empty mask";
   let total = Graph.weight_of_set g mask in
   if Q.is_zero total then mask
   else
     let init = Graph.alpha_of_set ~mask g mask in
     let b, _alpha =
-      Dinkelbach.solve
-        ~oracle:(fun ~alpha -> h_and_argmax g ~mask ~alpha)
+      Dinkelbach.solve ?budget
+        ~oracle:(fun ~alpha -> h_and_argmax ?budget g ~mask ~alpha)
         ~alpha_of:(fun s -> Graph.alpha_of_set ~mask g s)
-        ~init
+        init
     in
     b
+
+let maximal_bottleneck_r ?budget g ~mask =
+  Ringshare_error.capture (fun () -> maximal_bottleneck ?budget g ~mask)

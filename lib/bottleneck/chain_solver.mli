@@ -22,11 +22,20 @@ type component = { verts : int array; cycle : bool }
 val components : Graph.t -> mask:Vset.t -> component list
 (** Exposed for {!Chain_fast}. *)
 
-val h_and_argmax : Graph.t -> mask:Vset.t -> alpha:Rational.t -> Rational.t * Vset.t
+val h_and_argmax :
+  ?budget:Budget.t -> Graph.t -> mask:Vset.t -> alpha:Rational.t ->
+  Rational.t * Vset.t
 (** [h(α)] and the maximal minimiser of the cost, over the masked induced
-    subgraph.  Exposed for testing.
+    subgraph.  Exposed for testing.  [budget] is ticked per DP sweep,
+    proportionally to component size.
     @raise Invalid_argument if unsupported. *)
 
-val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
+val maximal_bottleneck : ?budget:Budget.t -> Graph.t -> mask:Vset.t -> Vset.t
 (** @raise Invalid_argument if the masked graph is not a chain graph or the
-    mask is empty. *)
+    mask is empty.
+    @raise Budget.Exhausted when the budget trips mid-iteration. *)
+
+val maximal_bottleneck_r :
+  ?budget:Budget.t -> Graph.t -> mask:Vset.t ->
+  (Vset.t, Ringshare_error.t) result
+(** {!maximal_bottleneck} behind {!Ringshare_error.capture}. *)

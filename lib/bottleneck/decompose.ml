@@ -15,22 +15,23 @@ let pair_alpha g p =
     else Q.inf
   else Q.div wc wb
 
-let solver_fn g = function
-  | Chain -> Chain_solver.maximal_bottleneck
-  | FastChain -> Chain_fast.maximal_bottleneck
-  | Flow -> Flow_solver.maximal_bottleneck
-  | Brute -> Brute.maximal_bottleneck
+let solver_fn ?budget g = function
+  | Chain -> Chain_solver.maximal_bottleneck ?budget
+  | FastChain -> Chain_fast.maximal_bottleneck ?budget
+  | Flow -> Flow_solver.maximal_bottleneck ?budget
+  | Brute -> Brute.maximal_bottleneck ?budget
   | Auto ->
-      if Graph.is_chain_graph g then Chain_fast.maximal_bottleneck
-      else Flow_solver.maximal_bottleneck
+      if Graph.is_chain_graph g then Chain_fast.maximal_bottleneck ?budget
+      else Flow_solver.maximal_bottleneck ?budget
 
-let compute ?(solver = Auto) g =
+let compute ?(solver = Auto) ?budget g =
   if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
     invalid_arg "Decompose.compute: all weights are zero";
-  let find = solver_fn g solver in
+  let find = solver_fn ?budget g solver in
   let rec go mask acc =
     if Vset.is_empty mask then List.rev acc
     else begin
+      Option.iter Budget.tick budget;
       let b = find g ~mask in
       let c = Graph.gamma ~mask g b in
       (* For the α = 1 last pair Γ(B) ⊇ B; Definition 2 takes C = Γ(B)∩V_i,
@@ -43,6 +44,9 @@ let compute ?(solver = Auto) g =
     end
   in
   go (Graph.full_mask g) []
+
+let compute_r ?solver ?budget g =
+  Ringshare_error.capture (fun () -> compute ?solver ?budget g)
 
 let pair_index d v =
   let rec go i = function

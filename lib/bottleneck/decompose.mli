@@ -19,8 +19,16 @@ type pair = {
 
 type t = pair list
 
-val compute : ?solver:solver -> Graph.t -> t
-(** @raise Invalid_argument when every vertex has zero weight. *)
+val compute : ?solver:solver -> ?budget:Budget.t -> Graph.t -> t
+(** @raise Invalid_argument when every vertex has zero weight.
+    @raise Budget.Exhausted when [budget] trips (it is threaded into the
+    underlying solver's Dinkelbach iterations and DP sweeps). *)
+
+val compute_r :
+  ?solver:solver -> ?budget:Budget.t -> Graph.t ->
+  (t, Ringshare_error.t) result
+(** {!compute} behind {!Ringshare_error.capture}: one bad instance in a
+    sweep becomes an [Error] value instead of killing the run. *)
 
 val pair_index : t -> int -> int
 (** Index (0-based) of the pair containing the vertex.

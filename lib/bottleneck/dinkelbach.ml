@@ -1,21 +1,24 @@
 module Q = Rational
 
-let solve ~oracle ~alpha_of ~init =
+let solve ?(budget = Budget.unlimited) ~oracle ~alpha_of init =
+  let fail m = Ringshare_error.(error (Oracle_inconsistent m)) in
   let rec iterate alpha guard =
-    if guard = 0 then
-      invalid_arg "Dinkelbach.solve: no convergence (oracle inconsistent?)";
+    if guard = 0 then fail "Dinkelbach.solve: no convergence";
+    Budget.tick budget;
     let h, s_max = oracle ~alpha in
     match Q.sign h with
     | 0 -> (s_max, alpha)
-    | n when n > 0 ->
-        invalid_arg "Dinkelbach.solve: oracle returned h > 0"
+    | n when n > 0 -> fail "Dinkelbach.solve: oracle returned h > 0"
     | _ ->
         let alpha' = alpha_of s_max in
         if Q.compare alpha' alpha >= 0 then
-          invalid_arg "Dinkelbach.solve: no strict progress"
+          fail "Dinkelbach.solve: no strict progress"
         else iterate alpha' (guard - 1)
   in
   (* The α values visited are ratios of subset sums; strictly decreasing
      sequences through that set are finite, but guard against oracle bugs
      with a generous fuel bound. *)
   iterate init 100_000
+
+let solve_r ?budget ~oracle ~alpha_of init =
+  Ringshare_error.capture (fun () -> solve ?budget ~oracle ~alpha_of init)

@@ -8,13 +8,24 @@
     so the iteration terminates. *)
 
 val solve :
+  ?budget:Budget.t ->
   oracle:(alpha:Rational.t -> Rational.t * Vset.t) ->
   alpha_of:(Vset.t -> Rational.t) ->
-  init:Rational.t ->
+  Rational.t ->
   Vset.t * Rational.t
-(** [solve ~oracle ~alpha_of ~init] is the pair of the maximal bottleneck
+(** [solve ~oracle ~alpha_of init] is the pair of the maximal bottleneck
     and its ratio α*.
     [oracle ~alpha] must return [(h(α), maximal minimiser of the cost)];
     [alpha_of s] must be the exact α-ratio of [s].
-    @raise Invalid_argument if the oracle reports [h > 0] (broken oracle) or
-    fails to make progress. *)
+    [budget] is ticked once per iteration.
+    @raise Ringshare_error.Error ([Oracle_inconsistent]) if the oracle
+    reports [h > 0] (broken oracle) or fails to make progress.
+    @raise Budget.Exhausted when the budget trips. *)
+
+val solve_r :
+  ?budget:Budget.t ->
+  oracle:(alpha:Rational.t -> Rational.t * Vset.t) ->
+  alpha_of:(Vset.t -> Rational.t) ->
+  Rational.t ->
+  (Vset.t * Rational.t, Ringshare_error.t) result
+(** {!solve} behind the {!Ringshare_error.capture} boundary. *)

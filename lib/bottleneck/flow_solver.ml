@@ -1,6 +1,7 @@
 module Q = Rational
 
-let h_and_argmax g ~mask ~alpha =
+let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
+  Budget.tick ~cost:(1 + Vset.cardinal mask) budget;
   let verts = Vset.to_array mask in
   let k = Array.length verts in
   let index = Hashtbl.create k in
@@ -33,16 +34,16 @@ let h_and_argmax g ~mask ~alpha =
     verts;
   (h, !s_max)
 
-let maximal_bottleneck g ~mask =
+let maximal_bottleneck ?budget g ~mask =
   if Vset.is_empty mask then invalid_arg "Flow_solver: empty mask";
   let total = Graph.weight_of_set g mask in
   if Q.is_zero total then mask
   else
     let init = Graph.alpha_of_set ~mask g mask in
     let b, _alpha =
-      Dinkelbach.solve
-        ~oracle:(fun ~alpha -> h_and_argmax g ~mask ~alpha)
+      Dinkelbach.solve ?budget
+        ~oracle:(fun ~alpha -> h_and_argmax ?budget g ~mask ~alpha)
         ~alpha_of:(fun s -> Graph.alpha_of_set ~mask g s)
-        ~init
+        init
     in
     b

@@ -9,9 +9,13 @@
     the maximal minimiser of the cost (min-cut minimisers form a lattice),
     which at [α = α*] is the maximal bottleneck. *)
 
-val h_and_argmax : Graph.t -> mask:Vset.t -> alpha:Rational.t -> Rational.t * Vset.t
+val h_and_argmax :
+  ?budget:Budget.t -> Graph.t -> mask:Vset.t -> alpha:Rational.t ->
+  Rational.t * Vset.t
 (** [h(α)] and the maximal cost minimiser over the masked induced
-    subgraph.  Exposed for testing. *)
+    subgraph.  Exposed for testing.  [budget] is ticked per call,
+    proportionally to the mask size. *)
 
-val maximal_bottleneck : Graph.t -> mask:Vset.t -> Vset.t
-(** @raise Invalid_argument when the mask is empty. *)
+val maximal_bottleneck : ?budget:Budget.t -> Graph.t -> mask:Vset.t -> Vset.t
+(** @raise Invalid_argument when the mask is empty.
+    @raise Budget.Exhausted when the budget trips. *)

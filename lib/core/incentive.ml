@@ -14,11 +14,16 @@ let ratio_value ~utility ~honest =
 
 let clamp lo hi x = Q.max lo (Q.min hi x)
 
-let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3) g ~v =
+let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
+    ?(budget = Budget.unlimited) g ~v =
   if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
   let w = Graph.weight g v in
+  let cost = 1 + Graph.n g in
   let honest = Sybil.honest_utility ~solver g ~v in
-  let eval w1 = (w1, Sybil.split_utility ~solver g ~v ~w1) in
+  let eval w1 =
+    Budget.tick ~cost budget;
+    (w1, Sybil.split_utility ~solver g ~v ~w1)
+  in
   let sweep lo hi extras =
     let step = Q.div_int (Q.sub hi lo) grid in
     let points =
@@ -52,21 +57,118 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3) g ~v =
   let bw, bu = zoom Q.zero w [ w10 ] refine (w10, honest) in
   { v; w1 = bw; utility = bu; honest; ratio = ratio_value ~utility:bu ~honest }
 
-let best_attack ?solver ?grid ?refine ?(domains = 1) g =
+let better a b = if Q.compare a.ratio b.ratio > 0 then a else b
+
+let best_attack ?solver ?grid ?refine ?budget ?(domains = 1) g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
   let attacks =
     (* per-vertex searches are independent pure computations; spread them
-       over domains when asked *)
+       over domains when asked.  The budget's step counter is atomic, so
+       one budget meters all domains; Parwork re-raises the first
+       Exhausted after every domain has joined. *)
     Parwork.map ~domains
-      (fun v -> best_split ?solver ?grid ?refine g ~v)
+      (fun v -> best_split ?solver ?grid ?refine ?budget g ~v)
       (Array.init (Graph.n g) Fun.id)
   in
   Array.fold_left
     (fun best a ->
-      match best with
-      | None -> Some a
-      | Some b -> if Q.compare a.ratio b.ratio > 0 then Some a else Some b)
+      match best with None -> Some a | Some b -> Some (better a b))
     None attacks
   |> Option.get
+
+type progress = {
+  best : attack option;
+  completed : int;
+  total : int;
+  status : (unit, Ringshare_error.t) result;
+}
+
+let attack_fields = function
+  | None -> [ ("best", "none") ]
+  | Some a ->
+      [
+        ("best", "some");
+        ("best_v", string_of_int a.v);
+        ("best_w1", Q.to_string a.w1);
+        ("best_utility", Q.to_string a.utility);
+        ("best_honest", Q.to_string a.honest);
+        ("best_ratio", Q.to_string a.ratio);
+      ]
+
+let attack_of_fields fields =
+  match Checkpoint.field fields "best" with
+  | "none" -> None
+  | "some" ->
+      Some
+        {
+          v = Checkpoint.int_field fields "best_v";
+          w1 = Q.of_string (Checkpoint.field fields "best_w1");
+          utility = Q.of_string (Checkpoint.field fields "best_utility");
+          honest = Q.of_string (Checkpoint.field fields "best_honest");
+          ratio = Q.of_string (Checkpoint.field fields "best_ratio");
+        }
+  | s ->
+      Ringshare_error.(
+        error (Invalid_input (Printf.sprintf "checkpoint: bad best marker %S" s)))
+
+let ckpt_kind = "best-attack"
+
+let best_attack_within ?solver ?grid ?refine ?(budget = Budget.unlimited)
+    ?checkpoint ?(resume = false) g =
+  if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  let total = Graph.n g in
+  let digest = Digest.to_hex (Digest.string (Serial.to_string g)) in
+  let start, best0 =
+    if not resume then (0, None)
+    else
+      match checkpoint with
+      | None ->
+          Ringshare_error.(
+            error
+              (Invalid_input
+                 "Incentive.best_attack_within: resume requires a checkpoint \
+                  path"))
+      | Some path when not (Sys.file_exists path) -> (0, None)
+      | Some path -> (
+          match Checkpoint.load ~path ~kind:ckpt_kind with
+          | Error e -> Ringshare_error.error e
+          | Ok fields ->
+              if Checkpoint.field fields "graph" <> digest then
+                Ringshare_error.(
+                  error
+                    (Invalid_input
+                       "checkpoint was written for a different graph"))
+              else
+                (Checkpoint.int_field fields "next", attack_of_fields fields))
+  in
+  let save_ckpt next best =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        Checkpoint.save ~path ~kind:ckpt_kind
+          (("graph", digest)
+          :: ("total", string_of_int total)
+          :: ("next", string_of_int next)
+          :: attack_fields best)
+  in
+  let best = ref best0 in
+  let completed = ref start in
+  let status = ref (Ok ()) in
+  (* snapshot up front so an interruption before the first vertex completes
+     still leaves a resumable (graph-bound) checkpoint on disk *)
+  save_ckpt start best0;
+  (try
+     for v = start to total - 1 do
+       Budget.check budget;
+       let a = best_split ?solver ?grid ?refine ~budget g ~v in
+       best := Some (match !best with None -> a | Some b -> better a b);
+       incr completed;
+       save_ckpt !completed !best
+     done
+   with
+  | Budget.Exhausted { steps; elapsed } ->
+      status := Error (Ringshare_error.Budget_exhausted { steps; elapsed })
+  | Ringshare_error.Error e -> status := Error e);
+  { best = !best; completed = !completed; total; status = !status }
 
 let ratio_of_attack a = Q.to_float a.ratio

@@ -17,18 +17,40 @@ type attack = {
 }
 
 val best_split :
-  ?solver:Decompose.solver -> ?grid:int -> ?refine:int ->
+  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
   Graph.t -> v:int -> attack
 (** Sweep [w_{v¹}] over a [grid]-point subdivision of [[0, w_v]] (plus the
     honest point [w₁⁰]), then zoom [refine] times around the best point.
-    Defaults: [grid = 32], [refine = 3]. *)
+    Defaults: [grid = 32], [refine = 3].  [budget] is ticked once per
+    evaluated split, proportionally to the graph size. *)
 
 val best_attack :
-  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?domains:int ->
-  Graph.t -> attack
+  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
+  ?domains:int -> Graph.t -> attack
 (** [ζ] estimate: best over all vertices.  [domains > 1] spreads the
     per-vertex searches over that many OCaml 5 domains (the result is
-    identical to the sequential search). *)
+    identical to the sequential search).  A shared [budget] meters all
+    domains; its [Exhausted] is re-raised after they join. *)
+
+type progress = {
+  best : attack option;  (** best attack over the vertices finished so far *)
+  completed : int;  (** vertices fully searched *)
+  total : int;
+  status : (unit, Ringshare_error.t) result;
+      (** [Ok ()] when every vertex was searched; [Error (Budget_exhausted _)]
+          (or another structured error) when the scan stopped early. *)
+}
+
+val best_attack_within :
+  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
+  ?checkpoint:string -> ?resume:bool -> Graph.t -> progress
+(** Sequential, fault-tolerant variant of {!best_attack}: vertices are
+    searched in order, the best-so-far is returned even when the budget
+    trips mid-scan, and an optional [checkpoint] file is atomically
+    rewritten after every vertex.  With [resume:true] the scan continues
+    from the snapshot (validated against a digest of the graph); a
+    missing checkpoint file means start from scratch.  Killing the
+    process and resuming reproduces the uninterrupted result exactly. *)
 
 val ratio_of_attack : attack -> float
 (** Convenience float view. *)

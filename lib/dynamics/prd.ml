@@ -48,8 +48,15 @@ let step st =
   in
   { g; send = send' }
 
-let run ~iters g =
-  let rec go st n = if n = 0 then st else go (step st) (n - 1) in
+let run ?(budget = Budget.unlimited) ~iters g =
+  let cost = 1 + Graph.n g in
+  let rec go st n =
+    if n = 0 then st
+    else begin
+      Budget.tick ~cost budget;
+      go (step st) (n - 1)
+    end
+  in
   go (init g) iters
 
 let l1_distance a b =
@@ -75,9 +82,14 @@ let l1_distance_to_allocation st alloc =
   done;
   !acc
 
-let trajectory ~iters g alloc =
+let trajectory ?(budget = Budget.unlimited) ~iters g alloc =
+  let cost = 1 + Graph.n g in
   let rec go st t acc =
     let acc = (t, l1_distance_to_allocation st alloc) :: acc in
-    if t >= iters then List.rev acc else go (step st) (t + 1) acc
+    if t >= iters then List.rev acc
+    else begin
+      Budget.tick ~cost budget;
+      go (step st) (t + 1) acc
+    end
   in
   go (init g) 0 []

@@ -13,7 +13,11 @@ type t
 
 val init : Graph.t -> t
 val step : t -> t
-val run : iters:int -> Graph.t -> t
+
+val run : ?budget:Budget.t -> iters:int -> Graph.t -> t
+(** [budget] is ticked once per round, proportionally to the graph size.
+    @raise Budget.Exhausted when it trips. *)
+
 val graph : t -> Graph.t
 
 val sends : t -> src:int -> dst:int -> float
@@ -27,5 +31,6 @@ val l1_distance : t -> t -> float
 val l1_distance_to_allocation : t -> Allocation.t -> float
 
 val trajectory :
-  iters:int -> Graph.t -> Allocation.t -> (int * float) list
+  ?budget:Budget.t -> iters:int -> Graph.t -> Allocation.t ->
+  (int * float) list
 (** [(t, L1 distance to the BD allocation)] for [t = 0 .. iters]. *)

@@ -17,9 +17,21 @@ type outcome = {
 val run_e1_fig1 : Format.formatter -> outcome
 (** Fig. 1: decomposition of the reconstructed example graph. *)
 
-val run_e2_theorem8_sweep : ?trials:int -> Format.formatter -> outcome
+val run_e2_theorem8_sweep :
+  ?trials:int -> ?checkpoint:string -> ?resume:bool -> ?stop_after:int ->
+  ?domains:int -> Format.formatter -> outcome
 (** Headline: ζ over ring families stays ≤ 2; prior bounds 3 and 4 are
-    loose. *)
+    loose.
+
+    Robustness controls: [checkpoint] atomically snapshots the sweep at
+    every family boundary (completed rows, running max, fault count);
+    [resume:true] continues from the snapshot, reprinting finished rows
+    and recomputing only the remaining families — byte-identical verdict
+    to an uninterrupted run.  [stop_after:k] stops after [k] families
+    this invocation (the in-process analogue of a kill).  [domains]
+    spreads the per-seed attacks over OCaml 5 domains via
+    [Parwork.map_report]: a faulting seed is retried once sequentially
+    and otherwise skipped (counted in the verdict), never fatal. *)
 
 val run_e3_alpha_curves : Format.formatter -> outcome
 (** Fig. 2 / Proposition 11: the three α_v(x) shapes, with a witness
@@ -65,3 +77,35 @@ val run_e13_symbolic : ?trials:int -> Format.formatter -> outcome
 
 val run_all : ?quick:bool -> Format.formatter -> outcome list
 (** The whole battery; [quick] shrinks trial counts for smoke runs. *)
+
+(** {1 Hunt: randomised record search} *)
+
+type hunt_result = {
+  best_ratio : Rational.t;  (** exact best incentive ratio found *)
+  best_trial : int;  (** trial that set the record (0 when none) *)
+  best_v : int;
+  best_weights : Rational.t array;
+  trials_done : int;  (** last trial fully processed, over all runs *)
+  trials_total : int;
+  failed_trials : int;  (** trials skipped after a structured fault *)
+  hunt_status : (unit, Ringshare_error.t) result;
+      (** [Error (Budget_exhausted _)] when the budget tripped mid-hunt;
+          the partial bests above are still meaningful. *)
+}
+
+val hunt :
+  ?grid:int -> ?refine:int -> ?checkpoint:string -> ?resume:bool ->
+  ?budget:Budget.t -> ?stop_after:int -> seed:int -> trials:int ->
+  Format.formatter -> hunt_result
+(** Random search for high-incentive-ratio rings (the search that found
+    the tightness family).  Record holders are printed as they fall.
+
+    Each trial draws an instance from the seeded PRNG and runs
+    {!Incentive.best_attack}.  After every trial the optional
+    [checkpoint] is atomically rewritten with the PRNG state and the
+    exact best-so-far; [resume:true] continues the stream from there, so
+    a killed-and-resumed hunt prints the same records and returns the
+    same result as an uninterrupted one.  A [budget] trip ends the hunt
+    early with [Error (Budget_exhausted _)] and the partial best; a
+    per-trial solver fault is counted and skipped, not fatal.
+    [stop_after:k] processes at most [k] trials in this invocation. *)

@@ -2,21 +2,30 @@ let header = "ringshare-graph v1"
 
 let to_string g =
   let buf = Buffer.create 256 in
+  let directives = ref 0 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr directives;
+        Buffer.add_string buf (s ^ "\n"))
+      fmt
+  in
   Buffer.add_string buf (header ^ "\n");
-  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  add "n %d" (Graph.n g);
   for v = 0 to Graph.n g - 1 do
-    Buffer.add_string buf
-      (Printf.sprintf "w %d %s\n" v (Rational.to_string (Graph.weight g v)))
+    add "w %d %s" v (Rational.to_string (Graph.weight g v))
   done;
-  List.iter
-    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
-    (Graph.edges g);
+  List.iter (fun (u, v) -> add "e %d %d" u v) (Graph.edges g);
+  Buffer.add_string buf (Printf.sprintf "end %d\n" !directives);
   Buffer.contents buf
 
-let of_string s =
+(* Structured parser.  [strict] additionally demands the [end] footer that
+   [to_string] emits, so a file truncated at a line boundary is detected;
+   hand-written strings without a footer stay accepted in lax mode. *)
+let parse ?file ~strict s =
   let fail line fmt =
     Printf.ksprintf
-      (fun m -> invalid_arg (Printf.sprintf "Serial.of_string: line %d: %s" line m))
+      (fun msg -> Ringshare_error.(error (Parse_error { file; line; msg })))
       fmt
   in
   let lines = String.split_on_char '\n' s in
@@ -24,6 +33,8 @@ let of_string s =
   let weights = ref [||] in
   let edges = ref [] in
   let saw_header = ref false in
+  let directives = ref 0 in
+  let footer = ref None in
   List.iteri
     (fun i raw ->
       let line = i + 1 in
@@ -37,16 +48,20 @@ let of_string s =
         |> List.filter (fun t -> t <> "")
       with
       | [] -> ()
+      | toks when !footer <> None ->
+          fail line "content after end marker: %S" (String.concat " " toks)
       | toks when not !saw_header ->
           if String.trim text = header then saw_header := true
           else fail line "expected header %S, got %S" header (String.concat " " toks)
       | [ "n"; count ] -> (
+          incr directives;
           match int_of_string_opt count with
           | Some c when c >= 0 ->
               n := c;
               weights := Array.make c Rational.zero
           | _ -> fail line "bad vertex count %S" count)
       | [ "w"; v; q ] -> (
+          incr directives;
           if !n < 0 then fail line "w before n";
           match int_of_string_opt v with
           | Some v when v >= 0 && v < !n -> (
@@ -55,25 +70,76 @@ let of_string s =
               | exception _ -> fail line "bad weight %S" q)
           | _ -> fail line "bad vertex id %S" v)
       | [ "e"; u; v ] -> (
+          incr directives;
           if !n < 0 then fail line "e before n";
           match (int_of_string_opt u, int_of_string_opt v) with
           | Some u, Some v -> edges := (u, v) :: !edges
           | _ -> fail line "bad edge %S %S" u v)
+      | [ "end" ] -> footer := Some line
+      | [ "end"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c = !directives -> footer := Some line
+          | Some c ->
+              fail line "end count %d does not match %d directives (truncated?)"
+                c !directives
+          | None -> fail line "bad end count %S" count)
       | toks -> fail line "unrecognised directive %S" (String.concat " " toks))
     lines;
-  if not !saw_header then invalid_arg "Serial.of_string: missing header";
-  if !n < 0 then invalid_arg "Serial.of_string: missing n directive";
+  let eof = List.length lines in
+  if not !saw_header then fail eof "missing header";
+  if !n < 0 then fail eof "missing n directive";
+  if strict && !footer = None then
+    fail eof "missing end marker (file truncated?)";
   try Graph.create ~weights:!weights ~edges:(List.rev !edges)
-  with Invalid_argument m -> invalid_arg ("Serial.of_string: " ^ m)
+  with Invalid_argument m -> fail eof "%s" m
+
+let of_string_r s = Ringshare_error.capture (fun () -> parse ~strict:false s)
+
+let of_string s =
+  (* compatibility shim: the historical contract is Invalid_argument with a
+     line-numbered message *)
+  match of_string_r s with
+  | Ok g -> g
+  | Error (Ringshare_error.Parse_error { line; msg; _ }) ->
+      invalid_arg (Printf.sprintf "Serial.of_string: line %d: %s" line msg)
+  | Error e -> invalid_arg ("Serial.of_string: " ^ Ringshare_error.to_string e)
 
 let save path g =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string g))
+  (* write-to-temp + rename in the same directory: a crash mid-write can
+     tear only the temp file, never an existing instance file *)
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string g);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error msg ->
+      Ringshare_error.(error (Io_error { file = path; msg }))
+  | exception Unix.Unix_error (e, _, _) ->
+      Ringshare_error.(error (Io_error { file = path; msg = Unix.error_message e }))
+
+let read_all path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error msg ->
+      Ringshare_error.(error (Io_error { file = path; msg }))
+
+let load_r path =
+  Ringshare_error.capture (fun () ->
+      parse ~file:path ~strict:true (read_all path))
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  match load_r path with
+  | Ok g -> g
+  | Error e -> invalid_arg ("Serial.load: " ^ Ringshare_error.to_string e)

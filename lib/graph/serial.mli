@@ -9,14 +9,35 @@
     w 1 1/2
     e 0 1
     e 1 2
+    end 4
     v}
-    Weights are rationals ([p] or [p/q]); unlisted weights default to 0. *)
+    Weights are rationals ([p] or [p/q]); unlisted weights default to 0.
+    [end <count>] closes the file with the number of directives before it;
+    {!to_string} always emits it, and files read from disk must carry it
+    (a bare [end] is also accepted) so silent line-boundary truncation is
+    caught.  In-memory strings without a footer still parse, for
+    hand-written snippets and historical data. *)
 
 val to_string : Graph.t -> string
 
 val of_string : string -> Graph.t
 (** @raise Invalid_argument with a line-numbered message on parse or
-    structural errors. *)
+    structural errors (historical contract; prefer {!of_string_r}). *)
+
+val of_string_r : string -> (Graph.t, Ringshare_error.t) result
+(** Structured variant: [Error (Parse_error {line; msg; _})] names the
+    offending line. *)
 
 val save : string -> Graph.t -> unit
+(** Crash-safe: writes to [path ^ ".tmp"] in the same directory, fsyncs,
+    then renames over [path] — a crash leaves either the old file or the
+    new one, never a torn mix.
+    @raise Ringshare_error.Error ([Io_error]) when the filesystem says
+    no. *)
+
 val load : string -> Graph.t
+(** @raise Invalid_argument on any parse error (historical contract). *)
+
+val load_r : string -> (Graph.t, Ringshare_error.t) result
+(** Structured variant; rejects files lacking the [end] footer as
+    truncated, with the offending line number. *)

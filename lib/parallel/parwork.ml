@@ -40,3 +40,69 @@ let map ?domains f xs =
 
 let map_list ?domains f xs =
   Array.to_list (map ?domains f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant variants                                             *)
+(* ------------------------------------------------------------------ *)
+
+let map_result ?domains f xs =
+  (* catching inside the task function means no worker ever aborts: a
+     faulty element degrades to an Error slot, every other element is
+     still computed *)
+  map ?domains
+    (fun x -> match f x with y -> Ok y | exception e -> Error e)
+    xs
+
+type 'b outcome = { index : int; result : ('b, exn) result; retried : bool }
+
+type 'b report = {
+  outcomes : 'b outcome array;
+  succeeded : int;
+  retried : int;
+  failed : int;
+}
+
+let map_report ?domains ?(retry = true) f xs =
+  let first = map_result ?domains f xs in
+  let outcomes =
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Ok _ -> { index = i; result = r; retried = false }
+        | Error _ when retry ->
+            (* sequential second chance: transient faults (allocation
+               pressure in a domain, injected test faults) get one
+               deterministic retry on the main domain *)
+            let result =
+              match f xs.(i) with y -> Ok y | exception e -> Error e
+            in
+            { index = i; result; retried = true }
+        | Error _ -> { index = i; result = r; retried = false })
+      first
+  in
+  let count p = Array.fold_left (fun a o -> if p o then a + 1 else a) 0 outcomes in
+  {
+    outcomes;
+    succeeded = count (fun o -> Result.is_ok o.result);
+    retried = count (fun o -> o.retried);
+    failed = count (fun o -> Result.is_error o.result);
+  }
+
+let successes r =
+  Array.of_seq
+    (Seq.filter_map
+       (fun o -> match o.result with Ok y -> Some y | Error _ -> None)
+       (Array.to_seq r.outcomes))
+
+let failures r =
+  Array.to_list r.outcomes
+  |> List.filter_map (fun o ->
+         match o.result with Ok _ -> None | Error e -> Some (o.index, e))
+
+let pp_report fmt r =
+  Format.fprintf fmt "%d ok / %d retried / %d failed"
+    r.succeeded r.retried r.failed;
+  List.iter
+    (fun (i, e) ->
+      Format.fprintf fmt "@.  task %d: %s" i (Printexc.to_string e))
+    (failures r)

@@ -27,3 +27,39 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
     any worker is re-raised after all domains join. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Fault-tolerant variants}
+
+    [map] aborts the whole batch on the first exception — correct for
+    programming errors, wasteful for a 10k-task sweep where one instance
+    trips a guard.  The variants below degrade gracefully instead: a
+    fault is caught {e inside} the task, so no worker dies and every
+    other task still completes. *)
+
+val map_result : ?domains:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Like {!map}, but each task's exception is caught and returned as its
+    [Error] slot; the batch always completes.  Deterministic: slot [i]
+    depends only on [f xs.(i)]. *)
+
+type 'b outcome = {
+  index : int;
+  result : ('b, exn) result;
+  retried : bool;  (** failed in the parallel phase, retried sequentially *)
+}
+
+type 'b report = {
+  outcomes : 'b outcome array;  (** one per input element, in order *)
+  succeeded : int;
+  retried : int;
+  failed : int;  (** still [Error] after any retry *)
+}
+
+val map_report : ?domains:int -> ?retry:bool -> ('a -> 'b) -> 'a array -> 'b report
+(** {!map_result}, then each failed task is retried {e sequentially} once
+    on the calling domain (unless [retry:false]) — transient faults heal,
+    persistent ones surface in the per-task report instead of silently
+    aborting the batch. *)
+
+val successes : 'b report -> 'b array
+val failures : 'b report -> (int * exn) list
+val pp_report : Format.formatter -> 'b report -> unit

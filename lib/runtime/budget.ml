@@ -1,0 +1,54 @@
+type t = {
+  deadline : float option; (* absolute Unix time *)
+  max_steps : int option;
+  started : float;
+  steps : int Atomic.t;
+  tripped : bool Atomic.t;
+}
+
+exception Exhausted of { steps : int; elapsed : float }
+
+let unlimited =
+  {
+    deadline = None;
+    max_steps = None;
+    started = 0.0;
+    steps = Atomic.make 0;
+    tripped = Atomic.make false;
+  }
+
+let create ?seconds ?steps () =
+  let now = Unix.gettimeofday () in
+  {
+    deadline = Option.map (fun s -> now +. s) seconds;
+    max_steps = steps;
+    started = now;
+    steps = Atomic.make 0;
+    tripped = Atomic.make false;
+  }
+
+let is_limited t = t.deadline <> None || t.max_steps <> None
+let used_steps t = Atomic.get t.steps
+
+let elapsed t =
+  if is_limited t then Unix.gettimeofday () -. t.started else 0.0
+
+let exhausted t = Atomic.get t.tripped
+
+let trip t =
+  Atomic.set t.tripped true;
+  raise (Exhausted { steps = used_steps t; elapsed = elapsed t })
+
+let tick ?(cost = 1) t =
+  if is_limited t then begin
+    if Atomic.get t.tripped then trip t;
+    let used = Atomic.fetch_and_add t.steps cost + cost in
+    (match t.max_steps with
+    | Some m when used > m -> trip t
+    | _ -> ());
+    match t.deadline with
+    | Some d when Unix.gettimeofday () > d -> trip t
+    | _ -> ()
+  end
+
+let check t = tick ~cost:0 t

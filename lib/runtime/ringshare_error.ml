@@ -1,0 +1,42 @@
+type t =
+  | Parse_error of { file : string option; line : int; msg : string }
+  | Infeasible_dp of string
+  | Oracle_inconsistent of string
+  | Budget_exhausted of { steps : int; elapsed : float }
+  | Certificate_mismatch of string
+  | Io_error of { file : string; msg : string }
+  | Invalid_input of string
+
+exception Error of t
+
+let error t = raise (Error t)
+
+let to_string = function
+  | Parse_error { file; line; msg } ->
+      let where = match file with Some f -> f ^ ": " | None -> "" in
+      Printf.sprintf "parse error: %sline %d: %s" where line msg
+  | Infeasible_dp m -> "infeasible DP: " ^ m
+  | Oracle_inconsistent m -> "oracle inconsistent: " ^ m
+  | Budget_exhausted { steps; elapsed } ->
+      Printf.sprintf "budget exhausted after %d steps (%.2f s)" steps elapsed
+  | Certificate_mismatch m -> "certificate mismatch: " ^ m
+  | Io_error { file; msg } -> Printf.sprintf "io error: %s: %s" file msg
+  | Invalid_input m -> m
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let exit_code = function
+  | Parse_error _ | Invalid_input _ -> 2
+  | Infeasible_dp _ | Oracle_inconsistent _ | Certificate_mismatch _ -> 3
+  | Budget_exhausted _ -> 4
+  | Io_error _ -> 5
+
+let capture f =
+  match f () with
+  | x -> Ok x
+  | exception Error t -> Result.Error t
+  | exception Budget.Exhausted { steps; elapsed } ->
+      Result.Error (Budget_exhausted { steps; elapsed })
+  | exception Invalid_argument m -> Result.Error (Invalid_input m)
+  | exception Failure m -> Result.Error (Invalid_input m)
+  | exception Sys_error m -> Result.Error (Io_error { file = ""; msg = m })

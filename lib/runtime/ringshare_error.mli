@@ -1,0 +1,48 @@
+(** Structured error taxonomy for the whole stack.
+
+    Every failure mode a sweep can hit has one constructor, so a
+    10k-instance experiment can catch, classify and report a bad instance
+    instead of dying on a bare [Failure].  The [capture] boundary is the
+    canonical way to call a solver from a harness: it converts the
+    exceptions the libraries raise (including {!Budget.Exhausted} and the
+    legacy [Invalid_argument]/[Failure] guards) into a [result].
+
+    CLI exit codes are derived from the taxonomy by {!exit_code} and
+    documented in the README. *)
+
+type t =
+  | Parse_error of { file : string option; line : int; msg : string }
+      (** Malformed or truncated instance/checkpoint file. *)
+  | Infeasible_dp of string
+      (** A chain DP admitted no feasible state assignment — indicates a
+          corrupted mask or a solver bug, never a user error. *)
+  | Oracle_inconsistent of string
+      (** Dinkelbach's oracle broke its contract (h > 0, or no strict
+          progress): the surrounding fractional program is unsound. *)
+  | Budget_exhausted of { steps : int; elapsed : float }
+      (** A cooperative {!Budget.t} tripped; partial results may exist. *)
+  | Certificate_mismatch of string
+      (** A flow-witness certificate failed verification. *)
+  | Io_error of { file : string; msg : string }
+      (** The underlying system call failed (open, rename, ...). *)
+  | Invalid_input of string
+      (** Anything else the libraries reject up front. *)
+
+exception Error of t
+(** Structured failures cross exception-free code as this single
+    exception; {!capture} catches it. *)
+
+val error : t -> 'a
+(** [raise (Error t)]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** CLI exit code class: 2 user input / parse, 3 internal inconsistency
+    (oracle, DP, certificate), 4 budget exhausted, 5 I/O. *)
+
+val capture : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, mapping [Error], {!Budget.Exhausted},
+    [Invalid_argument], [Failure] and [Sys_error] to [Error _].  All
+    other exceptions propagate. *)

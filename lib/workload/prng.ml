@@ -4,6 +4,8 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
 
 let next_int64 t =
   let open Int64 in

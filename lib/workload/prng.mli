@@ -10,6 +10,16 @@ val create : int -> t
 (** Seeded generator; equal seeds yield equal streams. *)
 
 val copy : t -> t
+
+val state : t -> int64
+(** The full internal state — what a checkpoint must persist so a resumed
+    run continues the exact stream. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from {!state}.  [of_state (state t)] continues
+    [t]'s stream; unlike {!create}, no seeding transformation is
+    applied. *)
+
 val next_int64 : t -> int64
 
 val int : t -> int -> int

@@ -1,0 +1,67 @@
+#!/bin/sh
+# CLI exit-code contract (documented in README.md):
+#   0  success
+#   2  user-input / parse error, as one clean line on stderr (no backtrace)
+#   4  compute budget exhausted
+# Run via the dune runtest alias; $1 is the ringshare executable.
+set -u
+
+cli="$1"
+fails=0
+
+expect() {
+  desc="$1"; want="$2"; got="$3"
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# 1. a valid run succeeds
+"$cli" decompose --fig1 > "$tmpdir/out" 2>&1
+expect "decompose --fig1" 0 $?
+grep -q "bottleneck decomposition" "$tmpdir/out" || {
+  echo "FAIL: --fig1 output missing the decomposition" >&2; fails=$((fails + 1)); }
+
+# 2. a bad distribution name: exit 2, one clean line, no backtrace
+"$cli" decompose --dist bogus > "$tmpdir/out" 2> "$tmpdir/err"
+expect "bad --dist" 2 $?
+[ "$(wc -l < "$tmpdir/err")" -eq 1 ] || {
+  echo "FAIL: bad --dist stderr is not one line:" >&2
+  cat "$tmpdir/err" >&2; fails=$((fails + 1)); }
+grep -q "unknown distribution" "$tmpdir/err" || {
+  echo "FAIL: bad --dist message unhelpful" >&2; fails=$((fails + 1)); }
+grep -q "Raised at" "$tmpdir/err" && {
+  echo "FAIL: bad --dist printed a backtrace" >&2; fails=$((fails + 1)); }
+
+# 3. a corrupted instance file: exit 2, error names the line
+printf 'ringshare-graph v1\nn 2\nw 9 1\n' > "$tmpdir/bad.graph"
+"$cli" decompose --file "$tmpdir/bad.graph" > /dev/null 2> "$tmpdir/err"
+expect "corrupted --file" 2 $?
+grep -q "line 3" "$tmpdir/err" || {
+  echo "FAIL: corrupted --file error does not name the line:" >&2
+  cat "$tmpdir/err" >&2; fails=$((fails + 1)); }
+
+# 4. a truncated instance file (no end footer): exit 2
+printf 'ringshare-graph v1\nn 2\nw 0 1\n' > "$tmpdir/cut.graph"
+"$cli" decompose --file "$tmpdir/cut.graph" > /dev/null 2> "$tmpdir/err"
+expect "truncated --file" 2 $?
+
+# 5. an exhausted budget: exit 4 with partial results
+"$cli" hunt --trials 50 --step-budget 500 > /dev/null 2> "$tmpdir/err"
+expect "hunt --step-budget" 4 $?
+grep -q "budget exhausted" "$tmpdir/err" || {
+  echo "FAIL: budget message missing" >&2; fails=$((fails + 1)); }
+
+# 6. conflicting instance specs: exit 2
+"$cli" decompose --fig1 --ring 1,2,3 > /dev/null 2> "$tmpdir/err"
+expect "conflicting specs" 2 $?
+
+if [ "$fails" -ne 0 ]; then
+  echo "cli_smoke: $fails check(s) failed" >&2
+  exit 1
+fi
+echo "cli_smoke: all exit-code checks passed"

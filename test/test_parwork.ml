@@ -30,6 +30,72 @@ let test_exception_propagates () =
   Alcotest.check_raises "raises" Boom (fun () ->
       ignore (Parwork.map ~domains:4 (fun x -> if x = 57 then raise Boom else x) xs))
 
+let test_multiple_exceptions_no_deadlock () =
+  (* many workers fault at once: exactly one exception must surface,
+     after every domain has joined (a hang here fails the test runner's
+     timeout, a crash fails the check) *)
+  let xs = Array.init 200 Fun.id in
+  for _ = 1 to 5 do
+    Alcotest.check_raises "raises" Boom (fun () ->
+        ignore
+          (Parwork.map ~domains:4
+             (fun x -> if x mod 3 = 0 then raise Boom else x)
+             xs))
+  done
+
+let test_map_result_isolates_faults () =
+  let xs = Array.init 50 Fun.id in
+  let r =
+    Parwork.map_result ~domains:4
+      (fun x -> if x mod 7 = 0 then raise Boom else 2 * x)
+      xs
+  in
+  Alcotest.(check int) "all slots" 50 (Array.length r);
+  Array.iteri
+    (fun i res ->
+      match res with
+      | Ok y ->
+          Alcotest.(check bool) "ok slot" true (i mod 7 <> 0);
+          Alcotest.(check int) "value" (2 * i) y
+      | Error Boom -> Alcotest.(check bool) "fault slot" true (i mod 7 = 0)
+      | Error e -> raise e)
+    r
+
+let test_map_report_heals_transient_faults () =
+  (* every 5th task fails on its first attempt only; the sequential
+     retry pass must heal all of them *)
+  let attempts = Array.init 40 (fun _ -> Atomic.make 0) in
+  let f i =
+    if Atomic.fetch_and_add attempts.(i) 1 = 0 && i mod 5 = 0 then raise Boom
+    else i * i
+  in
+  let r = Parwork.map_report ~domains:4 f (Array.init 40 Fun.id) in
+  Alcotest.(check int) "succeeded" 40 r.Parwork.succeeded;
+  Alcotest.(check int) "retried" 8 r.Parwork.retried;
+  Alcotest.(check int) "failed" 0 r.Parwork.failed;
+  Alcotest.(check (array int)) "deterministic values"
+    (Array.init 40 (fun i -> i * i))
+    (Parwork.successes r);
+  Array.iter
+    (fun (o : _ Parwork.outcome) ->
+      Alcotest.(check bool) "retried exactly the faulty tasks"
+        (o.Parwork.index mod 5 = 0) o.Parwork.retried)
+    r.Parwork.outcomes
+
+let test_map_report_persistent_fault () =
+  let f i = if i = 3 then raise Boom else i in
+  let r = Parwork.map_report ~domains:2 f (Array.init 6 Fun.id) in
+  Alcotest.(check int) "succeeded" 5 r.Parwork.succeeded;
+  Alcotest.(check int) "failed" 1 r.Parwork.failed;
+  (match Parwork.failures r with
+  | [ (3, Boom) ] -> ()
+  | _ -> Alcotest.fail "expected exactly task 3 to fail");
+  Alcotest.(check (array int)) "survivors in order" [| 0; 1; 2; 4; 5 |]
+    (Parwork.successes r);
+  let f' i = if i = 3 then raise Boom else i in
+  let r' = Parwork.map_report ~domains:2 ~retry:false f' (Array.init 6 Fun.id) in
+  Alcotest.(check int) "no retry pass" 0 r'.Parwork.retried
+
 let test_map_list () =
   Alcotest.(check (list int)) "list version" [ 2; 4; 6 ]
     (Parwork.map_list ~domains:2 (fun x -> 2 * x) [ 1; 2; 3 ])
@@ -51,6 +117,14 @@ let () =
           Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
           Alcotest.test_case "uneven work" `Quick test_uneven_work;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "many exceptions, no deadlock" `Quick
+            test_multiple_exceptions_no_deadlock;
+          Alcotest.test_case "map_result isolates faults" `Quick
+            test_map_result_isolates_faults;
+          Alcotest.test_case "map_report heals transient faults" `Quick
+            test_map_report_heals_transient_faults;
+          Alcotest.test_case "map_report persistent fault" `Quick
+            test_map_report_persistent_fault;
           Alcotest.test_case "map_list" `Quick test_map_list;
           Alcotest.test_case "parallel attack search" `Quick test_parallel_best_attack_matches;
         ] );
