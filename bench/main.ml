@@ -6,137 +6,190 @@
    Part 2 is a Bechamel micro-benchmark suite over the computational
    kernels (decomposition solvers, max flow, allocation, dynamics,
    attack search) - the "performance table" a systems reader expects,
-   and the quantitative side of the E10 ablation.
+   and the quantitative side of the E10 ablation.  Alongside the pretty
+   table the suite writes [BENCH_ringshare.json], a machine-readable
+   {test name -> ns/run} map, so the performance trajectory is
+   trackable across PRs.
 
    Usage:
-     dune exec bench/main.exe              full battery + benchmarks
-     dune exec bench/main.exe -- quick     reduced trial counts
-     dune exec bench/main.exe -- no-bench  experiments only *)
+     dune exec bench/main.exe               full battery + benchmarks
+     dune exec bench/main.exe -- quick      reduced trial counts
+     dune exec bench/main.exe -- no-bench   experiments only
+     dune exec bench/main.exe -- bench-only benchmarks only
+     dune exec bench/main.exe -- smoke      run every benchmark closure
+                                            once, no timing, no battery
+                                            (the dune runtest hook) *)
 
 open Bechamel
 open Toolkit
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 let no_bench = Array.exists (fun a -> a = "no-bench") Sys.argv
+let bench_only = Array.exists (fun a -> a = "bench-only") Sys.argv
+let smoke = Array.exists (fun a -> a = "smoke") Sys.argv
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel suite                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Each case is (group, name, closure); the same list backs the timed
+   Bechamel suite and the run-once smoke mode, so a closure that rots
+   fails [dune runtest] instead of rotting silently. *)
+
 let ring n = Instances.ring ~seed:11 ~n (Weights.Uniform (1, 100))
 
-let test_decompose_chain n =
+let case_decompose solver tag n =
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "decompose/chain/n=%d" n)
-    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Chain g)))
+  ( "solvers",
+    Printf.sprintf "decompose/%s/n=%d" tag n,
+    fun () -> ignore (Decompose.compute ~solver g) )
 
-let test_decompose_fast n =
-  let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "decompose/fast-chain/n=%d" n)
-    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.FastChain g)))
-
-let test_decompose_flow n =
-  let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "decompose/flow/n=%d" n)
-    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Flow g)))
-
-let test_decompose_brute n =
-  let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "decompose/brute/n=%d" n)
-    (Staged.stage (fun () -> ignore (Decompose.compute ~solver:Decompose.Brute g)))
-
-let test_decompose_fast_budgeted n =
+let case_decompose_fast_budgeted n =
   (* the cost of cooperative budget metering on the hot solver: same
      decomposition with a (never-tripping) budget threaded through *)
   let g = ring n in
   let budget = Budget.create ~steps:max_int () in
-  Test.make
-    ~name:(Printf.sprintf "decompose/fast-chain+budget/n=%d" n)
-    (Staged.stage (fun () ->
-         ignore (Decompose.compute ~solver:Decompose.FastChain ~budget g)))
+  ( "solvers",
+    Printf.sprintf "decompose/fast-chain+budget/n=%d" n,
+    fun () -> ignore (Decompose.compute ~solver:Decompose.FastChain ~budget g) )
 
-let test_allocation n =
+let case_allocation n =
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "allocation/n=%d" n)
-    (Staged.stage (fun () -> ignore (Allocation.compute g)))
+  ( "mechanism",
+    Printf.sprintf "allocation/n=%d" n,
+    fun () -> ignore (Allocation.compute g) )
 
-let test_dynamics_float n =
+let case_dynamics_float n =
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "dynamics/float-100-rounds/n=%d" n)
-    (Staged.stage (fun () -> ignore (Prd.run ~iters:100 g)))
+  ( "dynamics",
+    Printf.sprintf "dynamics/float-100-rounds/n=%d" n,
+    fun () -> ignore (Prd.run ~iters:100 g) )
 
-let test_dynamics_exact n =
+let case_dynamics_exact n =
   (* exact-rational iterates grow denominators fast; keep the horizon
      short so a single run stays in the millisecond range *)
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "dynamics/exact-6-rounds/n=%d" n)
-    (Staged.stage (fun () -> ignore (Prd_exact.run ~iters:6 g)))
+  ( "dynamics",
+    Printf.sprintf "dynamics/exact-6-rounds/n=%d" n,
+    fun () -> ignore (Prd_exact.run ~iters:6 g) )
 
-let test_attack_search n =
+let case_attack_search n =
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "sybil/best-split/n=%d" n)
-    (Staged.stage (fun () ->
-         ignore (Incentive.best_split ~grid:8 ~refine:1 g ~v:0)))
+  ( "attack",
+    Printf.sprintf "sybil/best-split/n=%d" n,
+    fun () -> ignore (Incentive.best_split ~grid:8 ~refine:1 g ~v:0) )
 
-let test_attack_search_parallel n domains =
+let case_attack_search_parallel n domains =
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "sybil/best-attack/n=%d/domains=%d" n domains)
-    (Staged.stage (fun () ->
-         ignore (Incentive.best_attack ~grid:8 ~refine:1 ~domains g)))
+  ( "attack",
+    Printf.sprintf "sybil/best-attack/n=%d/domains=%d" n domains,
+    fun () -> ignore (Incentive.best_attack ~grid:8 ~refine:1 ~domains g) )
 
-let test_symbolic_verify n =
+let case_symbolic_verify n =
   let g = ring n in
-  Test.make
-    ~name:(Printf.sprintf "symbolic/verify-theorem8/n=%d" n)
-    (Staged.stage (fun () ->
-         ignore (Symbolic.verify_theorem8 ~grid:12 g ~v:0)))
+  ( "attack",
+    Printf.sprintf "symbolic/verify-theorem8/n=%d" n,
+    fun () -> ignore (Symbolic.verify_theorem8 ~grid:12 g ~v:0) )
 
-let test_bigint_mul digits =
+let case_bigint_mul digits =
   let x = Bigint.of_string (String.make digits '7') in
   let y = Bigint.of_string (String.make digits '3') in
-  Test.make
-    ~name:(Printf.sprintf "bigint/mul/%d-digits" digits)
-    (Staged.stage (fun () -> ignore (Bigint.mul x y)))
+  ( "bigint",
+    Printf.sprintf "bigint/mul/%d-digits" digits,
+    fun () -> ignore (Bigint.mul x y) )
 
-let benchmarks () =
+let case_bigint_small_arith () =
+  (* the fixnum fast path the exact-arithmetic spine lives on: weights
+     are 1..100, so decomposition arithmetic is dominated by values
+     that fit a native int *)
+  let xs = Array.init 64 (fun i -> Bigint.of_int ((i * 37) - 1000)) in
+  ( "bigint",
+    "bigint/small-mixed-arith",
+    fun () ->
+      let acc = ref Bigint.zero in
+      for i = 0 to Array.length xs - 2 do
+        acc := Bigint.add !acc (Bigint.mul xs.(i) xs.(i + 1));
+        ignore (Bigint.gcd xs.(i) xs.(i + 1))
+      done;
+      ignore !acc )
+
+let case_rational_sum n =
+  let qs = Array.init n (fun i -> Rational.of_ints (i + 1) (i + 2)) in
+  ( "rational",
+    Printf.sprintf "rational/sum-fractions/n=%d" n,
+    fun () -> ignore (Array.fold_left Rational.add Rational.zero qs) )
+
+let cases () =
+  [
+    case_decompose Decompose.Chain "chain" 8;
+    case_decompose Decompose.FastChain "fast-chain" 8;
+    case_decompose Decompose.Flow "flow" 8;
+    case_decompose Decompose.Brute "brute" 8;
+    case_decompose Decompose.Chain "chain" 32;
+    case_decompose Decompose.FastChain "fast-chain" 32;
+    case_decompose_fast_budgeted 32;
+    case_decompose Decompose.Flow "flow" 32;
+    case_decompose Decompose.FastChain "fast-chain" 128;
+    case_decompose_fast_budgeted 128;
+    case_allocation 8;
+    case_allocation 64;
+    case_dynamics_float 16;
+    case_dynamics_exact 6;
+    case_attack_search 6;
+    case_attack_search_parallel 8 1;
+    case_attack_search_parallel 8 2;
+    case_symbolic_verify 5;
+    case_bigint_mul 50;
+    case_bigint_mul 2000;
+    case_bigint_small_arith ();
+    case_rational_sum 256;
+  ]
+
+let benchmarks cases =
+  let groups =
+    List.fold_left
+      (fun acc (g, _, _) -> if List.mem g acc then acc else acc @ [ g ])
+      [] cases
+  in
   Test.make_grouped ~name:"ringshare"
-    [
-      Test.make_grouped ~name:"solvers"
-        [
-          test_decompose_chain 8;
-          test_decompose_fast 8;
-          test_decompose_flow 8;
-          test_decompose_brute 8;
-          test_decompose_chain 32;
-          test_decompose_fast 32;
-          test_decompose_fast_budgeted 32;
-          test_decompose_flow 32;
-          test_decompose_fast 128;
-          test_decompose_fast_budgeted 128;
-        ];
-      Test.make_grouped ~name:"mechanism"
-        [ test_allocation 8; test_allocation 64 ];
-      Test.make_grouped ~name:"dynamics"
-        [ test_dynamics_float 16; test_dynamics_exact 6 ];
-      Test.make_grouped ~name:"attack"
-        [
-          test_attack_search 6;
-          test_attack_search_parallel 8 1;
-          test_attack_search_parallel 8 2;
-          test_symbolic_verify 5;
-        ];
-      Test.make_grouped ~name:"bigint"
-        [ test_bigint_mul 50; test_bigint_mul 2000 ];
-    ]
+    (List.map
+       (fun grp ->
+         Test.make_grouped ~name:grp
+           (List.filter_map
+              (fun (g, name, fn) ->
+                if g = grp then Some (Test.make ~name (Staged.stage fn))
+                else None)
+              cases))
+       groups)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_file = "BENCH_ringshare.json"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json rows =
+  let oc = open_out json_file in
+  output_string oc "{\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d entries)@." json_file n
 
 let run_benchmarks () =
   let cfg =
@@ -146,11 +199,12 @@ let run_benchmarks () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let raw = Benchmark.all cfg instances (benchmarks ()) in
+  let raw = Benchmark.all cfg instances (benchmarks (cases ())) in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let merged = Analyze.merge ols instances results in
   Format.printf "@.%s@.Bechamel micro-benchmarks (ns per run)@.%s@."
     (String.make 72 '-') (String.make 72 '-');
+  let json_rows = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
       let rows =
@@ -160,30 +214,58 @@ let run_benchmarks () =
       List.iter
         (fun (test, result) ->
           match Analyze.OLS.estimates result with
-          | Some (est :: _) -> Format.printf "%-44s %14.1f@." test est
+          | Some (est :: _) ->
+              json_rows := (test, est) :: !json_rows;
+              Format.printf "%-44s %14.1f@." test est
           | _ -> Format.printf "%-44s %14s@." test "n/a")
         rows)
-    merged
+    merged;
+  write_json (List.sort compare !json_rows)
+
+let run_smoke () =
+  (* Execute every benchmark closure exactly once.  No timing: the point
+     is that the closures still build and run, so the bench binary (and
+     the kernels it drives) cannot silently rot between PRs. *)
+  let cs = cases () in
+  List.iter
+    (fun (_, name, fn) ->
+      fn ();
+      Format.printf "smoke %-44s ok@." name)
+    cs;
+  Format.printf "bench smoke: %d closures ran@." (List.length cs)
 
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let fmt = Format.std_formatter in
-  Format.fprintf fmt
-    "ringshare experiment battery - reproduction of Cheng, Deng, Li (IPPS 2020)@.@.";
-  let outcomes = Experiments.run_all ~quick fmt in
-  Format.fprintf fmt "%s@.summary@.%s@." (String.make 72 '=') (String.make 72 '=');
-  List.iter
-    (fun (o : Experiments.outcome) ->
-      Format.fprintf fmt "[%s] %-24s %s@."
-        (if o.ok then "OK" else "FAIL")
-        o.id o.detail)
-    outcomes;
-  let failures = List.filter (fun (o : Experiments.outcome) -> not o.ok) outcomes in
-  Format.fprintf fmt "@.%d/%d experiments reproduce the paper's shape@."
-    (List.length outcomes - List.length failures)
-    (List.length outcomes);
-  if not no_bench then run_benchmarks ();
-  if failures <> [] then exit 1
+  if smoke then run_smoke ()
+  else begin
+    let fmt = Format.std_formatter in
+    let failures =
+      if bench_only then []
+      else begin
+        Format.fprintf fmt
+          "ringshare experiment battery - reproduction of Cheng, Deng, Li \
+           (IPPS 2020)@.@.";
+        let outcomes = Experiments.run_all ~quick fmt in
+        Format.fprintf fmt "%s@.summary@.%s@." (String.make 72 '=')
+          (String.make 72 '=');
+        List.iter
+          (fun (o : Experiments.outcome) ->
+            Format.fprintf fmt "[%s] %-24s %s@."
+              (if o.ok then "OK" else "FAIL")
+              o.id o.detail)
+          outcomes;
+        let failures =
+          List.filter (fun (o : Experiments.outcome) -> not o.ok) outcomes
+        in
+        Format.fprintf fmt "@.%d/%d experiments reproduce the paper's shape@."
+          (List.length outcomes - List.length failures)
+          (List.length outcomes);
+        failures
+      end
+    in
+    if not no_bench then run_benchmarks ();
+    if failures <> [] then exit 1
+  end

@@ -1,23 +1,31 @@
-(* Sign-magnitude arbitrary-precision integers, base 10^9 limbs.
+(* Arbitrary-precision signed integers with a Zarith-style fixnum fast
+   path.
 
-   Invariants:
-   - [mag] is little-endian with a non-zero most-significant limb;
-   - [sign = 0] iff [mag] is empty, otherwise [sign] is [-1] or [1];
+   Representation:
+   - [Small n] holds every value representable in a native [int];
+   - [Big { sign; mag }] holds everything else, as a sign and a
+     little-endian magnitude in base 10^9 limbs.
+
+   Invariants (the canonical-form contract):
+   - a value fits the native [int] range iff it is [Small] — [Big] is
+     reserved for out-of-range values, so equal values always have
+     identical representations (structural [equal]/[hash] stay valid);
+   - in [Big], [mag] has a non-zero most-significant limb, at least one
+     limb, and [sign] is [-1] or [1];
    - every limb lies in [0, base).
 
-   All limb-level arithmetic stays within the native 63-bit [int]: products
-   of two limbs are below 10^18 and every intermediate sum below computes
-   headroom of ~4.6*10^18. *)
+   Fast-path contract: the [Small]/[Small] cases of [add], [sub],
+   [mul], [divmod], [gcd] and [compare] run entirely on native ints
+   with explicit overflow checks, and fall back to the limb algorithms
+   (via [parts]) exactly when the native computation would overflow.
+   All limb-level arithmetic stays within the native 63-bit [int]:
+   products of two limbs are below 10^18 and every intermediate sum
+   computes with headroom of ~4.6*10^18. *)
 
 let base = 1_000_000_000
 let base_digits = 9
 
-type t = { sign : int; mag : int array }
-
-let zero = { sign = 0; mag = [||] }
-let one = { sign = 1; mag = [| 1 |] }
-let two = { sign = 1; mag = [| 2 |] }
-let minus_one = { sign = -1; mag = [| 1 |] }
+type t = Small of int | Big of { sign : int; mag : int array }
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude (unsigned) helpers                                        *)
@@ -273,65 +281,60 @@ let divmod_mag u v =
       (q, if r = 0 then [||] else [| r |])
   | _ -> divmod_mag_long u v
 
-(* ------------------------------------------------------------------ *)
-(* Signed layer                                                        *)
-(* ------------------------------------------------------------------ *)
+(* Binary (Stein) gcd on magnitudes.  The base is even, so the parity of
+   a magnitude is the parity of its lowest limb, and halving is a single
+   linear [divmod_mag_int] pass — each step is O(limbs) instead of the
+   full Knuth-D divmod the Euclid loop paid per iteration. *)
 
-let make sign mag = if Array.length mag = 0 then zero else { sign; mag }
-let sign x = x.sign
-let is_zero x = x.sign = 0
-let neg x = make (-x.sign) x.mag
-let abs x = if x.sign < 0 then neg x else x
+let mag_is_even m = m.(0) land 1 = 0
+let mag_half m = fst (divmod_mag_int m 2)
 
-let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
-  else if a.sign >= 0 then compare_mag a.mag b.mag
-  else compare_mag b.mag a.mag
-
-let equal a b = compare a b = 0
-let min a b = if compare a b <= 0 then a else b
-let max a b = if compare a b >= 0 then a else b
-
-let hash x =
-  Array.fold_left (fun acc limb -> (acc * 1_000_003) + limb) x.sign x.mag
-  land max_int
-
-let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
-  else
-    let c = compare_mag a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
-    else make b.sign (sub_mag b.mag a.mag)
-
-let sub a b = add a (neg b)
-let succ x = add x one
-let pred x = sub x one
-
-let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
-
-let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else
-    let qm, rm = divmod_mag a.mag b.mag in
-    (make (a.sign * b.sign) qm, make a.sign rm)
-
-let div a b = fst (divmod a b)
-let rem a b = snd (divmod a b)
-
-let rec gcd_mag a b = if is_zero b then a else gcd_mag b (rem a b)
-let gcd a b = gcd_mag (abs a) (abs b)
-
-let of_int n =
-  if n = 0 then zero
+let gcd_mag_stein a0 b0 =
+  if Array.length a0 = 0 then b0
+  else if Array.length b0 = 0 then a0
   else begin
-    (* min_int has no positive counterpart; peel one limb first. *)
-    let sign = if n < 0 then -1 else 1 in
+    let a = ref a0 and b = ref b0 and shift = ref 0 in
+    while mag_is_even !a && mag_is_even !b do
+      a := mag_half !a;
+      b := mag_half !b;
+      incr shift
+    done;
+    while mag_is_even !a do
+      a := mag_half !a
+    done;
+    (* invariant: [a] is odd from here on *)
+    let continue_ = ref true in
+    while !continue_ do
+      while Array.length !b > 0 && mag_is_even !b do
+        b := mag_half !b
+      done;
+      if Array.length !b = 0 then continue_ := false
+      else begin
+        (* both odd: keep the smaller in [a], subtract (difference is
+           even, so the next round halves it) *)
+        if compare_mag !a !b > 0 then begin
+          let t = !a in
+          a := !b;
+          b := t
+        end;
+        b := sub_mag !b !a
+      end
+    done;
+    let g = ref !a in
+    for _ = 1 to !shift do
+      g := mul_mag_int !g 2
+    done;
+    !g
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Representation change: canonical constructors                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Magnitude limbs of [|n|]; [n] may be [min_int]. *)
+let mag_of_abs_int n =
+  if n = 0 then [||]
+  else begin
     let rec limbs n acc =
       if n = 0 then List.rev acc
       else limbs (n / base) ((n mod base) :: acc)
@@ -339,53 +342,207 @@ let of_int n =
     let l =
       if n <> Stdlib.min_int then limbs (Stdlib.abs n) []
       else
+        (* min_int has no positive counterpart; peel one limb first. *)
         let q = -(n / base) and r = -(n mod base) in
         r :: limbs q []
     in
-    make sign (normalize_mag (Array.of_list l))
+    Array.of_list l
   end
 
-let to_int x =
-  (* max_int has 3 limbs in base 10^9 (about 4.6e18). *)
-  let l = Array.length x.mag in
+let min_int_mag = mag_of_abs_int Stdlib.min_int
+
+(* Value of a magnitude when it fits [0, max_int]. *)
+let mag_value_opt mag =
+  let l = Array.length mag in
   if l = 0 then Some 0
   else if l > 3 then None
   else
     let rec value i acc =
       if i < 0 then Some acc
       else
-        let limb = x.mag.(i) in
+        let limb = mag.(i) in
         if acc > (max_int - limb) / base then None
         else value (i - 1) ((acc * base) + limb)
     in
-    match value (l - 1) 0 with
-    | None ->
-        (* One value, min_int, overflows the positive range by exactly 1. *)
-        if x.sign < 0 && equal (neg x) (of_int Stdlib.min_int |> neg) then
-          Some Stdlib.min_int
-        else None
-    | Some v -> Some (if x.sign < 0 then -v else v)
+    value (l - 1) 0
 
-let to_int_exn x =
-  match to_int x with
-  | Some v -> v
-  | None -> failwith "Bigint.to_int_exn: value out of int range"
-
-let to_float x =
-  let f = ref 0.0 in
-  for i = Array.length x.mag - 1 downto 0 do
-    f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
-  done;
-  if x.sign < 0 then -. !f else !f
-
-let mul_int a n =
-  if n = 0 || a.sign = 0 then zero
+(* The canonical constructor: demotes any in-int-range magnitude to
+   [Small], so equal values always share a representation. *)
+let make sign mag =
+  if Array.length mag = 0 then Small 0
   else
-    let s = if n < 0 then -a.sign else a.sign in
-    let m = Stdlib.abs n in
-    if m < base then make s (mul_mag_int a.mag m) else mul a (of_int n)
+    match mag_value_opt mag with
+    | Some v -> Small (if sign < 0 then -v else v)
+    | None ->
+        if sign < 0 && compare_mag mag min_int_mag = 0 then
+          Small Stdlib.min_int
+        else Big { sign; mag }
 
-let add_int a n = add a (of_int n)
+(* Limb-path view of any value. *)
+let parts = function
+  | Small 0 -> (0, [||])
+  | Small n -> ((if n < 0 then -1 else 1), mag_of_abs_int n)
+  | Big { sign; mag } -> (sign, mag)
+
+(* ------------------------------------------------------------------ *)
+(* Signed limb-path layer (the overflow fallbacks)                     *)
+(* ------------------------------------------------------------------ *)
+
+let add_parts (sa, ma) (sb, mb) =
+  if sa = 0 then make sb mb
+  else if sb = 0 then make sa ma
+  else if sa = sb then make sa (add_mag ma mb)
+  else
+    let c = compare_mag ma mb in
+    if c = 0 then Small 0
+    else if c > 0 then make sa (sub_mag ma mb)
+    else make sb (sub_mag mb ma)
+
+let mul_parts (sa, ma) (sb, mb) =
+  if sa = 0 || sb = 0 then Small 0 else make (sa * sb) (mul_mag ma mb)
+
+let divmod_parts (sa, ma) (sb, mb) =
+  if sb = 0 then raise Division_by_zero
+  else if sa = 0 then (Small 0, Small 0)
+  else
+    let qm, rm = divmod_mag ma mb in
+    (make (sa * sb) qm, make sa rm)
+
+let compare_parts (sa, ma) (sb, mb) =
+  if sa <> sb then Stdlib.compare sa sb
+  else if sa >= 0 then compare_mag ma mb
+  else compare_mag mb ma
+
+(* ------------------------------------------------------------------ *)
+(* Public signed layer with fixnum fast paths                          *)
+(* ------------------------------------------------------------------ *)
+
+let zero = Small 0
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
+let of_int n = Small n
+let sign = function Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let is_zero = function Small 0 -> true | _ -> false
+
+let neg = function
+  | Small n when n <> Stdlib.min_int -> Small (-n)
+  | Small _ -> Big { sign = 1; mag = min_int_mag }
+  | Big b -> Big { sign = -b.sign; mag = b.mag }
+
+let abs x =
+  match x with
+  | Small n when n >= 0 -> x
+  | Big { sign = 1; _ } -> x
+  | _ -> neg x
+
+let compare a b =
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Small _, Big bb -> if bb.sign > 0 then -1 else 1
+  | Big ba, Small _ -> if ba.sign > 0 then 1 else -1
+  | Big ba, Big bb ->
+      if ba.sign <> bb.sign then Stdlib.compare ba.sign bb.sign
+      else if ba.sign >= 0 then compare_mag ba.mag bb.mag
+      else compare_mag bb.mag ba.mag
+
+let equal a b =
+  match (a, b) with
+  | Small x, Small y -> x = y
+  | Big ba, Big bb -> ba.sign = bb.sign && compare_mag ba.mag bb.mag = 0
+  | _ -> false
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash x =
+  (* Canonical form makes any representation-level hash value-level. *)
+  match x with
+  | Small n -> n land max_int
+  | Big { sign; mag } ->
+      Array.fold_left (fun acc limb -> (acc * 1_000_003) + limb) sign mag
+      land max_int
+
+let add a b =
+  match (a, b) with
+  | Small x, Small y ->
+      let s = x + y in
+      (* overflow iff the operands share a sign the sum lost *)
+      if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then
+        add_parts (parts a) (parts b)
+      else Small s
+  | _ -> add_parts (parts a) (parts b)
+
+let sub a b =
+  match (a, b) with
+  | Small x, Small y ->
+      let d = x - y in
+      (* overflow iff the operands' signs differ and the result lost x's *)
+      if (x >= 0) <> (y >= 0) && (d >= 0) <> (x >= 0) then
+        add_parts (parts a) (parts (neg b))
+      else Small d
+  | _ -> add_parts (parts a) (parts (neg b))
+
+let succ x = add x one
+let pred x = sub x one
+
+(* |x|,|y| < 2^31 keeps the product below 2^62 - 1 = max_int. *)
+let small_mul_bound = 1 lsl 31
+
+let mul a b =
+  match (a, b) with
+  | Small x, Small y ->
+      if x = 0 || y = 0 then Small 0
+      else if
+        x < small_mul_bound
+        && x > -small_mul_bound
+        && y < small_mul_bound
+        && y > -small_mul_bound
+      then Small (x * y)
+      else mul_parts (parts a) (parts b)
+  | _ -> mul_parts (parts a) (parts b)
+
+let divmod a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+      if x = Stdlib.min_int && y = -1 then (neg a, Small 0)
+      else (Small (x / y), Small (x mod y))
+  | Small _, Big _ ->
+      (* canonical form: any Big exceeds the whole int range, so |a| < |b| *)
+      (Small 0, a)
+  | _ -> divmod_parts (parts a) (parts b)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y when x <> Stdlib.min_int && y <> Stdlib.min_int ->
+      Small (gcd_int (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+      let _, ma = parts (abs a) and _, mb = parts (abs b) in
+      make 1 (gcd_mag_stein ma mb)
+
+let to_int = function Small n -> Some n | Big _ -> None
+
+let to_int_exn = function
+  | Small n -> n
+  | Big _ -> failwith "Bigint.to_int_exn: value out of int range"
+
+let to_float = function
+  | Small n -> float_of_int n
+  | Big { sign; mag } ->
+      let f = ref 0.0 in
+      for i = Array.length mag - 1 downto 0 do
+        f := (!f *. float_of_int base) +. float_of_int mag.(i)
+      done;
+      if sign < 0 then -. !f else !f
+
+let mul_int a n = mul a (Small n)
+let add_int a n = add a (Small n)
 
 let pow x n =
   if n < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -396,18 +553,17 @@ let pow x n =
   in
   go one x n
 
-let to_string x =
-  if x.sign = 0 then "0"
-  else begin
-    let buf = Buffer.create (Array.length x.mag * base_digits) in
-    if x.sign < 0 then Buffer.add_char buf '-';
-    let top = Array.length x.mag - 1 in
-    Buffer.add_string buf (string_of_int x.mag.(top));
-    for i = top - 1 downto 0 do
-      Buffer.add_string buf (Printf.sprintf "%09d" x.mag.(i))
-    done;
-    Buffer.contents buf
-  end
+let to_string = function
+  | Small n -> string_of_int n
+  | Big { sign; mag } ->
+      let buf = Buffer.create (Array.length mag * base_digits) in
+      if sign < 0 then Buffer.add_char buf '-';
+      let top = Array.length mag - 1 in
+      Buffer.add_string buf (string_of_int mag.(top));
+      for i = top - 1 downto 0 do
+        Buffer.add_string buf (Printf.sprintf "%09d" mag.(i))
+      done;
+      Buffer.contents buf
 
 let of_string s =
   let n = String.length s in
@@ -433,8 +589,7 @@ let of_string s =
     let from = Stdlib.max 0 (stop - base_digits) in
     mag.(limb) <- int_of_string (String.sub ds from (stop - from))
   done;
-  let mag = normalize_mag mag in
-  if Array.length mag = 0 then zero else { sign; mag }
+  make sign (normalize_mag mag)
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 
@@ -448,4 +603,25 @@ module Infix = struct
   let ( <= ) a b = compare a b <= 0
   let ( > ) a b = compare a b > 0
   let ( >= ) a b = compare a b >= 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Test-only hooks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module For_testing = struct
+  let is_small = function Small _ -> true | Big _ -> false
+  let slow_add a b = add_parts (parts a) (parts b)
+  let slow_sub a b = add_parts (parts a) (parts (neg b))
+  let slow_mul a b = mul_parts (parts a) (parts b)
+  let slow_divmod a b = divmod_parts (parts a) (parts b)
+  let slow_compare a b = compare_parts (parts a) (parts b)
+
+  let slow_gcd a b =
+    (* Euclid with a full limb divmod per step: the pre-fixnum reference
+       algorithm the Stein gcd is checked against. *)
+    let rec go a b =
+      if is_zero b then a else go b (snd (divmod_parts (parts a) (parts b)))
+    in
+    go (abs a) (abs b)
 end

@@ -6,8 +6,14 @@
     ratios of integer subset sums; a single mis-ordered comparison yields a
     wrong decomposition, so all comparisons must be exact.
 
-    Representation: sign and little-endian magnitude in base [10^9] limbs.
-    All operations are purely functional. *)
+    Representation: a Zarith-style fixnum fast path — values that fit a
+    native [int] are stored immediate ([Small]), everything else as a sign
+    and little-endian magnitude in base [10^9] limbs ([Big]).  The
+    representation is canonical (in-range values are always immediate), so
+    structural equality and hashing remain semantic.  Arithmetic on two
+    immediate values runs on native ints with explicit overflow checks and
+    falls back to the limb algorithms exactly when the native computation
+    would overflow.  All operations are purely functional. *)
 
 type t
 
@@ -71,7 +77,8 @@ val div : t -> t -> t
 val rem : t -> t -> t
 
 val gcd : t -> t -> t
-(** Non-negative gcd; [gcd zero zero = zero]. *)
+(** Non-negative gcd; [gcd zero zero = zero].  Native Euclid when both
+    operands are immediate, binary (Stein) gcd on magnitudes otherwise. *)
 
 val pow : t -> int -> t
 (** [pow x n] for [n >= 0].
@@ -97,3 +104,24 @@ end
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Test-only hooks}
+
+    The [slow_*] functions route unconditionally through the limb
+    algorithms (converting immediates to limb form first) and return
+    canonical results.  They exist so property tests can check the
+    fixnum fast paths against the limb paths on the same inputs; they
+    are not part of the stable API and must not be used elsewhere. *)
+
+module For_testing : sig
+  val is_small : t -> bool
+  (** Whether the value is stored immediate.  Canonical-form invariant:
+      this must agree with [to_int _ <> None]. *)
+
+  val slow_add : t -> t -> t
+  val slow_sub : t -> t -> t
+  val slow_mul : t -> t -> t
+  val slow_divmod : t -> t -> t * t
+  val slow_compare : t -> t -> int
+  val slow_gcd : t -> t -> t
+end

@@ -104,7 +104,8 @@ let get = function
 (* Returns (component minimum, members of the maximal minimiser). *)
 let solve_path g ~alpha verts =
   let k = Array.length verts in
-  let w i = Graph.weight g verts.(i) in
+  let ws = Array.map (Graph.weight g) verts in
+  let w i = ws.(i) in
   if k = 1 then begin
     (* forced s_0 = 1 costs -alpha*w0; the vertex is in the maximal
        minimiser iff that equals the component minimum. *)
@@ -140,7 +141,8 @@ let solve_path g ~alpha verts =
    tables as pre-paid "counted" flags. *)
 let solve_cycle g ~alpha verts =
   let k = Array.length verts in
-  let w i = Graph.weight g verts.(i) in
+  let ws = Array.map (Graph.weight g) verts in
+  let w i = ws.(i) in
   let comp_min = ref None in
   (* per-position forced minima, accumulated across (a, b) combinations *)
   let forced = Array.make k None in

@@ -14,17 +14,58 @@ let ratio_value ~utility ~honest =
 
 let clamp lo hi x = Q.max lo (Q.min hi x)
 
+(* Memoisation cache for one search: split weight w1 -> attacker utility.
+   Rationals are kept normalised, so Q.equal/Q.hash are semantic. *)
+module QTbl = Hashtbl.Make (struct
+  type t = Q.t
+
+  let equal = Q.equal
+  let hash = Q.hash
+end)
+
 let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
-    ?(budget = Budget.unlimited) g ~v =
+    ?(budget = Budget.unlimited) ?(domains = 1) ?honest g ~v =
   if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
   let w = Graph.weight g v in
   let cost = 1 + Graph.n g in
-  let honest = Sybil.honest_utility ~solver g ~v in
+  let honest =
+    match honest with
+    | Some u -> u
+    | None -> Sybil.honest_utility ~solver g ~v
+  in
+  (* Per-search cache: zoom rounds overlap (the previous best is the
+     centre of the next window) and clamped extras collide with grid
+     points, so without it the same split is decomposed several times.
+     Each distinct w1 is evaluated — and budget-charged — exactly once
+     per search. *)
+  let cache = QTbl.create 64 in
   let eval w1 =
     Budget.tick ~cost budget;
-    (w1, Sybil.split_utility ~solver g ~v ~w1)
+    Sybil.split_utility ~solver g ~v ~w1
   in
-  let sweep lo hi extras =
+  let eval_batch points =
+    let fresh = List.filter (fun w1 -> not (QTbl.mem cache w1)) points in
+    match fresh with
+    | [] -> ()
+    | [ w1 ] -> QTbl.replace cache w1 (eval w1)
+    | _ when domains > 1 ->
+        (* grid points are independent decompositions; the shared budget
+           counter is atomic, and results land by index so the filled
+           cache is identical to the sequential one *)
+        let arr = Array.of_list fresh in
+        let us = Parwork.map ~domains eval arr in
+        Array.iteri (fun i u -> QTbl.replace cache arr.(i) u) us
+    | _ -> List.iter (fun w1 -> QTbl.replace cache w1 (eval w1)) fresh
+  in
+  let best_of points acc =
+    List.fold_left
+      (fun (bw, bu) w1 ->
+        match QTbl.find_opt cache w1 with
+        | Some u when Q.compare u bu > 0 -> (w1, u)
+        | _ -> (bw, bu))
+      acc points
+  in
+  let sweep lo hi extras acc =
     let step = Q.div_int (Q.sub hi lo) grid in
     let points =
       if Q.is_zero step then [ lo ]
@@ -32,18 +73,15 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
         extras
         @ List.init (grid + 1) (fun i -> Q.add lo (Q.mul_int step i))
     in
-    let points = List.map (clamp Q.zero w) points in
-    List.fold_left
-      (fun (bw, bu) w1 ->
-        let w1, u = eval w1 in
-        if Q.compare u bu > 0 then (w1, u) else (bw, bu))
-      (eval (List.hd points))
-      (List.tl points)
+    let points =
+      List.sort_uniq Q.compare (List.map (clamp Q.zero w) points)
+    in
+    eval_batch points;
+    best_of points acc
   in
   let w10, _ = Sybil.initial_split ~solver g ~v in
   let rec zoom lo hi extras rounds (bw, bu) =
-    let bw', bu' = sweep lo hi extras in
-    let bw, bu = if Q.compare bu' bu > 0 then (bw', bu') else (bw, bu) in
+    let bw, bu = sweep lo hi extras (bw, bu) in
     if rounds = 0 then (bw, bu)
     else
       let step = Q.div_int (Q.sub hi lo) grid in
@@ -61,13 +99,19 @@ let better a b = if Q.compare a.ratio b.ratio > 0 then a else b
 
 let best_attack ?solver ?grid ?refine ?budget ?(domains = 1) g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  (* the honest utilities of all vertices come from one decomposition of
+     the unmodified ring; computing it once here instead of once per
+     vertex inside best_split saves n-1 full decompositions *)
+  let d = Decompose.compute ?solver g in
   let attacks =
     (* per-vertex searches are independent pure computations; spread them
        over domains when asked.  The budget's step counter is atomic, so
        one budget meters all domains; Parwork re-raises the first
        Exhausted after every domain has joined. *)
     Parwork.map ~domains
-      (fun v -> best_split ?solver ?grid ?refine ?budget g ~v)
+      (fun v ->
+        best_split ?solver ?grid ?refine ?budget
+          ~honest:(Utility.of_vertex g d v) g ~v)
       (Array.init (Graph.n g) Fun.id)
   in
   Array.fold_left
@@ -157,10 +201,17 @@ let best_attack_within ?solver ?grid ?refine ?(budget = Budget.unlimited)
   (* snapshot up front so an interruption before the first vertex completes
      still leaves a resumable (graph-bound) checkpoint on disk *)
   save_ckpt start best0;
+  (* honest utilities shared across vertices, as in best_attack; lazy so
+     a fully-completed resume does no work and solver errors are still
+     captured by the loop below *)
+  let d = lazy (Decompose.compute ?solver g) in
   (try
      for v = start to total - 1 do
        Budget.check budget;
-       let a = best_split ?solver ?grid ?refine ~budget g ~v in
+       let a =
+         best_split ?solver ?grid ?refine ~budget
+           ~honest:(Utility.of_vertex g (Lazy.force d) v) g ~v
+       in
        best := Some (match !best with None -> a | Some b -> better a b);
        incr completed;
        save_ckpt !completed !best

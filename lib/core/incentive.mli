@@ -18,11 +18,23 @@ type attack = {
 
 val best_split :
   ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
-  Graph.t -> v:int -> attack
+  ?domains:int -> ?honest:Rational.t -> Graph.t -> v:int -> attack
 (** Sweep [w_{v¹}] over a [grid]-point subdivision of [[0, w_v]] (plus the
     honest point [w₁⁰]), then zoom [refine] times around the best point.
-    Defaults: [grid = 32], [refine = 3].  [budget] is ticked once per
-    evaluated split, proportionally to the graph size. *)
+    Defaults: [grid = 32], [refine = 3].
+
+    Candidate points are deduplicated (clamped extras collide with grid
+    points, and each zoom window re-visits its centre) and memoised in a
+    per-search cache keyed by [w1], so each distinct split is decomposed —
+    and [budget]-ticked, proportionally to the graph size — exactly once
+    per search.  The cache lives for one [best_split] call; nothing is
+    shared across searches.
+
+    [domains > 1] evaluates the fresh points of each sweep round in
+    parallel over that many OCaml 5 domains; the result is identical to
+    the sequential search.  [honest] supplies an externally computed
+    honest utility [U_v] (e.g. shared across vertices by {!best_attack});
+    when absent it is computed from the graph. *)
 
 val best_attack :
   ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
@@ -30,7 +42,9 @@ val best_attack :
 (** [ζ] estimate: best over all vertices.  [domains > 1] spreads the
     per-vertex searches over that many OCaml 5 domains (the result is
     identical to the sequential search).  A shared [budget] meters all
-    domains; its [Exhausted] is re-raised after they join. *)
+    domains; its [Exhausted] is re-raised after they join.  The honest
+    decomposition of the unmodified ring is computed once and shared by
+    every per-vertex search. *)
 
 type progress = {
   best : attack option;  (** best attack over the vertices finished so far *)

@@ -1,5 +1,11 @@
 (* Normalised rationals: den > 0 and gcd (num, den) = 1, except for the
-   single infinity point which is stored as 1/0. *)
+   single infinity point which is stored as 1/0.
+
+   Normalisation is an invariant every constructor maintains, which the
+   arithmetic below exploits: when coprimality of a result is provable
+   from the operands' normal forms (Knuth 4.5.1), the final gcd is
+   skipped entirely ([mk]); otherwise the gcd is taken of the smallest
+   operands that can carry a common factor. *)
 
 module B = Bigint
 
@@ -7,6 +13,10 @@ type t = { num : B.t; den : B.t }
 
 let inf = { num = B.one; den = B.zero }
 let is_inf x = B.is_zero x.den
+
+(* Trusted constructor: the caller guarantees [den > 0] and
+   [gcd (num, den) = 1] (or that the value is a canonical constant). *)
+let mk num den = { num; den }
 
 let make num den =
   let s = B.sign den in
@@ -20,9 +30,11 @@ let make num den =
     let num = if s < 0 then B.neg num else num in
     let den = B.abs den in
     if B.is_zero num then { num = B.zero; den = B.one }
+    else if B.equal den B.one then mk num den
     else
       let g = B.gcd num den in
-      { num = B.div num g; den = B.div den g }
+      if B.equal g B.one then mk num den
+      else { num = B.div num g; den = B.div den g }
 
 let of_bigint n = { num = n; den = B.one }
 let of_int n = of_bigint (B.of_int n)
@@ -37,15 +49,22 @@ let is_zero x = B.is_zero x.num && not (is_inf x)
 let sign x = if is_inf x then 1 else B.sign x.num
 
 let equal a b =
-  (* Normalised representation makes structural equality semantic. *)
-  B.equal a.num b.num && B.equal a.den b.den
+  (* Normalised representation makes structural equality semantic; the
+     denominators differ more often than the numerators on mixed data,
+     so compare them first. *)
+  B.equal a.den b.den && B.equal a.num b.num
 
 let compare a b =
   match (is_inf a, is_inf b) with
   | true, true -> 0
   | true, false -> 1
   | false, true -> -1
-  | false, false -> B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+  | false, false ->
+      (* sign test first: settles the common case without multiplying *)
+      let sa = B.sign a.num and sb = B.sign b.num in
+      if sa <> sb then Stdlib.compare sa sb
+      else if B.equal a.den b.den then B.compare a.num b.num
+      else B.compare (B.mul a.num b.den) (B.mul b.num a.den)
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
@@ -56,46 +75,102 @@ let neg x =
 
 let abs x = if B.sign x.num < 0 then neg x else x
 
+(* Finite addition, Knuth 4.5.1: with g1 = gcd(d_a, d_b) = 1 the result
+   num = n_a d_b + n_b d_a is coprime to d_a d_b (any prime of d_a
+   divides the second term but neither factor of the first), so no
+   final gcd is needed.  Otherwise reduce by g1 up front and the only
+   factor the sum can share with the denominator divides g1. *)
+let add_finite a b =
+  if B.equal a.den b.den then begin
+    let n = B.add a.num b.num in
+    if B.is_zero n then zero
+    else if B.equal a.den B.one then mk n B.one
+    else
+      let g = B.gcd n a.den in
+      if B.equal g B.one then mk n a.den
+      else mk (B.div n g) (B.div a.den g)
+  end
+  else
+    let g1 = B.gcd a.den b.den in
+    if B.equal g1 B.one then
+      mk
+        (B.add (B.mul a.num b.den) (B.mul b.num a.den))
+        (B.mul a.den b.den)
+    else
+      let da = B.div a.den g1 and db = B.div b.den g1 in
+      let t = B.add (B.mul a.num db) (B.mul b.num da) in
+      if B.is_zero t then zero
+      else
+        let g2 = B.gcd t g1 in
+        if B.equal g2 B.one then mk t (B.mul da b.den)
+        else mk (B.div t g2) (B.mul da (B.div b.den g2))
+
 let add a b =
   match (is_inf a, is_inf b) with
   | true, _ | _, true -> inf
-  | false, false ->
-      make
-        (B.add (B.mul a.num b.den) (B.mul b.num a.den))
-        (B.mul a.den b.den)
+  | false, false -> add_finite a b
 
 let sub a b =
   if is_inf b then raise Division_by_zero
   else if is_inf a then inf
-  else
-    make (B.sub (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+  else add_finite a (neg b)
 
 let mul a b =
   match (is_inf a, is_inf b) with
-  | true, _ ->
-      if sign b <= 0 then raise Division_by_zero else inf
-  | _, true ->
-      if sign a <= 0 then raise Division_by_zero else inf
-  | false, false -> make (B.mul a.num b.num) (B.mul a.den b.den)
+  | true, _ -> if sign b <= 0 then raise Division_by_zero else inf
+  | _, true -> if sign a <= 0 then raise Division_by_zero else inf
+  | false, false ->
+      if B.is_zero a.num || B.is_zero b.num then zero
+      else
+        (* cross-reduce: gcd(n_a/g1, d_b/g1) = gcd(n_b/g2, d_a/g2) = 1
+           and each numerator is coprime to its own denominator, so the
+           product is already in lowest terms *)
+        let g1 = B.gcd a.num b.den and g2 = B.gcd b.num a.den in
+        let n = B.mul (B.div a.num g1) (B.div b.num g2) in
+        let d = B.mul (B.div a.den g2) (B.div b.den g1) in
+        mk n d
 
 let inv x =
+  (* a normalised fraction inverts without re-normalising: only the
+     sign has to move back to the numerator *)
   if is_inf x then zero
-  else if B.is_zero x.num then inf
-  else make x.den x.num
+  else
+    match B.sign x.num with
+    | 0 -> inf
+    | s when s > 0 -> mk x.den x.num
+    | _ -> mk (B.neg x.den) (B.neg x.num)
 
 let div a b =
   match (is_inf a, is_inf b) with
   | true, true -> raise Division_by_zero
-  | true, false ->
-      if sign b < 0 then raise Division_by_zero else inf
+  | true, false -> if sign b < 0 then raise Division_by_zero else inf
   | false, true -> zero
   | false, false ->
-      if B.is_zero b.num then raise Division_by_zero
-      else make (B.mul a.num b.den) (B.mul a.den b.num)
+      if B.is_zero b.num then raise Division_by_zero else mul a (inv b)
 
-let mul_int x n = mul x (of_int n)
-let div_int x n = div x (of_int n)
-let to_float x = if is_inf x then Float.infinity else B.to_float x.num /. B.to_float x.den
+let mul_int x n =
+  if is_inf x then if n <= 0 then raise Division_by_zero else inf
+  else if n = 0 || B.is_zero x.num then zero
+  else
+    let bn = B.of_int n in
+    if B.equal x.den B.one then mk (B.mul x.num bn) B.one
+    else
+      let g = B.gcd bn x.den in
+      if B.equal g B.one then mk (B.mul x.num bn) x.den
+      else mk (B.mul x.num (B.div bn g)) (B.div x.den g)
+
+let div_int x n =
+  if is_inf x then if n < 0 then raise Division_by_zero else inf
+  else if n = 0 then raise Division_by_zero
+  else
+    let bn = B.of_int n in
+    let g = B.gcd x.num bn in
+    let num = B.div x.num g and d = B.div bn g in
+    let num, d = if B.sign d < 0 then (B.neg num, B.neg d) else (num, d) in
+    mk num (B.mul x.den d)
+
+let to_float x =
+  if is_inf x then Float.infinity else B.to_float x.num /. B.to_float x.den
 
 let to_string x =
   if is_inf x then "inf"

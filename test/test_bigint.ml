@@ -111,12 +111,117 @@ let test_to_float () =
   Alcotest.(check (float 1e6)) "1e18" 1e18 (B.to_float (B.pow (b 10) 18));
   Alcotest.(check (float 1e-9)) "-3." (-3.0) (B.to_float (b (-3)))
 
+let test_fixnum_boundaries () =
+  (* 2^62 = |min_int| is the first value past the immediate range. *)
+  let two62 = B.of_string "4611686018427387904" in
+  check_b "max_int + 1" two62 (B.add (b max_int) B.one);
+  check_b "min_int - 1" (B.of_string "-4611686018427387905")
+    (B.sub (b min_int) B.one);
+  check_b "neg min_int" two62 (B.neg (b min_int));
+  check_b "2^31 * 2^31" two62 (B.mul (b (1 lsl 31)) (b (1 lsl 31)));
+  check_b "(2^31-1)^2 stays immediate"
+    (B.of_string "4611686014132420609")
+    (B.mul (b ((1 lsl 31) - 1)) (b ((1 lsl 31) - 1)));
+  check_b "min_int * -1" two62 (B.mul (b min_int) (b (-1)));
+  check_b "gcd min_int min_int" two62 (B.gcd (b min_int) (b min_int));
+  check_b "gcd min_int 2" (b 2) (B.gcd (b min_int) (b 2));
+  check_b "gcd min_int 0" two62 (B.gcd (b min_int) B.zero);
+  (* canonical demotion: limb-path results that fit the native range
+     must come back immediate *)
+  Alcotest.(check bool) "demote to immediate" true
+    (B.For_testing.is_small (B.sub (B.add (b max_int) B.one) B.one));
+  Alcotest.(check bool) "2^62 is not immediate" false
+    (B.For_testing.is_small two62);
+  Alcotest.(check bool) "min_int is immediate" true
+    (B.For_testing.is_small (b min_int));
+  Alcotest.(check bool) "2^62 - 2^62 demotes" true
+    (B.For_testing.is_small (B.sub two62 two62));
+  check_b "of_string max_int is canonical" (b max_int)
+    (B.of_string (string_of_int max_int));
+  check_b "of_string min_int is canonical" (b min_int)
+    (B.of_string (string_of_int min_int))
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let gen2 = QCheck2.Gen.pair Helpers.bigint_gen Helpers.bigint_gen
 let gen3 = QCheck2.Gen.triple Helpers.bigint_gen Helpers.bigint_gen Helpers.bigint_gen
+
+(* Ints biased towards the fixnum fast-path overflow boundaries. *)
+let boundary_int_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        oneofl
+          [
+            0; 1; -1; max_int; min_int; max_int - 1; min_int + 1;
+            1 lsl 31; (1 lsl 31) - 1; -(1 lsl 31); -(1 lsl 31) - 1;
+            999_999_999; 1_000_000_000; -1_000_000_000;
+          ];
+        int;
+        int_range (-1000) 1000;
+      ])
+
+let boundary2 = QCheck2.Gen.pair boundary_int_gen boundary_int_gen
+
+(* The fast path must agree with the limb path on the same inputs, and
+   both must survive a decimal round-trip (the limb path is what
+   of_string/to_string exercise for out-of-range values). *)
+let roundtrips x = B.equal (B.of_string (B.to_string x)) x
+
+let fast_slow_props =
+  let module F = B.For_testing in
+  [
+    Helpers.qtest ~count:500 "fast/limb add agree" boundary2 (fun (x, y) ->
+        let a = b x and c = b y in
+        let r = B.add a c in
+        B.equal r (F.slow_add a c) && roundtrips r);
+    Helpers.qtest ~count:500 "fast/limb sub agree" boundary2 (fun (x, y) ->
+        let a = b x and c = b y in
+        let r = B.sub a c in
+        B.equal r (F.slow_sub a c) && roundtrips r);
+    Helpers.qtest ~count:500 "fast/limb mul agree" boundary2 (fun (x, y) ->
+        let a = b x and c = b y in
+        let r = B.mul a c in
+        B.equal r (F.slow_mul a c) && roundtrips r);
+    Helpers.qtest ~count:500 "fast/limb divmod agree" boundary2
+      (fun (x, y) ->
+        y = 0
+        ||
+        let a = b x and c = b y in
+        let q, r = B.divmod a c in
+        let q', r' = F.slow_divmod a c in
+        B.equal q q' && B.equal r r' && roundtrips q && roundtrips r);
+    Helpers.qtest ~count:500 "fast/limb gcd agree" boundary2 (fun (x, y) ->
+        let a = b x and c = b y in
+        let r = B.gcd a c in
+        B.equal r (F.slow_gcd a c) && roundtrips r);
+    Helpers.qtest ~count:500 "fast/limb compare agree" boundary2
+      (fun (x, y) ->
+        let a = b x and c = b y in
+        B.compare a c = F.slow_compare a c);
+    (* the same agreements on multi-limb operands, where the fast path
+       must take its fallback branch *)
+    Helpers.qtest "fast/limb add agree (big)" gen2 (fun (x, y) ->
+        B.equal (B.add x y) (F.slow_add x y));
+    Helpers.qtest "fast/limb mul agree (big)" gen2 (fun (x, y) ->
+        B.equal (B.mul x y) (F.slow_mul x y));
+    Helpers.qtest "Stein gcd = Euclid gcd (big)" gen2 (fun (x, y) ->
+        B.equal (B.gcd x y) (F.slow_gcd x y));
+    Helpers.qtest "fast/limb compare agree (big)" gen2 (fun (x, y) ->
+        B.compare x y = F.slow_compare x y);
+    (* canonical-form invariant: a value is stored immediate iff it fits
+       a native int, whichever path produced it *)
+    Helpers.qtest "canonical representation" gen2 (fun (x, y) ->
+        let canonical r = F.is_small r = (B.to_int r <> None) in
+        canonical (B.add x y) && canonical (B.sub x y)
+        && canonical (B.mul x y)
+        && canonical (F.slow_add x y)
+        && canonical (F.slow_mul x y));
+    Helpers.qtest ~count:500 "string roundtrip at boundaries"
+      boundary_int_gen (fun x -> roundtrips (b x));
+  ]
 
 let props =
   [
@@ -179,6 +284,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_compare_order;
           Alcotest.test_case "karatsuba" `Quick test_karatsuba_crossover;
           Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "fixnum boundaries" `Quick test_fixnum_boundaries;
         ] );
       ("properties", props);
+      ("fast vs limb path", fast_slow_props);
     ]

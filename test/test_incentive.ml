@@ -49,6 +49,44 @@ let test_theorem8_families () =
       [| 200; 40; 10000; 10; 1 |];
     ]
 
+let test_budget_charges_distinct_points_once () =
+  (* The sweep dedupes candidate points and memoises evaluations, so the
+     budget is charged once per distinct split.  Naively this search
+     costs (grid+2) + 2*(grid+1) = 28 evaluations (round one plus two
+     zoom rounds); each zoom round re-visits at least its centre (the
+     previous best), so the deduped count must come in strictly lower. *)
+  let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
+  let cost = 1 + Graph.n g in
+  let budget = Budget.create ~steps:max_int () in
+  ignore (Incentive.best_split ~grid:8 ~refine:2 ~budget g ~v:0);
+  let steps = Budget.used_steps budget in
+  Alcotest.(check int) "budget charged in whole evaluations" 0 (steps mod cost);
+  let evals = steps / cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "deduped (%d evals)" evals)
+    true (evals < 28);
+  Alcotest.(check bool) "still sweeps" true (evals >= 9)
+
+let test_parallel_inner_sweep_deterministic () =
+  (* ~domains parallelises the grid-point evaluations inside one search;
+     the reported attack must be bit-identical to the sequential one. *)
+  let g = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |] in
+  let a1 = Incentive.best_split ~grid:16 ~refine:2 g ~v:0 in
+  let a2 = Incentive.best_split ~grid:16 ~refine:2 ~domains:4 g ~v:0 in
+  check_q "same w1" a1.Incentive.w1 a2.Incentive.w1;
+  check_q "same utility" a1.Incentive.utility a2.Incentive.utility;
+  check_q "same honest" a1.Incentive.honest a2.Incentive.honest;
+  check_q "same ratio" a1.Incentive.ratio a2.Incentive.ratio
+
+let test_shared_honest_matches_per_vertex () =
+  (* best_attack shares one decomposition for the honest utilities; the
+     result must match what per-vertex recomputation reports. *)
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 6 |] in
+  let a = Incentive.best_attack ~grid:8 ~refine:1 g in
+  let b = Incentive.best_split ~grid:8 ~refine:1 g ~v:a.Incentive.v in
+  check_q "same honest" a.Incentive.honest b.Incentive.honest;
+  check_q "same ratio" a.Incentive.ratio b.Incentive.ratio
+
 (* ------------------------------------------------------------------ *)
 (* Tightness family (Lower_bound)                                      *)
 (* ------------------------------------------------------------------ *)
@@ -126,6 +164,12 @@ let () =
           Alcotest.test_case "uniform rings truthful" `Slow test_uniform_ring_truthful;
           Alcotest.test_case "profitable instance" `Quick test_known_profitable_instance;
           Alcotest.test_case "Theorem 8 known rings" `Slow test_theorem8_families;
+          Alcotest.test_case "budget dedupes points" `Quick
+            test_budget_charges_distinct_points_once;
+          Alcotest.test_case "parallel inner sweep" `Quick
+            test_parallel_inner_sweep_deterministic;
+          Alcotest.test_case "shared honest decomposition" `Quick
+            test_shared_honest_matches_per_vertex;
         ] );
       ( "tightness family",
         [

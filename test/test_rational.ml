@@ -64,6 +64,41 @@ let test_strings () =
   check_q "parse int" (q (-4) 1) (Q.of_string "-4");
   check_q "parse inf" Q.inf (Q.of_string "inf")
 
+let test_of_string_pins () =
+  (* of_string feeds every checkpoint resume and instance file; pin its
+     behaviour on non-normalised, negative and infinite inputs. *)
+  check_q "2/4 normalises" Q.half (Q.of_string "2/4");
+  Alcotest.(check string) "2/4 prints 1/2" "1/2"
+    (Q.to_string (Q.of_string "2/4"));
+  check_q "-6/4" (q (-3) 2) (Q.of_string "-6/4");
+  Alcotest.(check string) "-6/4 prints -3/2" "-3/2"
+    (Q.to_string (Q.of_string "-6/4"));
+  check_q "sign in denominator" (q (-3) 2) (Q.of_string "6/-4");
+  check_q "double negative" (q 3 2) (Q.of_string "-6/-4");
+  check_q "0/5 is zero" Q.zero (Q.of_string "0/5");
+  Alcotest.(check string) "0/5 prints 0" "0" (Q.to_string (Q.of_string "0/5"));
+  check_q "12/4 collapses to integer" (q 3 1) (Q.of_string "12/4");
+  Alcotest.(check string) "12/4 prints 3" "3" (Q.to_string (Q.of_string "12/4"));
+  (* the infinity point: "1/0" goes through make's infinity rule *)
+  check_q "1/0 is inf" Q.inf (Q.of_string "1/0");
+  check_q "7/0 is inf" Q.inf (Q.of_string "7/0");
+  Alcotest.(check string) "1/0 prints inf" "inf"
+    (Q.to_string (Q.of_string "1/0"));
+  check_q "inf roundtrip" Q.inf (Q.of_string (Q.to_string Q.inf));
+  check_q "padded inf" Q.inf (Q.of_string " inf ");
+  Alcotest.check_raises "-1/0 has no value" Division_by_zero (fun () ->
+      ignore (Q.of_string "-1/0"));
+  Alcotest.check_raises "0/0 has no value" Division_by_zero (fun () ->
+      ignore (Q.of_string "0/0"));
+  (* to_string output is always re-parseable and fixed-point *)
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Q.to_string (Q.of_string s)))
+    [
+      "-7/3"; "5"; "-5"; "1/2"; "inf";
+      "123456789123456789123456789/2";
+      "-4611686018427387904";
+    ]
+
 let test_to_float () =
   Alcotest.(check (float 1e-12)) "1/2" 0.5 (Q.to_float Q.half);
   Alcotest.(check bool) "inf" true (Q.to_float Q.inf = Float.infinity)
@@ -120,6 +155,7 @@ let () =
           Alcotest.test_case "arithmetic" `Quick test_arith;
           Alcotest.test_case "ordering" `Quick test_ordering;
           Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "of_string pins" `Quick test_of_string_pins;
           Alcotest.test_case "to_float" `Quick test_to_float;
         ] );
       ("properties", props);
