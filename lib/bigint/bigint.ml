@@ -428,7 +428,9 @@ let is_zero = function Small 0 -> true | _ -> false
 let neg = function
   | Small n when n <> Stdlib.min_int -> Small (-n)
   | Small _ -> Big { sign = 1; mag = min_int_mag }
-  | Big b -> Big { sign = -b.sign; mag = b.mag }
+  (* make, not a raw record: negating Big{1; 2^62} must demote to
+     Small min_int to preserve canonical form. *)
+  | Big b -> make (-b.sign) b.mag
 
 let abs x =
   match x with
@@ -508,8 +510,9 @@ let divmod a b =
   | Small x, Small y ->
       if x = Stdlib.min_int && y = -1 then (neg a, Small 0)
       else (Small (x / y), Small (x mod y))
-  | Small _, Big _ ->
-      (* canonical form: any Big exceeds the whole int range, so |a| < |b| *)
+  | Small x, Big _ when x <> Stdlib.min_int ->
+      (* canonical form: any Big magnitude is >= 2^62, so |a| < |b| for
+         every Small except min_int (|min_int| = 2^62 can tie |b|). *)
       (Small 0, a)
   | _ -> divmod_parts (parts a) (parts b)
 

@@ -73,10 +73,12 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
         extras
         @ List.init (grid + 1) (fun i -> Q.add lo (Q.mul_int step i))
     in
-    let points =
-      List.sort_uniq Q.compare (List.map (clamp Q.zero w) points)
-    in
-    eval_batch points;
+    let points = List.map (clamp Q.zero w) points in
+    (* Evaluate (and budget-charge) each distinct point once, but fold in
+       the original extras-first order: with the strict [>] comparison the
+       first point of a utility tie wins, so this keeps the reported [w1]
+       identical to the pre-memoisation search. *)
+    eval_batch (List.sort_uniq Q.compare points);
     best_of points acc
   in
   let w10, _ = Sybil.initial_split ~solver g ~v in

@@ -139,7 +139,23 @@ let test_fixnum_boundaries () =
   check_b "of_string max_int is canonical" (b max_int)
     (B.of_string (string_of_int max_int));
   check_b "of_string min_int is canonical" (b min_int)
-    (B.of_string (string_of_int min_int))
+    (B.of_string (string_of_int min_int));
+  (* neg of Big{+2^62} must demote back to the immediate min_int *)
+  check_b "neg (neg min_int)" (b min_int) (B.neg (B.neg (b min_int)));
+  Alcotest.(check bool) "neg (neg min_int) is immediate" true
+    (B.For_testing.is_small (B.neg (B.neg (b min_int))));
+  check_b "abs of Big{-2^62}" two62 (B.abs (B.neg two62));
+  (* |min_int| ties |Big 2^62|, so the small-divided-by-big shortcut must
+     not fire: min_int / 2^62 = -1 rem 0, not 0 rem min_int *)
+  let q, r = B.divmod (b min_int) two62 in
+  check_b "min_int / 2^62" (b (-1)) q;
+  check_b "min_int mod 2^62" B.zero r;
+  let q, r = B.divmod (b min_int) (B.neg two62) in
+  check_b "min_int / -2^62" B.one q;
+  check_b "min_int mod -2^62" B.zero r;
+  let q, r = B.divmod (b (min_int + 1)) two62 in
+  check_b "(min_int+1) / 2^62" B.zero q;
+  check_b "(min_int+1) mod 2^62" (b (min_int + 1)) r
 
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
