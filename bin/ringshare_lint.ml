@@ -1,0 +1,50 @@
+(* ringshare-lint — AST-level invariant checker for the solver core.
+
+   Usage:
+     ringshare-lint [--root DIR] [--json FILE] [--all-rules] [--quiet]
+                    [FILE.ml ...]
+
+   With no positional arguments, scans every .ml under --root
+   (default: lib) with the per-directory rule scopes from
+   Lint_scope.  Explicit FILE.ml arguments are linted with every rule
+   family active (used for the fixture tests).
+
+   Exit codes (PR 1 taxonomy): 0 clean, 2 findings, 4 spec error. *)
+
+let () =
+  let root = ref "lib" in
+  let json = ref "LINT_ringshare.json" in
+  let all_rules = ref false in
+  let quiet = ref false in
+  let files = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR  directory to scan (default: lib)");
+      ( "--json",
+        Arg.Set_string json,
+        "FILE  machine-readable report (default: LINT_ringshare.json)" );
+      ( "--all-rules",
+        Arg.Set all_rules,
+        "  apply every rule family regardless of path scope" );
+      ("--quiet", Arg.Set quiet, "  suppress the summary line");
+    ]
+  in
+  let usage = "ringshare-lint [--root DIR] [--json FILE] [FILE.ml ...]" in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  match
+    match List.rev !files with
+    | [] -> Lint_driver.run ~force_all:!all_rules ~root:!root ()
+    | paths -> Lint_driver.run_files paths
+  with
+  | report ->
+      Lint_driver.write_json ~path:!json report;
+      Lint_driver.print_text ~quiet:!quiet report;
+      exit (Lint_driver.exit_code report)
+  | exception Lint_driver.Spec_error m ->
+      Printf.eprintf "ringshare-lint: %s\n" m;
+      exit 4
+  | exception Lint_check.Bad_attribute { file; line; name } ->
+      Printf.eprintf
+        "ringshare-lint: %s:%d: unknown rule %S in [@lint.allow]\n" file line
+        name;
+      exit 4

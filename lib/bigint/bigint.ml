@@ -45,11 +45,12 @@ let normalize_mag a =
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if la <> lb then (Stdlib.compare la lb [@lint.allow "polycompare"])
   else
     let rec loop i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then
+        (Stdlib.compare a.(i) b.(i) [@lint.allow "polycompare"])
       else loop (i - 1)
     in
     loop (la - 1)
@@ -409,7 +410,7 @@ let divmod_parts (sa, ma) (sb, mb) =
     (make (sa * sb) qm, make sa rm)
 
 let compare_parts (sa, ma) (sb, mb) =
-  if sa <> sb then Stdlib.compare sa sb
+  if sa <> sb then (Stdlib.compare sa sb [@lint.allow "polycompare"])
   else if sa >= 0 then compare_mag ma mb
   else compare_mag mb ma
 
@@ -422,7 +423,9 @@ let one = Small 1
 let two = Small 2
 let minus_one = Small (-1)
 let of_int n = Small n
-let sign = function Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let sign = function
+  | Small n -> (Stdlib.compare n 0 [@lint.allow "polycompare"])
+  | Big b -> b.sign
 let is_zero = function Small 0 -> true | _ -> false
 
 let neg = function
@@ -440,18 +443,20 @@ let abs x =
 
 let compare a b =
   match (a, b) with
-  | Small x, Small y -> Stdlib.compare x y
+  | Small x, Small y -> (Stdlib.compare x y [@lint.allow "polycompare"])
   | Small _, Big bb -> if bb.sign > 0 then -1 else 1
   | Big ba, Small _ -> if ba.sign > 0 then 1 else -1
   | Big ba, Big bb ->
-      if ba.sign <> bb.sign then Stdlib.compare ba.sign bb.sign
+      if not (Int.equal ba.sign bb.sign) then
+        (Stdlib.compare ba.sign bb.sign [@lint.allow "polycompare"])
       else if ba.sign >= 0 then compare_mag ba.mag bb.mag
       else compare_mag bb.mag ba.mag
 
 let equal a b =
   match (a, b) with
   | Small x, Small y -> x = y
-  | Big ba, Big bb -> ba.sign = bb.sign && compare_mag ba.mag bb.mag = 0
+  | Big ba, Big bb ->
+      Int.equal ba.sign bb.sign && compare_mag ba.mag bb.mag = 0
   | _ -> false
 
 let min a b = if compare a b <= 0 then a else b
@@ -535,7 +540,9 @@ let to_int_exn = function
   | Small n -> n
   | Big _ -> failwith "Bigint.to_int_exn: value out of int range"
 
-let to_float = function
+(* reporting boundary: to_float is the one sanctioned exit from exact
+   arithmetic, consumed by trace/bench displays only *)
+let[@lint.allow "float"] to_float = function
   | Small n -> float_of_int n
   | Big { sign; mag } ->
       let f = ref 0.0 in

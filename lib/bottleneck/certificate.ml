@@ -17,8 +17,8 @@ let build_stage g ~mask ~(alpha : Q.t) =
   else begin
     let verts = Vset.to_array mask in
     let k = Array.length verts in
-    let index = Hashtbl.create k in
-    Array.iteri (fun i v -> Hashtbl.add index v i) verts;
+    let index = Tables.Itbl.create k in
+    Array.iteri (fun i v -> Tables.Itbl.add index v i) verts;
     let source = 2 * k and sink = (2 * k) + 1 in
     let net = Maxflow.create ((2 * k) + 2) in
     let cross = ref [] in
@@ -32,7 +32,7 @@ let build_stage g ~mask ~(alpha : Q.t) =
         ignore (Maxflow.add_edge net ~src:(k + i) ~dst:sink ~cap:w);
         Array.iter
           (fun v ->
-            match Hashtbl.find_opt index v with
+            match Tables.Itbl.find_opt index v with
             | Some j ->
                 let e = Maxflow.add_edge net ~src:i ~dst:(k + j) ~cap:Q.inf in
                 cross := (u, v, e) :: !cross
@@ -84,14 +84,15 @@ let verify g d cert =
           else begin
             (* 2. witness flow: support, non-negativity, capacities,
                saturation *)
-            let supply = Hashtbl.create 16 and load = Hashtbl.create 16 in
+            let supply = Tables.Itbl.create 16
+            and load = Tables.Itbl.create 16 in
             let add tbl key q =
               let cur =
-                match Hashtbl.find_opt tbl key with
+                match Tables.Itbl.find_opt tbl key with
                 | Some c -> c
                 | None -> Q.zero
               in
-              Hashtbl.replace tbl key (Q.add cur q)
+              Tables.Itbl.replace tbl key (Q.add cur q)
             in
             let bad = ref None in
             List.iter
@@ -114,7 +115,7 @@ let verify g d cert =
                 Vset.iter
                   (fun u ->
                     let out =
-                      match Hashtbl.find_opt supply u with
+                      match Tables.Itbl.find_opt supply u with
                       | Some q -> q
                       | None -> Q.zero
                     in
@@ -131,16 +132,19 @@ let verify g d cert =
                 (match !saturated with
                 | Some m -> err "stage %d: %s" (i + 1) m
                 | None ->
-                    let over = ref None in
-                    Hashtbl.iter
-                      (fun v q ->
-                        if Q.compare q (Graph.weight g v) > 0 then
-                          over :=
+                    (* first overloaded vertex in key order, so the
+                       reported witness never depends on hash order *)
+                    let over =
+                      List.find_map
+                        (fun (v, q) ->
+                          if Q.compare q (Graph.weight g v) > 0 then
                             Some
                               (Printf.sprintf "vertex %d receives %s > w_v"
-                                 v (Q.to_string q)))
-                      load;
-                    match !over with
+                                 v (Q.to_string q))
+                          else None)
+                        (Tables.Itbl.sorted_bindings load)
+                    in
+                    match over with
                     | Some m -> err "stage %d: %s" (i + 1) m
                     | None -> stages (i + 1) ds ms cs)
           end)

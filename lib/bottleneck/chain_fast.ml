@@ -173,7 +173,12 @@ let solve_cycle g ~alpha verts =
             | Some c ->
                 if i = 0 then comp_min := better !comp_min c;
                 (* forced membership: s_i = 1 *)
-                if want_s = None || want_s = Some true then begin
+                let may_force =
+                  match want_s with
+                  | None | Some true -> true
+                  | Some false -> false
+                in
+                if may_force then begin
                   match
                     combine ~alpha ~wv:(w i) ~want_s:(Some true) fwd.(i) (bwd i)
                   with

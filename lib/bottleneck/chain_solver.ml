@@ -10,16 +10,16 @@ let supports g ~mask =
 type component = { verts : int array; cycle : bool }
 
 let components g ~mask =
-  let visited = Hashtbl.create 16 in
+  let visited = Tables.Itbl.create 16 in
   let comps = ref [] in
   Vset.iter
     (fun v0 ->
-      if not (Hashtbl.mem visited v0) then begin
+      if not (Tables.Itbl.mem visited v0) then begin
         (* Collect the component of v0. *)
         let members = ref [] in
         let rec collect v =
-          if not (Hashtbl.mem visited v) then begin
-            Hashtbl.add visited v ();
+          if not (Tables.Itbl.mem visited v) then begin
+            Tables.Itbl.add visited v ();
             members := v :: !members;
             List.iter collect (masked_neighbors g mask v)
           end

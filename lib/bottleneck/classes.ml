@@ -36,7 +36,7 @@ let refine_alternating g d ~anchor =
     let nbrs v =
       Array.to_list (Graph.neighbors g v) |> List.filter in_pair
     in
-    let colour = Hashtbl.create 16 in
+    let colour = Tables.Itbl.create 16 in
     let ok = ref true in
     let rec bfs queue =
       match queue with
@@ -45,22 +45,24 @@ let refine_alternating g d ~anchor =
           let more =
             List.filter_map
               (fun u ->
-                match Hashtbl.find_opt colour u with
+                match Tables.Itbl.find_opt colour u with
                 | Some c' ->
                     if c' = c then ok := false;
                     None
                 | None ->
-                    Hashtbl.add colour u (not c);
+                    Tables.Itbl.add colour u (not c);
                     Some (u, not c))
               (nbrs v)
           in
           bfs (rest @ more)
     in
-    Hashtbl.add colour anchor true;
+    Tables.Itbl.add colour anchor true;
     bfs [ (anchor, true) ];
     (* true = C class (the anchor's side), false = B class. *)
     if !ok then
-      Hashtbl.iter (fun v c -> cls.(v) <- (if c then C else B)) colour;
+      List.iter
+        (fun (v, c) -> cls.(v) <- (if c then C else B))
+        (Tables.Itbl.sorted_bindings colour);
     cls
   end
 

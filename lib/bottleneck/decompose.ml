@@ -31,7 +31,7 @@ let compute ?(solver = Auto) ?budget g =
   let rec go mask acc =
     if Vset.is_empty mask then List.rev acc
     else begin
-      Option.iter Budget.tick budget;
+      Option.iter (fun b -> Budget.tick b) budget;
       let b = find g ~mask in
       let c = Graph.gamma ~mask g b in
       (* For the α = 1 last pair Γ(B) ⊇ B; Definition 2 takes C = Γ(B)∩V_i,

@@ -4,8 +4,8 @@ let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   Budget.tick ~cost:(1 + Vset.cardinal mask) budget;
   let verts = Vset.to_array mask in
   let k = Array.length verts in
-  let index = Hashtbl.create k in
-  Array.iteri (fun i v -> Hashtbl.add index v i) verts;
+  let index = Tables.Itbl.create k in
+  Array.iteri (fun i v -> Tables.Itbl.add index v i) verts;
   (* Nodes: 0..k-1 = L (S-membership side), k..2k-1 = R (Γ side),
      2k = source, 2k+1 = sink. *)
   let source = 2 * k and sink = (2 * k) + 1 in
@@ -19,7 +19,7 @@ let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
       ignore (Maxflow.add_edge net ~src:(k + i) ~dst:sink ~cap:w);
       Array.iter
         (fun u ->
-          match Hashtbl.find_opt index u with
+          match Tables.Itbl.find_opt index u with
           | Some j ->
               ignore (Maxflow.add_edge net ~src:i ~dst:(k + j) ~cap:Q.inf)
           | None -> ())

@@ -179,7 +179,8 @@ let best_attack_within ?solver ?grid ?refine ?(budget = Budget.unlimited)
           match Checkpoint.load ~path ~kind:ckpt_kind with
           | Error e -> Ringshare_error.error e
           | Ok fields ->
-              if Checkpoint.field fields "graph" <> digest then
+              if not (String.equal (Checkpoint.field fields "graph") digest)
+              then
                 Ringshare_error.(
                   error
                     (Invalid_input

@@ -20,10 +20,12 @@ let apply g ~v spec =
   (* groups must partition the neighbour set into non-empty groups *)
   let nbrs = Array.to_list (Graph.neighbors g v) in
   let flat = List.concat (Array.to_list spec.groups) in
-  if List.exists (fun grp -> grp = []) (Array.to_list spec.groups) then
-    invalid_arg "Sybil_general.apply: empty identity group";
+  if List.exists (fun grp -> List.is_empty grp) (Array.to_list spec.groups)
+  then invalid_arg "Sybil_general.apply: empty identity group";
   if
-    List.sort compare flat <> List.sort compare nbrs
+    (not
+       (List.equal Int.equal (List.sort Int.compare flat)
+          (List.sort Int.compare nbrs)))
     || List.length flat <> List.length nbrs
   then invalid_arg "Sybil_general.apply: groups must partition the neighbours";
   let n = Graph.n g in

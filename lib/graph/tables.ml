@@ -1,0 +1,54 @@
+(* Typed, deterministically-consumable hash tables over the vertex and
+   edge keys used across the solver core.
+
+   ringshare-lint (rule polycompare) bans polymorphic [Hashtbl.create]
+   in the exact core: Stdlib.Hashtbl hashes keys with the polymorphic
+   [Hashtbl.hash], which is only sound on canonical representations,
+   and its iteration order is a function of that hash.  These
+   [Hashtbl.Make] instances fix both ends: keys are hashed with typed
+   functions, and [sorted_bindings] is the sanctioned way to consume a
+   whole table — bindings in strictly increasing key order, independent
+   of insertion and hash order, so results never depend on table
+   internals (rule determinism). *)
+
+module Int_key = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Int.hash
+  let compare = Int.compare
+end
+
+(* (src, dst) vertex pairs — transfer amounts, edge dedup. *)
+module Pair_key = struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = Int.equal a c && Int.equal b d
+
+  (* deterministic mix, no polymorphic hash *)
+  let hash (a, b) = (a * 0x01000193) lxor b
+
+  let compare (a, b) (c, d) =
+    let c0 = Int.compare a c in
+    if c0 <> 0 then c0 else Int.compare b d
+end
+
+module Itbl = struct
+  include Hashtbl.Make (Int_key)
+
+  (* Bindings in increasing key order: fold order cannot escape because
+     the result is sorted by the total key order before anyone sees it. *)
+  let sorted_bindings t =
+    List.sort
+      (fun (a, _) (b, _) -> Int_key.compare a b)
+      (fold (fun k v acc -> (k, v) :: acc) t [])
+end
+
+module Ptbl = struct
+  include Hashtbl.Make (Pair_key)
+
+  let sorted_bindings t =
+    List.sort
+      (fun (a, _) (b, _) -> Pair_key.compare a b)
+      (fold (fun k v acc -> (k, v) :: acc) t [])
+end

@@ -1,0 +1,157 @@
+(* Directory walking, parsing and reporting for ringshare-lint.
+
+   Exit-code contract (the PR 1 taxonomy, same as the CLI):
+     0  clean — no unsuppressed finding
+     2  findings
+     4  spec error — bad root, unparseable source, unknown rule name
+        in a [@lint.allow] attribute
+
+   Besides the human-readable `file:line:col [rule] message` lines the
+   driver writes LINT_ringshare.json, which enumerates every finding
+   *and* every suppression (with hit counts), so exemptions are never
+   silent. *)
+
+module F = Lint_finding
+
+exception Spec_error of string
+
+type report = {
+  root : string;
+  files : string list; (* display paths, scan order *)
+  findings : F.t list; (* unsuppressed, sorted *)
+  suppressed : F.t list; (* silenced by a [@lint.allow] *)
+  suppressions : F.suppression list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_file abs =
+  match Pparse.parse_implementation ~tool_name:"ringshare-lint" abs with
+  | str -> str
+  | exception exn ->
+      let detail =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) ->
+            Format.asprintf "%a" Location.print_report e
+        | _ -> Printexc.to_string exn
+      in
+      raise (Spec_error (Printf.sprintf "cannot parse %s: %s" abs detail))
+
+(* .ml files under [root], path-sorted, as paths relative to [root]. *)
+let rec walk root rel acc =
+  let abs = if String.equal rel "" then root else Filename.concat root rel in
+  let entries =
+    match Sys.readdir abs with
+    | a ->
+        Array.sort String.compare a;
+        Array.to_list a
+    | exception Sys_error m -> raise (Spec_error m)
+  in
+  List.fold_left
+    (fun acc name ->
+      let rel' = if String.equal rel "" then name else rel ^ "/" ^ name in
+      if Sys.is_directory (Filename.concat root rel') then walk root rel' acc
+      else if Filename.check_suffix name ".ml" then rel' :: acc
+      else acc)
+    acc entries
+
+let lint_one ~force_all ~root rel =
+  let active =
+    if force_all then F.all_rules else Lint_scope.rules_for rel
+  in
+  let display = Filename.concat root rel in
+  if match active with [] -> true | _ -> false then None
+  else
+    let str = parse_file (Filename.concat root rel) in
+    Some (display, Lint_check.check ~file:display ~active str)
+
+let run ?(force_all = false) ~root () =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    raise (Spec_error (Printf.sprintf "root %s is not a directory" root));
+  let rels = List.rev (walk root "" []) in
+  let results = List.filter_map (lint_one ~force_all ~root) rels in
+  {
+    root;
+    files = List.map fst results;
+    findings =
+      List.sort F.compare_finding
+        (List.concat_map (fun (_, r) -> r.Lint_check.findings) results);
+    suppressed =
+      List.sort F.compare_finding
+        (List.concat_map (fun (_, r) -> r.Lint_check.suppressed) results);
+    suppressions = List.concat_map (fun (_, r) -> r.Lint_check.suppressions) results;
+  }
+
+(* Explicit file list (fixtures): every rule family is active. *)
+let run_files paths =
+  let results =
+    List.map
+      (fun path ->
+        if not (Sys.file_exists path) then
+          raise (Spec_error (Printf.sprintf "no such file: %s" path));
+        let str = parse_file path in
+        (path, Lint_check.check ~file:path ~active:F.all_rules str))
+      paths
+  in
+  {
+    root = ".";
+    files = List.map fst results;
+    findings =
+      List.sort F.compare_finding
+        (List.concat_map (fun (_, r) -> r.Lint_check.findings) results);
+    suppressed =
+      List.sort F.compare_finding
+        (List.concat_map (fun (_, r) -> r.Lint_check.suppressed) results);
+    suppressions = List.concat_map (fun (_, r) -> r.Lint_check.suppressions) results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_json ~path report =
+  let oc = open_out path in
+  let esc = F.json_escape in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"tool\": \"ringshare-lint\",\n";
+  Printf.fprintf oc "  \"root\": \"%s\",\n" (esc report.root);
+  Printf.fprintf oc "  \"files_scanned\": %d,\n" (List.length report.files);
+  Printf.fprintf oc "  \"clean\": %b,\n"
+    (match report.findings with [] -> true | _ -> false);
+  Printf.fprintf oc "  \"findings\": [";
+  List.iteri
+    (fun i (f : F.t) ->
+      Printf.fprintf oc "%s\n    { \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (esc f.file) f.line f.col (F.rule_name f.rule) (esc f.message))
+    report.findings;
+  Printf.fprintf oc "\n  ],\n";
+  Printf.fprintf oc "  \"suppressions\": [";
+  List.iteri
+    (fun i (s : F.suppression) ->
+      Printf.fprintf oc "%s\n    { \"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"scope\": \"%s\", \"hits\": %d }"
+        (if i = 0 then "" else ",")
+        (esc s.s_file) s.s_line (F.rule_name s.s_rule) s.s_scope s.s_hits)
+    report.suppressions;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+let print_text ?(quiet = false) report =
+  List.iter (fun f -> print_endline (F.to_string f)) report.findings;
+  if not quiet then begin
+    let silenced =
+      List.fold_left (fun acc s -> acc + s.F.s_hits) 0 report.suppressions
+    in
+    Printf.printf
+      "ringshare-lint: %d file(s) scanned, %d finding(s), %d suppression(s) \
+       silencing %d\n"
+      (List.length report.files)
+      (List.length report.findings)
+      (List.length report.suppressions)
+      silenced
+  end
+
+let exit_code report =
+  match report.findings with [] -> 0 | _ -> 2

@@ -1,0 +1,91 @@
+(* Finding, rule and suppression types shared by the ringshare-lint
+   engine, driver and binary.
+
+   The four rule families mirror the invariants the solver core relies
+   on but the type system cannot see (DESIGN.md §10):
+
+   - [Float_ban]     "float"       — exact arithmetic only in the core;
+   - [Poly_compare]  "polycompare" — no polymorphic =/compare/hash at
+                                     non-primitive types;
+   - [Exn_swallow]   "exnswallow"  — no catch-all handlers that could
+                                     eat [Budget.Exhausted] or
+                                     checkpoint exceptions;
+   - [Determinism]   "determinism" — no ambient randomness, wall-clock
+                                     reads, or hash-order-dependent
+                                     iteration in solver code. *)
+
+type rule = Float_ban | Poly_compare | Exn_swallow | Determinism
+
+let all_rules = [ Float_ban; Poly_compare; Exn_swallow; Determinism ]
+
+let rule_name = function
+  | Float_ban -> "float"
+  | Poly_compare -> "polycompare"
+  | Exn_swallow -> "exnswallow"
+  | Determinism -> "determinism"
+
+let rule_of_name = function
+  | "float" -> Some Float_ban
+  | "polycompare" -> Some Poly_compare
+  | "exnswallow" -> Some Exn_swallow
+  | "determinism" -> Some Determinism
+  | _ -> None
+
+let rule_equal (a : rule) (b : rule) =
+  match (a, b) with
+  | Float_ban, Float_ban
+  | Poly_compare, Poly_compare
+  | Exn_swallow, Exn_swallow
+  | Determinism, Determinism ->
+      true
+  | _ -> false
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+}
+
+(* A [@lint.allow "<rule>"] attribute seen in the tree.  Every
+   suppression is recorded in LINT_ringshare.json together with how
+   many findings it actually silenced, so silent exemptions are
+   impossible: an attribute with [hits = 0] is visible dead weight and
+   one with [hits > 0] is an audited exception, never an invisible
+   hole.  [scope] says where the attribute sat: on an expression, a
+   type, a value binding ("item"), or floating in a module body. *)
+type suppression = {
+  s_file : string;
+  s_line : int;
+  s_rule : rule;
+  s_scope : string;
+  mutable s_hits : int;
+}
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col (rule_name f.rule)
+    f.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

@@ -1,0 +1,63 @@
+(* Which rule families apply to which files under lib/.
+
+   Paths are relative to the scanned root and use '/' separators, e.g.
+   "core/incentive.ml".  The scope map is the policy half of the
+   linter; DESIGN.md §10 documents the rationale per family.
+
+   - float ban: the exact core only.  The α-ratio ordering inside the
+     bottleneck decomposition is only correct under exact arithmetic,
+     so the dirs holding it (and everything it flows through) must not
+     touch floats.  The float PRD (dynamics/prd.ml), the reporting
+     layer (core/trace.ml) and the non-solver dirs are allowlisted;
+     deliberate boundary conversions inside the core (Bigint.to_float
+     for reporting) carry recorded [@lint.allow "float"] attributes.
+
+   - polycompare: the exact core plus dynamics.  Structural =/compare/
+     Hashtbl.hash are only sound on Bigint.t/Rational.t because of
+     canonical form, and even then only via the typed entry points that
+     preserve it (the PR 2 min_int bugs were exactly this class).
+
+   - exnswallow: everywhere.  Any catch-all handler anywhere in lib/
+     could eat Budget.Exhausted or a checkpoint exception and break
+     kill-and-resume determinism.
+
+   - determinism: every solver dir.  workload/ owns the sanctioned
+     PRNG (Workload.Prng), runtime/ owns the wall-clock budget, and
+     experiments/ reports wall-clock timings, so those three are
+     allowlisted. *)
+
+let exact_core_dirs =
+  [ "bigint"; "rational"; "bottleneck"; "core"; "flow"; "mechanism"; "poly" ]
+
+let dir_of path =
+  match String.index_opt path '/' with
+  | Some i -> String.sub path 0 i
+  | None -> ""
+
+let mem dir dirs = List.exists (String.equal dir) dirs
+
+(* lib/lint is the tooling itself, not solver core: skipped entirely. *)
+let skipped path = String.equal (dir_of path) "lint"
+
+let float_scope path =
+  if String.equal path "core/trace.ml" then false
+  else if String.equal path "dynamics/prd_exact.ml" then true
+  else mem (dir_of path) exact_core_dirs
+
+let poly_scope path = mem (dir_of path) ("dynamics" :: exact_core_dirs)
+let exn_scope _path = true
+
+let det_scope path =
+  not (mem (dir_of path) [ "workload"; "runtime"; "experiments" ])
+
+let rules_for path : Lint_finding.rule list =
+  if skipped path then []
+  else
+    List.filter
+      (fun r ->
+        match (r : Lint_finding.rule) with
+        | Float_ban -> float_scope path
+        | Poly_compare -> poly_scope path
+        | Exn_swallow -> exn_scope path
+        | Determinism -> det_scope path)
+      Lint_finding.all_rules

@@ -3,28 +3,30 @@ module Q = Rational
 type t = {
   g : Graph.t;
   d : Decompose.t;
-  x : (int * int, Q.t) Hashtbl.t; (* (src, dst) -> amount, absent = 0 *)
+  x : Q.t Tables.Ptbl.t; (* (src, dst) -> amount, absent = 0 *)
 }
 
 let graph a = a.g
 let decomposition a = a.d
 
 let amount a ~src ~dst =
-  match Hashtbl.find_opt a.x (src, dst) with Some q -> q | None -> Q.zero
+  match Tables.Ptbl.find_opt a.x (src, dst) with
+  | Some q -> q
+  | None -> Q.zero
 
 let add_amount x (u, v) q =
   if Q.sign q > 0 then
     let cur =
-      match Hashtbl.find_opt x (u, v) with Some c -> c | None -> Q.zero
+      match Tables.Ptbl.find_opt x (u, v) with Some c -> c | None -> Q.zero
     in
-    Hashtbl.replace x (u, v) (Q.add cur q)
+    Tables.Ptbl.replace x (u, v) (Q.add cur q)
 
 (* Pair with α < 1: flow from B side to C side over real edges. *)
 let allocate_cross g x (p : Decompose.pair) =
   let bs = Vset.to_array p.b and cs = Vset.to_array p.c in
-  let bi = Hashtbl.create 8 and ci = Hashtbl.create 8 in
-  Array.iteri (fun i v -> Hashtbl.add bi v i) bs;
-  Array.iteri (fun i v -> Hashtbl.add ci v i) cs;
+  let bi = Tables.Itbl.create 8 and ci = Tables.Itbl.create 8 in
+  Array.iteri (fun i v -> Tables.Itbl.add bi v i) bs;
+  Array.iteri (fun i v -> Tables.Itbl.add ci v i) cs;
   let nb = Array.length bs and nc = Array.length cs in
   let source = nb + nc and sink = nb + nc + 1 in
   let net = Maxflow.create (nb + nc + 2) in
@@ -44,7 +46,7 @@ let allocate_cross g x (p : Decompose.pair) =
     (fun i u ->
       Array.iter
         (fun v ->
-          match Hashtbl.find_opt ci v with
+          match Tables.Itbl.find_opt ci v with
           | Some j ->
               let e = Maxflow.add_edge net ~src:i ~dst:(nb + j) ~cap:Q.inf in
               cross := (u, v, e) :: !cross
@@ -62,8 +64,8 @@ let allocate_cross g x (p : Decompose.pair) =
 (* Last pair with α = 1: bipartite doubling of the induced subgraph. *)
 let allocate_self g x (p : Decompose.pair) =
   let bs = Vset.to_array p.b in
-  let bi = Hashtbl.create 8 in
-  Array.iteri (fun i v -> Hashtbl.add bi v i) bs;
+  let bi = Tables.Itbl.create 8 in
+  Array.iteri (fun i v -> Tables.Itbl.add bi v i) bs;
   let nb = Array.length bs in
   let source = 2 * nb and sink = (2 * nb) + 1 in
   let net = Maxflow.create ((2 * nb) + 2) in
@@ -78,7 +80,7 @@ let allocate_self g x (p : Decompose.pair) =
     (fun i u ->
       Array.iter
         (fun v ->
-          match Hashtbl.find_opt bi v with
+          match Tables.Itbl.find_opt bi v with
           | Some j ->
               let e = Maxflow.add_edge net ~src:i ~dst:(nb + j) ~cap:Q.inf in
               cross := (u, v, e) :: !cross
@@ -90,21 +92,23 @@ let allocate_self g x (p : Decompose.pair) =
      symmetric allocation is an exact fixed point of the proportional
      response dynamics (x_{uv} = x_{vu} is forced at a fixed point when
      U_u = w_u). *)
-  let raw = Hashtbl.create 16 in
+  let raw = Tables.Ptbl.create 16 in
   List.iter
-    (fun (u, v, e) -> Hashtbl.replace raw (u, v) (Maxflow.flow net e))
+    (fun (u, v, e) -> Tables.Ptbl.replace raw (u, v) (Maxflow.flow net e))
     !cross;
   List.iter
     (fun (u, v, _) ->
-      let f = Hashtbl.find raw (u, v) in
+      let f = Tables.Ptbl.find raw (u, v) in
       let ft =
-        match Hashtbl.find_opt raw (v, u) with Some q -> q | None -> Q.zero
+        match Tables.Ptbl.find_opt raw (v, u) with
+        | Some q -> q
+        | None -> Q.zero
       in
       add_amount x (u, v) (Q.div_int (Q.add f ft) 2))
     !cross
 
 let of_decomposition g d =
-  let x = Hashtbl.create 64 in
+  let x = Tables.Ptbl.create 64 in
   List.iter
     (fun (p : Decompose.pair) ->
       if Q.is_inf p.alpha || Q.is_zero p.alpha then
@@ -133,15 +137,18 @@ let utilities a = Array.init (Graph.n a.g) (utility a)
 let validate a =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let g = a.g in
-  (* Transfers only on exchanging edges, and non-negative. *)
-  let bad = ref None in
-  Hashtbl.iter
-    (fun (u, v) q ->
-      if Q.sign q < 0 then bad := Some (Printf.sprintf "negative x_%d,%d" u v)
-      else if Q.sign q > 0 && not (Classes.may_exchange g a.d u v) then
-        bad := Some (Printf.sprintf "transfer on non-exchanging edge %d-%d" u v))
-    a.x;
-  match !bad with
+  (* Transfers only on exchanging edges, and non-negative.  Scan in key
+     order so the reported witness never depends on hash order. *)
+  let bad =
+    List.find_map
+      (fun ((u, v), q) ->
+        if Q.sign q < 0 then Some (Printf.sprintf "negative x_%d,%d" u v)
+        else if Q.sign q > 0 && not (Classes.may_exchange g a.d u v) then
+          Some (Printf.sprintf "transfer on non-exchanging edge %d-%d" u v)
+        else None)
+      (Tables.Ptbl.sorted_bindings a.x)
+  in
+  match bad with
   | Some m -> Error m
   | None ->
       let rec check_vertex v =
@@ -171,9 +178,8 @@ let validate a =
 let pp fmt a =
   Format.fprintf fmt "@[<v>";
   let items =
-    Hashtbl.fold (fun k q acc -> (k, q) :: acc) a.x []
+    Tables.Ptbl.sorted_bindings a.x
     |> List.filter (fun (_, q) -> Q.sign q > 0)
-    |> List.sort compare
   in
   List.iter
     (fun ((u, v), q) -> Format.fprintf fmt "x[%d -> %d] = %a@," u v Q.pp q)

@@ -62,7 +62,7 @@ let compare a b =
   | false, false ->
       (* sign test first: settles the common case without multiplying *)
       let sa = B.sign a.num and sb = B.sign b.num in
-      if sa <> sb then Stdlib.compare sa sb
+      if sa <> sb then (Stdlib.compare sa sb [@lint.allow "polycompare"])
       else if B.equal a.den b.den then B.compare a.num b.num
       else B.compare (B.mul a.num b.den) (B.mul b.num a.den)
 
@@ -169,7 +169,8 @@ let div_int x n =
     let num, d = if B.sign d < 0 then (B.neg num, B.neg d) else (num, d) in
     mk num (B.mul x.den d)
 
-let to_float x =
+(* reporting boundary: the one sanctioned exit from exact arithmetic *)
+let[@lint.allow "float"] to_float x =
   if is_inf x then Float.infinity else B.to_float x.num /. B.to_float x.den
 
 let to_string x =
@@ -178,7 +179,7 @@ let to_string x =
   else B.to_string x.num ^ "/" ^ B.to_string x.den
 
 let of_string s =
-  if String.trim s = "inf" then inf
+  if String.equal (String.trim s) "inf" then inf
   else
     match String.index_opt s '/' with
     | None -> of_bigint (B.of_string s)

@@ -3,10 +3,18 @@
 #   0  success
 #   2  user-input / parse error, as one clean line on stderr (no backtrace)
 #   4  compute budget exhausted
-# Run via the dune runtest alias; $1 is the ringshare executable.
+# ringshare-lint shares the taxonomy: 0 clean, 2 findings, 4 spec error.
+# Run via the dune runtest alias:
+#   $1  ringshare executable
+#   $2  ringshare-lint executable        (optional; skips lint checks)
+#   $3  source root the lint must pass   (lib)
+#   $4  a known-bad fixture the lint must flag
 set -u
 
 cli="$1"
+lint="${2:-}"
+lint_root="${3:-}"
+lint_bad="${4:-}"
 fails=0
 
 expect() {
@@ -59,6 +67,40 @@ grep -q "budget exhausted" "$tmpdir/err" || {
 # 6. conflicting instance specs: exit 2
 "$cli" decompose --fig1 --ring 1,2,3 > /dev/null 2> "$tmpdir/err"
 expect "conflicting specs" 2 $?
+
+if [ -n "$lint" ]; then
+  # 7. the shipped sources are lint-clean: exit 0, clean JSON report
+  "$lint" --root "$lint_root" --json "$tmpdir/lint.json" > "$tmpdir/out" 2>&1
+  expect "lint --root $lint_root" 0 $?
+  grep -q '"tool": "ringshare-lint"' "$tmpdir/lint.json" || {
+    echo "FAIL: lint JSON missing tool key" >&2; fails=$((fails + 1)); }
+  grep -q '"clean": true' "$tmpdir/lint.json" || {
+    echo "FAIL: lint JSON not clean for $lint_root" >&2; fails=$((fails + 1)); }
+  grep -q '"suppressions": \[' "$tmpdir/lint.json" || {
+    echo "FAIL: lint JSON missing suppressions array" >&2; fails=$((fails + 1)); }
+  # well-formedness: braces and brackets balance
+  nopen=$(tr -cd '{' < "$tmpdir/lint.json" | wc -c)
+  nclose=$(tr -cd '}' < "$tmpdir/lint.json" | wc -c)
+  [ "$nopen" -eq "$nclose" ] || {
+    echo "FAIL: lint JSON braces unbalanced ($nopen vs $nclose)" >&2
+    fails=$((fails + 1)); }
+  bopen=$(tr -cd '[' < "$tmpdir/lint.json" | wc -c)
+  bclose=$(tr -cd ']' < "$tmpdir/lint.json" | wc -c)
+  [ "$bopen" -eq "$bclose" ] || {
+    echo "FAIL: lint JSON brackets unbalanced ($bopen vs $bclose)" >&2
+    fails=$((fails + 1)); }
+
+  # 8. a known-bad fixture: exit 2, findings listed in text and JSON
+  "$lint" --json "$tmpdir/lint_bad.json" "$lint_bad" > "$tmpdir/out" 2>&1
+  expect "lint $lint_bad" 2 $?
+  grep -q '\[float\]\|\[polycompare\]\|\[exnswallow\]\|\[determinism\]' \
+    "$tmpdir/out" || {
+    echo "FAIL: lint text output names no rule" >&2; fails=$((fails + 1)); }
+  grep -q '"clean": false' "$tmpdir/lint_bad.json" || {
+    echo "FAIL: bad-fixture JSON claims clean" >&2; fails=$((fails + 1)); }
+  grep -q '"rule": "' "$tmpdir/lint_bad.json" || {
+    echo "FAIL: bad-fixture JSON lists no finding" >&2; fails=$((fails + 1)); }
+fi
 
 if [ "$fails" -ne 0 ]; then
   echo "cli_smoke: $fails check(s) failed" >&2

@@ -1,0 +1,14 @@
+(* Fixture: violates the determinism rule (rule D): ambient randomness,
+   wall-clock reads, and order-dependent hash-table iteration. *)
+
+let noise () = Random.int 100
+
+let stamp () = Sys.time ()
+
+let sum_values (tbl : (int, int) Hashtbl.t) =
+  let acc = ref 0 in
+  Hashtbl.iter (fun _ v -> acc := !acc + v) tbl;
+  !acc
+
+let keys (tbl : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,7 @@
+(* Fixture: violates the exception-swallowing rule (rule X): the
+   catch-alls below would eat Budget.Exhausted along with everything
+   else, silently converting resource exhaustion into a default. *)
+
+let parse s = try int_of_string s with _ -> 0
+
+let guard f = try Some (f ()) with _ -> None

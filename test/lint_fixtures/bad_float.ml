@@ -1,0 +1,8 @@
+(* Fixture: violates the float ban (rule F) in three distinct ways —
+   a float literal, a float-typed annotation, and float arithmetic. *)
+
+let half = 0.5
+
+let as_float (x : int) : float = float_of_int x
+
+let mean a b = (as_float a +. as_float b) /. 2.0

@@ -1,0 +1,12 @@
+(* Fixture: violates the polymorphic-operation ban (rule E). *)
+
+type pair = { left : string; right : string }
+
+let same (a : pair) (b : pair) =
+  (a.left, a.right) = (b.left, b.right)
+
+let order (a : pair) (b : pair) = Stdlib.compare a b
+
+let bucket (p : pair) = Hashtbl.hash p
+
+let table : (pair, int) Hashtbl.t = Hashtbl.create 16

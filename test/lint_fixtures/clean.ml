@@ -1,0 +1,13 @@
+(* Fixture: clean under every rule family — exact integer arithmetic,
+   typed comparisons, narrow exception handling, deterministic
+   iteration. *)
+
+let gcd a b =
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  go (abs a) (abs b)
+
+let same_name a b = String.equal a b
+
+let parse_opt s = try Some (int_of_string s) with Failure _ -> None
+
+let sum = List.fold_left ( + ) 0

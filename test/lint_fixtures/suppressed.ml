@@ -1,0 +1,9 @@
+(* Fixture: every violation here is silenced by a [@lint.allow]
+   attribute; the lint must report zero findings but enumerate each
+   suppression (with hit counts) in the JSON output. *)
+
+let ratio a b = (float_of_int a /. float_of_int b [@lint.allow "float"])
+
+let[@lint.allow "polycompare"] order a b = Stdlib.compare a b
+
+let parse s = (try int_of_string s with _ -> 0) [@lint.allow "exnswallow"]

@@ -1,0 +1,154 @@
+(* Tests for ringshare-lint: each rule family has a known-bad fixture
+   whose exact (rule, line) findings are asserted, plus a clean fixture
+   and a fully-suppressed fixture whose suppressions must be enumerated
+   (with hit counts) in the JSON report. *)
+
+module F = Lint_finding
+
+(* dune runtest runs from test/, dune exec from the project root *)
+let fixtures_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let fixture name = Filename.concat fixtures_dir name
+
+let findings_of name =
+  let r = Lint_driver.run_files [ fixture name ] in
+  List.map (fun (f : F.t) -> (F.rule_name f.rule, f.line)) r.findings
+
+let check_findings name expected =
+  Alcotest.(check (list (pair string int)))
+    name expected (findings_of name)
+
+let test_bad_float () =
+  check_findings "bad_float.ml"
+    [
+      ("float", 4);
+      ("float", 6);
+      ("float", 6);
+      ("float", 8);
+      ("float", 8);
+      ("float", 8);
+    ]
+
+let test_bad_polycompare () =
+  check_findings "bad_polycompare.ml"
+    [ ("polycompare", 6); ("polycompare", 8); ("polycompare", 10);
+      ("polycompare", 12) ]
+
+let test_bad_exnswallow () =
+  check_findings "bad_exnswallow.ml" [ ("exnswallow", 5); ("exnswallow", 7) ]
+
+let test_bad_determinism () =
+  check_findings "bad_determinism.ml"
+    [ ("determinism", 4); ("determinism", 6); ("determinism", 10);
+      ("determinism", 14) ]
+
+let test_clean () = check_findings "clean.ml" []
+
+let test_exit_codes () =
+  let bad = Lint_driver.run_files [ fixture "bad_float.ml" ] in
+  let ok = Lint_driver.run_files [ fixture "clean.ml" ] in
+  Alcotest.(check int) "findings exit 2" 2 (Lint_driver.exit_code bad);
+  Alcotest.(check int) "clean exit 0" 0 (Lint_driver.exit_code ok)
+
+let test_suppressed () =
+  let r = Lint_driver.run_files [ fixture "suppressed.ml" ] in
+  Alcotest.(check (list (pair string int))) "no unsuppressed findings" []
+    (List.map (fun (f : F.t) -> (F.rule_name f.rule, f.line)) r.findings);
+  let recorded =
+    List.map
+      (fun (s : F.suppression) ->
+        Printf.sprintf "%s:%d:%s:%d" (F.rule_name s.s_rule) s.s_line
+          s.s_scope s.s_hits)
+      r.suppressions
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "suppressions enumerated with hits"
+    [ "exnswallow:9:expr:1"; "float:5:expr:3"; "polycompare:7:item:1" ]
+    recorded;
+  (* every silenced finding is retained on the suppressed side *)
+  Alcotest.(check int) "silenced findings retained" 5
+    (List.length r.suppressed)
+
+let test_json_report () =
+  let r = Lint_driver.run_files [ fixture "suppressed.ml" ] in
+  let path = Filename.temp_file "lint" ".json" in
+  Lint_driver.write_json ~path r;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  let contains needle =
+    let nl = String.length needle and bl = String.length body in
+    let rec go i =
+      i + nl <= bl && (String.equal (String.sub body i nl) needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %S" needle) true
+        (contains needle))
+    [
+      "\"tool\": \"ringshare-lint\"";
+      "\"clean\": true";
+      "\"findings\": [";
+      "\"suppressions\": [";
+      "\"rule\": \"float\"";
+      "\"hits\": 3";
+    ];
+  (* balanced braces/brackets: cheap well-formedness guard *)
+  let count c = String.fold_left (fun a c' -> if c' = c then a + 1 else a) 0 body in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced brackets" (count '[') (count ']')
+
+let test_bad_rule_name_is_spec_error () =
+  let path = Filename.temp_file "lint_bad_attr" ".ml" in
+  let oc = open_out path in
+  output_string oc "let x = (1 + 1 [@lint.allow \"nonsense\"])\n";
+  close_out oc;
+  let raised =
+    match Lint_driver.run_files [ path ] with
+    | _ -> false
+    | exception Lint_check.Bad_attribute _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "unknown rule name raises" true raised
+
+let test_scope_map () =
+  let active rel = List.map F.rule_name (Lint_scope.rules_for rel) in
+  Alcotest.(check (list string)) "exact core gets all four"
+    [ "float"; "polycompare"; "exnswallow"; "determinism" ]
+    (active "bigint/bigint.ml");
+  Alcotest.(check bool) "trace.ml is float-exempt" false
+    (List.exists (String.equal "float") (active "core/trace.ml"));
+  Alcotest.(check bool) "workload is float-exempt" false
+    (List.exists (String.equal "float") (active "workload/generators.ml"));
+  Alcotest.(check bool) "prd_exact keeps the float ban" true
+    (List.exists (String.equal "float") (active "dynamics/prd_exact.ml"));
+  Alcotest.(check (list string)) "lint sources are skipped" []
+    (active "lint/lint_check.ml")
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "bad_float" `Quick test_bad_float;
+          Alcotest.test_case "bad_polycompare" `Quick test_bad_polycompare;
+          Alcotest.test_case "bad_exnswallow" `Quick test_bad_exnswallow;
+          Alcotest.test_case "bad_determinism" `Quick test_bad_determinism;
+          Alcotest.test_case "clean" `Quick test_clean;
+          Alcotest.test_case "exit_codes" `Quick test_exit_codes;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "suppressed" `Quick test_suppressed;
+          Alcotest.test_case "json_report" `Quick test_json_report;
+          Alcotest.test_case "bad_rule_name" `Quick
+            test_bad_rule_name_is_spec_error;
+        ] );
+      ("scope", [ Alcotest.test_case "scope_map" `Quick test_scope_map ]);
+    ]
