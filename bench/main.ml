@@ -167,6 +167,11 @@ let benchmarks cases =
 (* ------------------------------------------------------------------ *)
 
 let json_file = "BENCH_ringshare.json"
+let metrics_file = "METRICS_ringshare.json"
+
+let write_metrics () =
+  Obs.write_json ~spans:true ~path:metrics_file (Obs.snapshot ());
+  Format.printf "wrote %s@." metrics_file
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -239,7 +244,14 @@ let run_smoke () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  if smoke then run_smoke ()
+  (* the whole harness runs instrumented: the metrics artifact doubles
+     as a coverage record of what the battery actually exercised *)
+  Obs.set_metrics true;
+  Obs.set_spans true;
+  if smoke then begin
+    run_smoke ();
+    write_metrics ()
+  end
   else begin
     let fmt = Format.std_formatter in
     let failures =
@@ -267,5 +279,6 @@ let () =
       end
     in
     if not no_bench then run_benchmarks ();
+    write_metrics ();
     if failures <> [] then exit 1
   end

@@ -102,8 +102,8 @@ let refine_arg =
 (* Subcommand bodies                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let decompose g dot =
-  let d = Decompose.compute g in
+let decompose g solver dot () =
+  let d = Decompose.compute ~solver g in
   Format.printf "%a@." Graph.pp g;
   Format.printf "bottleneck decomposition:@.%a@." Decompose.pp d;
   let cls = Classes.of_decomposition g d in
@@ -132,14 +132,14 @@ let decompose g dot =
       close_out oc;
       Format.printf "wrote %s@." file
 
-let allocate g =
+let allocate g () =
   let a = Allocation.compute g in
   Format.printf "%a@." Allocation.pp a;
   match Allocation.validate a with
   | Ok () -> Format.printf "allocation valid; utilities match Proposition 6@."
   | Error m -> Format.printf "INVALID allocation: %s@." m
 
-let dynamics g iters =
+let dynamics g iters () =
   let alloc = Allocation.compute g in
   let traj = Prd.trajectory ~iters g alloc in
   Format.printf "t,l1_distance_to_bd_allocation@.";
@@ -162,7 +162,8 @@ let budget_of ~time_budget ~step_budget =
   | None, None -> Budget.unlimited
   | seconds, steps -> Budget.create ?seconds ?steps ()
 
-let sybil g v_opt grid refine time_budget step_budget checkpoint resume =
+let sybil g solver v_opt grid refine time_budget step_budget checkpoint resume
+    () =
   let budget = budget_of ~time_budget ~step_budget in
   let report (a : Incentive.attack) =
     Format.printf
@@ -171,13 +172,13 @@ let sybil g v_opt grid refine time_budget step_budget checkpoint resume =
       (Q.to_string a.ratio) (Q.to_float a.ratio)
   in
   (match v_opt with
-  | Some v -> report (Incentive.best_split ~grid ~refine ~budget g ~v)
+  | Some v -> report (Incentive.best_split ~solver ~grid ~refine ~budget g ~v)
   | None when Budget.is_limited budget || checkpoint <> None || resume ->
       (* fault-tolerant path: sequential scan, snapshot per vertex,
          partial best on budget exhaustion *)
       let p =
-        Incentive.best_attack_within ~grid ~refine ~budget ?checkpoint ~resume
-          g
+        Incentive.best_attack_within ~solver ~grid ~refine ~budget ?checkpoint
+          ~resume g
       in
       Format.printf "searched %d/%d vertices@." p.Incentive.completed
         p.Incentive.total;
@@ -190,10 +191,10 @@ let sybil g v_opt grid refine time_budget step_budget checkpoint resume =
             Format.printf "stopped early (checkpoint saved; rerun with --resume)@."
           else Format.printf "stopped early@.";
           Ringshare_error.error e)
-  | None -> report (Incentive.best_attack ~grid ~refine g));
+  | None -> report (Incentive.best_attack ~solver ~grid ~refine g));
   Format.printf "Theorem 8 bound: 2@."
 
-let curve g v samples =
+let curve g v samples () =
   let pts = Misreport.curve g ~v ~samples in
   Format.printf "x,utility,alpha,class@.";
   List.iter
@@ -208,7 +209,7 @@ let curve g v samples =
   | Ok () -> Format.printf "Theorem 10 (monotone utility): OK@."
   | Error m -> Format.printf "Theorem 10: VIOLATED (%s)@." m
 
-let breaks g v grid =
+let breaks g v grid () =
   let events = Breakpoints.scan ~grid g ~v in
   Format.printf "%d decomposition change events for x in [0, %s]@."
     (List.length events)
@@ -226,7 +227,7 @@ let breaks g v grid =
         Decompose.pp ev.after)
     events
 
-let trace g v grid =
+let trace g v grid () =
   let t = Trace.compute ~grid g ~v in
   Format.printf "%a@." Trace.pp t;
   (match Trace.check_prop12 t with
@@ -234,7 +235,7 @@ let trace g v grid =
   | Error m -> Format.printf "Propositions 11/12: VIOLATED (%s)@." m);
   Format.printf "@.csv:@.%s" (Trace.to_csv t)
 
-let certify g =
+let certify g () =
   let d = Decompose.compute g in
   Format.printf "decomposition:@.%a@." Decompose.pp d;
   let cert = Certificate.build g d in
@@ -247,7 +248,7 @@ let certify g =
   | Ok () -> Format.printf "certificate verifies: alpha-ratios are optimal@."
   | Error m -> Format.printf "CERTIFICATE REJECTED: %s@." m
 
-let general g v grid =
+let general g v grid () =
   let spec, utility, ratio = Sybil_general.best_attack ~grid g ~v in
   Format.printf "agent %d: best attack uses %d identities@." v
     (Array.length spec.Sybil_general.groups);
@@ -260,7 +261,7 @@ let general g v grid =
   Format.printf "attack utility %s, ratio %.5f (conjectured bound: 2)@."
     (Q.to_string utility) (Q.to_float ratio)
 
-let family ks grid =
+let family ks grid () =
   Format.printf "%6s %16s %16s@." "k" "sup 2-1/(5k+1)" "search finds";
   List.iter
     (fun k ->
@@ -269,7 +270,7 @@ let family ks grid =
         (Q.to_float (Lower_bound.measured_ratio ~grid ~refine:3 ~k ())))
     ks
 
-let audit g grid refine =
+let audit g grid refine () =
   Format.printf "%-6s %-10s %-12s %-12s %-8s@." "agent" "weight" "honest"
     "attack" "ratio";
   for v = 0 to Graph.n g - 1 do
@@ -289,11 +290,11 @@ let audit g grid refine =
   done;
   Format.printf "Theorem 8 bound (rings; conjectured in general): 2@."
 
-let save g out =
+let save g out () =
   Serial.save out g;
   Format.printf "wrote %s@." out
 
-let verify g v grid =
+let verify g v grid () =
   match Symbolic.verify_theorem8 ~grid g ~v with
   | Error m -> Format.printf "internal error: %s@." m
   | Ok r ->
@@ -321,7 +322,7 @@ let verify g v grid =
 (* The search that discovered the tightness family, now living in
    Experiments.hunt so the harness and the CLI share the checkpointed,
    budget-aware implementation. *)
-let hunt seed trials time_budget step_budget checkpoint resume =
+let hunt seed trials time_budget step_budget checkpoint resume () =
   let budget = budget_of ~time_budget ~step_budget in
   let r =
     Experiments.hunt ~grid:12 ~refine:2 ?checkpoint ~resume ~budget ~seed
@@ -340,8 +341,97 @@ let hunt seed trials time_budget step_budget checkpoint resume =
       Ringshare_error.error e
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags (shared by every subcommand)                    *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_arg =
+  Arg.(value
+       & opt ~vopt:(Some "METRICS_ringshare.json") (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Record solver metrics and write the artifact to $(docv) \
+               (default METRICS_ringshare.json; use --metrics=FILE to \
+               change the path).  Never alters results or stdout.")
+
+let spans_arg =
+  Arg.(value & flag
+       & info [ "spans" ]
+         ~doc:"Also time solver spans; the aggregates go to stderr and \
+               into the --metrics JSON.")
+
+let obs_only_arg =
+  Arg.(value & opt (some string) None
+       & info [ "obs-only" ] ~docv:"SUBSYS,..."
+         ~doc:"Restrict the metrics artifact to these subsystems.  An \
+               unknown subsystem is a spec error (exit 4).")
+
+let obs_wrap metrics spans obs_only body =
+  let only =
+    match obs_only with
+    | None -> None
+    | Some s ->
+        let subs =
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun x -> x <> "")
+        in
+        let known = Obs.known_subsystems () in
+        List.iter
+          (fun sub ->
+            if not (List.mem sub known) then begin
+              (* spec error, same exit class as the lint's unknown rule *)
+              Format.eprintf
+                "ringshare: unknown metrics subsystem %S (known: %s)@." sub
+                (String.concat ", " known);
+              exit 4
+            end)
+          subs;
+        Some subs
+  in
+  if metrics <> None then Obs.set_metrics true;
+  if spans then begin
+    Obs.set_metrics true;
+    Obs.set_spans true
+  end;
+  if metrics = None && not spans then body ()
+  else
+    (* write the artifact even when the body exits through the error
+       taxonomy: a budget-exhausted sweep still leaves its metrics *)
+    Fun.protect body ~finally:(fun () ->
+        (match metrics with
+        | None -> ()
+        | Some path ->
+            let snap = Obs.snapshot () in
+            let snap =
+              match only with
+              | Some subs -> Obs.filter_subsystems subs snap
+              | None -> snap
+            in
+            Obs.write_json ~spans ~path snap;
+            Format.eprintf "ringshare: metrics written to %s@." path);
+        if spans then
+          List.iter
+            (fun (r : Obs.Span.record) ->
+              Format.eprintf "ringshare: span %-32s count=%d total_ns=%d@."
+                r.path r.count r.total_ns)
+            (Obs.Span.records ()))
+
+(* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
+
+let solver_conv =
+  Arg.enum
+    [
+      ("auto", Decompose.Auto);
+      ("chain", Decompose.Chain);
+      ("fast-chain", Decompose.FastChain);
+      ("flow", Decompose.Flow);
+      ("brute", Decompose.Brute);
+    ]
+
+let solver_arg =
+  Arg.(value & opt solver_conv Decompose.Auto
+       & info [ "solver" ] ~docv:"SOLVER"
+         ~doc:"Decomposition solver: auto, chain, fast-chain, flow or brute.")
 
 let dot_arg =
   Arg.(value & opt (some string) None
@@ -378,11 +468,15 @@ let resume_arg =
        & info [ "resume" ]
          ~doc:"Continue from the --checkpoint snapshot instead of restarting.")
 
-let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+(* Every subcommand body is a thunk; the obs wrapper runs flag setup
+   before it and artifact emission after it (even on taxonomy exits). *)
+let cmd name doc term =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const obs_wrap $ metrics_arg $ spans_arg $ obs_only_arg $ term)
 
 let decompose_cmd =
   cmd "decompose" "Bottleneck decomposition, classes and utilities"
-    Term.(const decompose $ graph_term $ dot_arg)
+    Term.(const decompose $ graph_term $ solver_arg $ dot_arg)
 
 let allocate_cmd =
   cmd "allocate" "BD allocation (Definition 5)"
@@ -394,8 +488,9 @@ let dynamics_cmd =
 
 let sybil_cmd =
   cmd "sybil" "Best Sybil attack and incentive ratio"
-    Term.(const sybil $ graph_term $ v_opt_arg $ grid_arg $ refine_arg
-          $ time_budget_arg $ step_budget_arg $ checkpoint_arg $ resume_arg)
+    Term.(const sybil $ graph_term $ solver_arg $ v_opt_arg $ grid_arg
+          $ refine_arg $ time_budget_arg $ step_budget_arg $ checkpoint_arg
+          $ resume_arg)
 
 let curve_cmd =
   cmd "curve" "Misreport curves U_v(x) and alpha_v(x)"

@@ -1,10 +1,15 @@
 module Q = Rational
 
+let c_calls = Obs.Counter.make ~subsystem:"decomposition" "brute_folds"
+let c_subsets = Obs.Counter.make ~subsystem:"decomposition" "brute_subsets"
+
 let subsets_fold ?(budget = Budget.unlimited) g ~mask f init =
   let verts = Vset.to_array mask in
   let k = Array.length verts in
   if k = 0 then invalid_arg "Brute: empty mask";
   if k > 22 then invalid_arg "Brute: mask too large for exhaustive search";
+  Obs.Counter.incr c_calls;
+  Obs.Counter.add c_subsets ((1 lsl k) - 1);
   let acc = ref init in
   for bits = 1 to (1 lsl k) - 1 do
     (* amortise the budget check over 256-subset chunks *)

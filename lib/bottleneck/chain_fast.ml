@@ -203,9 +203,13 @@ let solve_cycle g ~alpha verts =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let c_oracle =
+  Obs.Counter.make ~subsystem:"decomposition" "fastchain_oracle_calls"
+
 let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   if not (Chain_solver.supports g ~mask) then
     invalid_arg "Chain_fast: masked graph has a vertex of degree > 2";
+  Obs.Counter.incr c_oracle;
   let comps = Chain_solver.components g ~mask in
   let h = ref Q.zero in
   let s_max = ref Vset.empty in

@@ -181,9 +181,12 @@ let component_min g ~alpha comp ~forced =
   if comp.cycle then cycle_min g ~alpha comp.verts ~forced
   else path_min g ~alpha comp.verts ~forced
 
+let c_oracle = Obs.Counter.make ~subsystem:"decomposition" "chain_oracle_calls"
+
 let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   if not (supports g ~mask) then
     invalid_arg "Chain_solver: masked graph has a vertex of degree > 2";
+  Obs.Counter.incr c_oracle;
   let comps = components g ~mask in
   let h = ref Q.zero in
   let s_max = ref Vset.empty in

@@ -15,18 +15,34 @@ let pair_alpha g p =
     else Q.inf
   else Q.div wc wb
 
+let c_computes = Obs.Counter.make ~subsystem:"decomposition" "computes"
+let c_pairs = Obs.Counter.make ~subsystem:"decomposition" "pairs"
+
+let c_auto_fastchain =
+  Obs.Counter.make ~subsystem:"decomposition" "auto_fastchain"
+
+let c_auto_flow = Obs.Counter.make ~subsystem:"decomposition" "auto_flow"
+
 let solver_fn ?budget g = function
   | Chain -> Chain_solver.maximal_bottleneck ?budget
   | FastChain -> Chain_fast.maximal_bottleneck ?budget
   | Flow -> Flow_solver.maximal_bottleneck ?budget
   | Brute -> Brute.maximal_bottleneck ?budget
   | Auto ->
-      if Graph.is_chain_graph g then Chain_fast.maximal_bottleneck ?budget
-      else Flow_solver.maximal_bottleneck ?budget
+      if Graph.is_chain_graph g then begin
+        Obs.Counter.incr c_auto_fastchain;
+        Chain_fast.maximal_bottleneck ?budget
+      end
+      else begin
+        Obs.Counter.incr c_auto_flow;
+        Flow_solver.maximal_bottleneck ?budget
+      end
 
 let compute ?(solver = Auto) ?budget g =
+  Obs.Span.with_ "decompose" @@ fun () ->
   if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
     invalid_arg "Decompose.compute: all weights are zero";
+  Obs.Counter.incr c_computes;
   let find = solver_fn ?budget g solver in
   let rec go mask acc =
     if Vset.is_empty mask then List.rev acc
@@ -40,6 +56,7 @@ let compute ?(solver = Auto) ?budget g =
          B vertices, so c is exactly Γ(B) within the mask. *)
       let p = { b; c; alpha = Q.zero } in
       let p = { p with alpha = pair_alpha g p } in
+      Obs.Counter.incr c_pairs;
       go (Vset.diff mask (Vset.union b c)) (p :: acc)
     end
   in

@@ -1,6 +1,9 @@
 module Q = Rational
 
+let c_oracle = Obs.Counter.make ~subsystem:"decomposition" "flow_oracle_calls"
+
 let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
+  Obs.Counter.incr c_oracle;
   Budget.tick ~cost:(1 + Vset.cardinal mask) budget;
   let verts = Vset.to_array mask in
   let k = Array.length verts in

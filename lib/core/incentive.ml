@@ -23,9 +23,24 @@ module QTbl = Hashtbl.Make (struct
   let hash = Q.hash
 end)
 
+let c_split_calls = Obs.Counter.make ~subsystem:"incentive" "best_split_calls"
+let c_lookups = Obs.Counter.make ~subsystem:"incentive" "memo_lookups"
+let c_hits = Obs.Counter.make ~subsystem:"incentive" "memo_hits"
+let c_misses = Obs.Counter.make ~subsystem:"incentive" "memo_misses"
+let c_sweep_points = Obs.Counter.make ~subsystem:"incentive" "sweep_points"
+
+let c_sweep_deduped =
+  Obs.Counter.make ~subsystem:"incentive" "sweep_points_deduped"
+
+let c_attack_calls = Obs.Counter.make ~subsystem:"incentive" "best_attack_calls"
+let c_honest_shared = Obs.Counter.make ~subsystem:"incentive" "honest_shared"
+let g_cache = Obs.Gauge.make ~subsystem:"incentive" "max_cache_size"
+
 let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
     ?(budget = Budget.unlimited) ?(domains = 1) ?honest g ~v =
   if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
+  Obs.Span.with_ "best_split" @@ fun () ->
+  Obs.Counter.incr c_split_calls;
   let w = Graph.weight g v in
   let cost = 1 + Graph.n g in
   let honest =
@@ -45,6 +60,12 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
   in
   let eval_batch points =
     let fresh = List.filter (fun w1 -> not (QTbl.mem cache w1)) points in
+    if Obs.metrics_enabled () then begin
+      let lookups = List.length points and misses = List.length fresh in
+      Obs.Counter.add c_lookups lookups;
+      Obs.Counter.add c_misses misses;
+      Obs.Counter.add c_hits (lookups - misses)
+    end;
     match fresh with
     | [] -> ()
     | [ w1 ] -> QTbl.replace cache w1 (eval w1)
@@ -78,7 +99,12 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
        the original extras-first order: with the strict [>] comparison the
        first point of a utility tie wins, so this keeps the reported [w1]
        identical to the pre-memoisation search. *)
-    eval_batch (List.sort_uniq Q.compare points);
+    let deduped = List.sort_uniq Q.compare points in
+    if Obs.metrics_enabled () then begin
+      Obs.Counter.add c_sweep_points (List.length points);
+      Obs.Counter.add c_sweep_deduped (List.length deduped)
+    end;
+    eval_batch deduped;
     best_of points acc
   in
   let w10, _ = Sybil.initial_split ~solver g ~v in
@@ -95,16 +121,20 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
           [] (rounds - 1) (bw, bu)
   in
   let bw, bu = zoom Q.zero w [ w10 ] refine (w10, honest) in
+  if Obs.metrics_enabled () then Obs.Gauge.set_max g_cache (QTbl.length cache);
   { v; w1 = bw; utility = bu; honest; ratio = ratio_value ~utility:bu ~honest }
 
 let better a b = if Q.compare a.ratio b.ratio > 0 then a else b
 
 let best_attack ?solver ?grid ?refine ?budget ?(domains = 1) g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  Obs.Span.with_ "best_attack" @@ fun () ->
+  Obs.Counter.incr c_attack_calls;
   (* the honest utilities of all vertices come from one decomposition of
      the unmodified ring; computing it once here instead of once per
      vertex inside best_split saves n-1 full decompositions *)
   let d = Decompose.compute ?solver g in
+  Obs.Counter.add c_honest_shared (Graph.n g);
   let attacks =
     (* per-vertex searches are independent pure computations; spread them
        over domains when asked.  The budget's step counter is atomic, so
@@ -207,7 +237,11 @@ let best_attack_within ?solver ?grid ?refine ?(budget = Budget.unlimited)
   (* honest utilities shared across vertices, as in best_attack; lazy so
      a fully-completed resume does no work and solver errors are still
      captured by the loop below *)
-  let d = lazy (Decompose.compute ?solver g) in
+  let d =
+    lazy
+      (Obs.Counter.add c_honest_shared total;
+       Decompose.compute ?solver g)
+  in
   (try
      for v = start to total - 1 do
        Budget.check budget;

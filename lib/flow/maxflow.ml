@@ -15,6 +15,18 @@ type t = {
 
 type edge = int
 
+(* Counter provenance for the flow layer: one solve is a sequence of
+   BFS level phases, each pushing blocking flow along augmenting paths
+   (Dinic bound: at most |V| phases, at most |E| path saturations per
+   phase, so augmenting_paths <= |V|·|E| per solve — pinned by
+   test_obs).  edge_pushes counts individual arc updates along those
+   paths. *)
+let c_edges = Obs.Counter.make ~subsystem:"flow" "edges_added"
+let c_solves = Obs.Counter.make ~subsystem:"flow" "solves"
+let c_bfs = Obs.Counter.make ~subsystem:"flow" "bfs_phases"
+let c_paths = Obs.Counter.make ~subsystem:"flow" "augmenting_paths"
+let c_pushes = Obs.Counter.make ~subsystem:"flow" "edge_pushes"
+
 let create n =
   {
     n;
@@ -56,6 +68,7 @@ let add_edge net ~src ~dst ~cap =
   net.adj.(dst) <- (e + 1) :: net.adj.(dst);
   net.ecount <- net.ecount + 2;
   net.adj_arr <- None;
+  Obs.Counter.incr c_edges;
   e
 
 let adjacency net =
@@ -78,6 +91,7 @@ let reset_flow net =
 
 (* BFS level graph over residual edges. Returns true iff sink reached. *)
 let bfs net adj level ~source ~sink =
+  Obs.Counter.incr c_bfs;
   Array.fill level 0 net.n (-1);
   level.(source) <- 0;
   let queue = Queue.create () in
@@ -100,7 +114,12 @@ let bfs net adj level ~source ~sink =
 (* DFS blocking flow with per-node arc pointer. Returns the amount pushed
    (bounded by [limit], which may be Q.inf on the first call). *)
 let rec dfs net adj level ptr u ~sink limit =
-  if u = sink then limit
+  if u = sink then begin
+    (* each sink hit is one augmenting path inside the level graph; the
+       caller pushes a strictly positive amount along it *)
+    Obs.Counter.incr c_paths;
+    limit
+  end
   else begin
     let pushed = ref Q.zero in
     let continue_ = ref true in
@@ -124,6 +143,7 @@ let rec dfs net adj level ptr u ~sink limit =
           incr_ptr ptr u
         end
         else begin
+          Obs.Counter.incr c_pushes;
           net.flw.(e) <- Q.add net.flw.(e) amount;
           net.flw.(e lxor 1) <- Q.sub net.flw.(e lxor 1) amount;
           pushed := Q.add !pushed amount;
@@ -140,6 +160,7 @@ and incr_ptr ptr u = ptr.(u) <- ptr.(u) + 1
 
 let max_flow net ~source ~sink =
   if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  Obs.Counter.incr c_solves;
   let adj = adjacency net in
   let level = Array.make net.n (-1) in
   let total = ref Q.zero in

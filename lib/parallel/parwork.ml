@@ -1,13 +1,24 @@
 let recommended_domains () = Stdlib.min 8 (Domain.recommended_domain_count ())
 
+let c_maps = Obs.Counter.make ~subsystem:"parwork" "maps"
+let c_tasks = Obs.Counter.make ~subsystem:"parwork" "tasks"
+let c_domains = Obs.Counter.make ~subsystem:"parwork" "domains_spawned"
+let c_exhausts = Obs.Counter.make ~subsystem:"parwork" "queue_exhausts"
+let c_retries = Obs.Counter.make ~subsystem:"parwork" "retries"
+let g_domains = Obs.Gauge.make ~subsystem:"parwork" "max_domains"
+
 let map ?domains f xs =
   let domains =
     match domains with Some d -> Stdlib.max 1 d | None -> recommended_domains ()
   in
   let n = Array.length xs in
+  Obs.Counter.incr c_maps;
+  Obs.Counter.add c_tasks n;
   if n = 0 then [||]
   else if domains = 1 || n = 1 then Array.map f xs
   else begin
+    Obs.Counter.add c_domains (domains - 1);
+    Obs.Gauge.set_max g_domains domains;
     (* results buffer; each slot written exactly once by one worker *)
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -16,7 +27,10 @@ let map ?domains f xs =
       let continue_ = ref true in
       while !continue_ do
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue_ := false
+        if i >= n || Atomic.get failure <> None then begin
+          if i >= n then Obs.Counter.incr c_exhausts;
+          continue_ := false
+        end
         else
           match f xs.(i) with
           | y -> results.(i) <- Some y
@@ -73,6 +87,7 @@ let map_report ?domains ?(retry = true) f xs =
             (* sequential second chance: transient faults (allocation
                pressure in a domain, injected test faults) get one
                deterministic retry on the main domain *)
+            Obs.Counter.incr c_retries;
             let result =
               match f xs.(i) with y -> Ok y | exception e -> Error e
             in

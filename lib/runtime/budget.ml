@@ -8,6 +8,14 @@ type t = {
 
 exception Exhausted of { steps : int; elapsed : float }
 
+(* Tick/step counters fire on every call — including on unlimited
+   budgets, whose tick is otherwise a no-op — so a metrics run shows
+   how much cooperative metering the solvers perform even when nothing
+   can trip.  Each Obs call is one branch when metrics are off. *)
+let c_ticks = Obs.Counter.make ~subsystem:"budget" "ticks"
+let c_steps = Obs.Counter.make ~subsystem:"budget" "steps"
+let c_trips = Obs.Counter.make ~subsystem:"budget" "trips"
+
 let unlimited =
   {
     deadline = None;
@@ -36,10 +44,13 @@ let elapsed t =
 let exhausted t = Atomic.get t.tripped
 
 let trip t =
+  Obs.Counter.incr c_trips;
   Atomic.set t.tripped true;
   raise (Exhausted { steps = used_steps t; elapsed = elapsed t })
 
 let tick ?(cost = 1) t =
+  Obs.Counter.incr c_ticks;
+  Obs.Counter.add c_steps cost;
   if is_limited t then begin
     if Atomic.get t.tripped then trip t;
     let used = Atomic.fetch_and_add t.steps cost + cost in

@@ -12,6 +12,9 @@
 set -u
 
 cli="$1"
+# section 9 runs the CLI from a scratch directory, so the path must
+# survive a cd
+case "$cli" in /*) ;; *) cli="$PWD/$cli" ;; esac
 lint="${2:-}"
 lint_root="${3:-}"
 lint_bad="${4:-}"
@@ -67,6 +70,50 @@ grep -q "budget exhausted" "$tmpdir/err" || {
 # 6. conflicting instance specs: exit 2
 "$cli" decompose --fig1 --ring 1,2,3 > /dev/null 2> "$tmpdir/err"
 expect "conflicting specs" 2 $?
+
+# 9. --metrics: exit 0, schema-stable JSON, non-zero counters from the
+#    five instrumented subsystems, and bit-identical stdout
+( cd "$tmpdir" && "$cli" sybil --ring 3,3,2,1,1,1 --grid 6 --refine 1 \
+    --solver flow --metrics > metrics_run.out 2> metrics_run.err )
+expect "sybil --metrics" 0 $?
+"$cli" sybil --ring 3,3,2,1,1,1 --grid 6 --refine 1 --solver flow \
+  > "$tmpdir/plain_run.out" 2> /dev/null
+expect "sybil without --metrics" 0 $?
+cmp -s "$tmpdir/plain_run.out" "$tmpdir/metrics_run.out" || {
+  echo "FAIL: --metrics changed stdout" >&2; fails=$((fails + 1)); }
+mjson="$tmpdir/METRICS_ringshare.json"
+[ -f "$mjson" ] || {
+  echo "FAIL: --metrics wrote no METRICS_ringshare.json" >&2
+  fails=$((fails + 1)); }
+grep -q '"tool": "ringshare-obs"' "$mjson" || {
+  echo "FAIL: metrics JSON missing tool key" >&2; fails=$((fails + 1)); }
+grep -q '"version": 1' "$mjson" || {
+  echo "FAIL: metrics JSON missing version key" >&2; fails=$((fails + 1)); }
+for key in counters gauges spans; do
+  grep -q "\"$key\": \[" "$mjson" || {
+    echo "FAIL: metrics JSON missing $key array" >&2; fails=$((fails + 1)); }
+done
+for sub in flow decomposition incentive parwork budget; do
+  grep "\"subsystem\": \"$sub\"" "$mjson" | grep -qv '"value": 0' || {
+    echo "FAIL: subsystem $sub has no non-zero counter" >&2
+    fails=$((fails + 1)); }
+done
+nopen=$(tr -cd '{' < "$mjson" | wc -c)
+nclose=$(tr -cd '}' < "$mjson" | wc -c)
+[ "$nopen" -eq "$nclose" ] || {
+  echo "FAIL: metrics JSON braces unbalanced ($nopen vs $nclose)" >&2
+  fails=$((fails + 1)); }
+bopen=$(tr -cd '[' < "$mjson" | wc -c)
+bclose=$(tr -cd ']' < "$mjson" | wc -c)
+[ "$bopen" -eq "$bclose" ] || {
+  echo "FAIL: metrics JSON brackets unbalanced ($bopen vs $bclose)" >&2
+  fails=$((fails + 1)); }
+
+# 10. an unknown --obs-only subsystem is a spec error: exit 4, one line
+"$cli" decompose --fig1 --obs-only bogus > /dev/null 2> "$tmpdir/err"
+expect "unknown --obs-only subsystem" 4 $?
+grep -q 'unknown metrics subsystem' "$tmpdir/err" || {
+  echo "FAIL: --obs-only error message unhelpful" >&2; fails=$((fails + 1)); }
 
 if [ -n "$lint" ]; then
   # 7. the shipped sources are lint-clean: exit 0, clean JSON report

@@ -87,6 +87,61 @@ let test_zero_received_fallback () =
     (Array.for_all Float.is_finite (Prd.utilities st))
 
 (* ------------------------------------------------------------------ *)
+(* Float/exact cross-check battery: E1 profile + seeded rings          *)
+(* ------------------------------------------------------------------ *)
+
+let crosscheck_instances () =
+  (Generators.ring_of_ints [| 3; 3; 2; 1; 1; 1 |], "E1 ring")
+  :: List.map
+       (fun seed ->
+         ( Instances.ring ~seed ~n:6 (Weights.Uniform (1, 100)),
+           Printf.sprintf "seeded ring #%d" seed ))
+       [ 1; 2; 3 ]
+
+let test_crosscheck_sends () =
+  (* the float path follows the exact recurrence to within rounding for
+     the first rounds, on every cross-check instance *)
+  List.iter
+    (fun (g, label) ->
+      let fl = ref (Prd.init g) and ex = ref (Prd_exact.init g) in
+      for round = 1 to 8 do
+        fl := Prd.step !fl;
+        ex := Prd_exact.step !ex;
+        for v = 0 to Graph.n g - 1 do
+          Array.iter
+            (fun u ->
+              let a = Prd.sends !fl ~src:v ~dst:u
+              and b = Q.to_float (Prd_exact.sends !ex ~src:v ~dst:u) in
+              if abs_float (a -. b) > 1e-9 then
+                Alcotest.failf "%s round %d send %d->%d: %.12f vs %.12f" label
+                  round v u a b)
+            (Graph.neighbors g v)
+        done
+      done)
+    (crosscheck_instances ())
+
+let test_crosscheck_convergence () =
+  List.iter
+    (fun (g, label) ->
+      let target = Utility.of_decomposition g (Decompose.compute g) in
+      let st = Prd.run ~iters:4000 g in
+      Array.iteri
+        (fun v u ->
+          let t = Q.to_float target.(v) in
+          if abs_float (u -. t) > 5e-3 *. (1.0 +. abs_float t) then
+            Alcotest.failf "%s vertex %d: %f vs BD utility %f" label v u t)
+        (Prd.utilities st))
+    (crosscheck_instances ())
+
+let test_crosscheck_fixed_point () =
+  List.iter
+    (fun (g, label) ->
+      let st = Prd_exact.of_allocation (Allocation.compute g) in
+      if not (Prd_exact.equal (Prd_exact.step st) st) then
+        Alcotest.failf "%s: BD allocation is not a PRD fixed point" label)
+    (crosscheck_instances ())
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -128,6 +183,15 @@ let () =
           Alcotest.test_case "trajectory shrinks" `Quick test_trajectory_monotone_tail;
           Alcotest.test_case "float = exact early" `Quick test_float_matches_exact_early;
           Alcotest.test_case "zero-received fallback" `Quick test_zero_received_fallback;
+        ] );
+      ( "cross-check",
+        [
+          Alcotest.test_case "float = exact sends, 8 rounds" `Quick
+            test_crosscheck_sends;
+          Alcotest.test_case "float converges to BD utilities" `Slow
+            test_crosscheck_convergence;
+          Alcotest.test_case "exact fixed point" `Quick
+            test_crosscheck_fixed_point;
         ] );
       ("properties", props);
     ]

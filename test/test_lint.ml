@@ -128,6 +128,10 @@ let test_scope_map () =
     (List.exists (String.equal "float") (active "workload/generators.ml"));
   Alcotest.(check bool) "prd_exact keeps the float ban" true
     (List.exists (String.equal "float") (active "dynamics/prd_exact.ml"));
+  Alcotest.(check (list string))
+    "obs is exact-core: float ban and determinism active"
+    [ "float"; "polycompare"; "exnswallow"; "determinism" ]
+    (active "obs/obs.ml");
   Alcotest.(check (list string)) "lint sources are skipped" []
     (active "lint/lint_check.ml")
 
