@@ -42,7 +42,7 @@ let case_decompose solver tag n =
   let g = ring n in
   ( "solvers",
     Printf.sprintf "decompose/%s/n=%d" tag n,
-    fun () -> ignore (Decompose.compute ~solver g) )
+    fun () -> ignore (Decompose.compute ~ctx:(Engine.Ctx.make ~solver ()) g) )
 
 let case_decompose_fast_budgeted n =
   (* the cost of cooperative budget metering on the hot solver: same
@@ -51,7 +51,7 @@ let case_decompose_fast_budgeted n =
   let budget = Budget.create ~steps:max_int () in
   ( "solvers",
     Printf.sprintf "decompose/fast-chain+budget/n=%d" n,
-    fun () -> ignore (Decompose.compute ~solver:Decompose.FastChain ~budget g) )
+    fun () -> ignore (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.FastChain ()) ~budget g) )
 
 let case_allocation n =
   let g = ring n in
@@ -77,19 +77,40 @@ let case_attack_search n =
   let g = ring n in
   ( "attack",
     Printf.sprintf "sybil/best-split/n=%d" n,
-    fun () -> ignore (Incentive.best_split ~grid:8 ~refine:1 g ~v:0) )
+    fun () -> ignore (Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v:0) )
 
 let case_attack_search_parallel n domains =
   let g = ring n in
   ( "attack",
     Printf.sprintf "sybil/best-attack/n=%d/domains=%d" n domains,
-    fun () -> ignore (Incentive.best_attack ~grid:8 ~refine:1 ~domains g) )
+    fun () -> ignore (Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~domains ()) g) )
+
+let case_attack_cache n =
+  (* the engine cache's headline win: the identical search against a
+     warm shared cache vs a fresh cache per run (the cold row pays the
+     decompositions AND the cache bookkeeping, so the gap is the honest
+     cross-search saving) *)
+  let g = ring n in
+  let run cache =
+    ignore
+      (Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~cache ()) g)
+  in
+  let warm = Engine.Cache.create ~capacity:4096 () in
+  run warm;
+  [
+    ( "engine",
+      Printf.sprintf "engine/best-attack-cold-cache/n=%d" n,
+      fun () -> run (Engine.Cache.create ~capacity:4096 ()) );
+    ( "engine",
+      Printf.sprintf "engine/best-attack-warm-cache/n=%d" n,
+      fun () -> run warm );
+  ]
 
 let case_symbolic_verify n =
   let g = ring n in
   ( "attack",
     Printf.sprintf "symbolic/verify-theorem8/n=%d" n,
-    fun () -> ignore (Symbolic.verify_theorem8 ~grid:12 g ~v:0) )
+    fun () -> ignore (Symbolic.verify_theorem8 ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v:0) )
 
 let case_bigint_mul digits =
   let x = Bigint.of_string (String.make digits '7') in
@@ -139,6 +160,9 @@ let cases () =
     case_attack_search_parallel 8 1;
     case_attack_search_parallel 8 2;
     case_symbolic_verify 5;
+  ]
+  @ case_attack_cache 8
+  @ [
     case_bigint_mul 50;
     case_bigint_mul 2000;
     case_bigint_small_arith ();

@@ -10,6 +10,7 @@
      trace      the full Section III.B interval structure
      certify    build + verify a flow-witness certificate
      general    best m-identity Sybil attack on any network
+     batch      map one search over many instance files (shared cache)
      family     the tightness family zeta(k) = 2 - 1/(5k+1)
      audit      per-agent incentive-ratio audit of a network
      hunt       random search for high-incentive-ratio rings
@@ -92,18 +93,96 @@ let v_arg =
   Arg.(value & opt int 0
        & info [ "agent"; "v" ] ~docv:"V" ~doc:"The agent under study.")
 
+(* ------------------------------------------------------------------ *)
+(* Shared execution-context term                                       *)
+(*                                                                     *)
+(* Every computing subcommand takes the same --solver/--grid/--refine/ *)
+(* --domains/--cache and budget flags, folded into one Engine.Ctx.     *)
+(* ------------------------------------------------------------------ *)
+
+let solver_arg =
+  Arg.(value & opt string "auto"
+       & info [ "solver" ] ~docv:"SOLVER"
+         ~doc:"Decomposition solver; $(b,auto) picks the cheapest                registered backend that handles the instance.  An unknown                name is a spec error (exit 4).")
+
 let grid_arg =
-  Arg.(value & opt int 32 & info [ "grid" ] ~doc:"Search grid resolution.")
+  Arg.(value & opt (some int) None
+       & info [ "grid" ] ~docv:"N"
+         ~doc:"Search grid resolution (default 32; hunt uses 12).")
 
 let refine_arg =
-  Arg.(value & opt int 3 & info [ "refine" ] ~doc:"Zoom refinement rounds.")
+  Arg.(value & opt (some int) None
+       & info [ "refine" ] ~docv:"N"
+         ~doc:"Zoom refinement rounds (default 3; hunt uses 2).")
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+         ~doc:"Spread independent searches over $(docv) OCaml domains                (results are identical to the sequential run).")
+
+let cache_arg =
+  Arg.(value & opt ~vopt:4096 int 0
+       & info [ "cache" ] ~docv:"CAP"
+         ~doc:"Share decompositions across searches through a bounded                cache of $(docv) entries (0 disables; bare --cache means                4096).")
+
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ] ~docv:"SECONDS"
+         ~doc:"Stop with partial results after this much wall clock.")
+
+let step_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "step-budget" ] ~docv:"STEPS"
+         ~doc:"Stop with partial results after this many solver steps.")
+
+let budget_of ~time_budget ~step_budget =
+  match (time_budget, step_budget) with
+  | None, None -> Budget.unlimited
+  | seconds, steps -> Budget.create ?seconds ?steps ()
+
+(* the registry, not a hard-coded enum, decides which names are legal *)
+let solver_of_flag s =
+  match String.lowercase_ascii s with
+  | "auto" -> Decompose.Auto
+  | name when Engine.Registry.find name <> None -> Decompose.Named name
+  | name ->
+      Format.eprintf "ringshare: unknown solver %S (known: auto, %s)@." name
+        (String.concat ", " (Engine.Registry.names ()));
+      exit 4
+
+(* [grid_default]/[refine_default] let a subcommand keep a historical
+   resolution (hunt: 12/2) while still honouring explicit flags *)
+let ctx_term_with ?grid_default ?refine_default () =
+  let make solver grid refine domains cache time_budget step_budget =
+    let solver = solver_of_flag solver in
+    let grid =
+      match grid with
+      | Some g -> g
+      | None -> Option.value grid_default ~default:Engine.Ctx.default_grid
+    in
+    let refine =
+      match refine with
+      | Some r -> r
+      | None -> Option.value refine_default ~default:Engine.Ctx.default_refine
+    in
+    let cache =
+      if cache <= 0 then None else Some (Engine.Cache.create ~capacity:cache ())
+    in
+    let ctx = Engine.Ctx.make ~solver ~grid ~refine ~domains ?cache () in
+    let budget = budget_of ~time_budget ~step_budget in
+    if Budget.is_limited budget then Engine.Ctx.with_budget budget ctx else ctx
+  in
+  Term.(const make $ solver_arg $ grid_arg $ refine_arg $ domains_arg
+        $ cache_arg $ time_budget_arg $ step_budget_arg)
+
+let ctx_term = ctx_term_with ()
 
 (* ------------------------------------------------------------------ *)
 (* Subcommand bodies                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let decompose g solver dot () =
-  let d = Decompose.compute ~solver g in
+let decompose g ctx dot () =
+  let d = Decompose.compute ~ctx g in
   Format.printf "%a@." Graph.pp g;
   Format.printf "bottleneck decomposition:@.%a@." Decompose.pp d;
   let cls = Classes.of_decomposition g d in
@@ -132,23 +211,23 @@ let decompose g solver dot () =
       close_out oc;
       Format.printf "wrote %s@." file
 
-let allocate g () =
-  let a = Allocation.compute g in
+let allocate g ctx () =
+  let a = Allocation.compute ~ctx g in
   Format.printf "%a@." Allocation.pp a;
   match Allocation.validate a with
   | Ok () -> Format.printf "allocation valid; utilities match Proposition 6@."
   | Error m -> Format.printf "INVALID allocation: %s@." m
 
-let dynamics g iters () =
-  let alloc = Allocation.compute g in
-  let traj = Prd.trajectory ~iters g alloc in
+let dynamics g ctx iters () =
+  let alloc = Allocation.compute ~ctx g in
+  let traj = Prd.trajectory ~ctx ~iters g alloc in
   Format.printf "t,l1_distance_to_bd_allocation@.";
   List.iter
     (fun (t, dist) ->
       if t < 10 || t mod (Stdlib.max 1 (iters / 20)) = 0 || t = iters then
         Format.printf "%d,%.9f@." t dist)
     traj;
-  let final = Prd.run ~iters g in
+  let final = Prd.run ~ctx ~iters g in
   let target = Utility.of_decomposition g (Allocation.decomposition alloc) in
   let err = ref 0.0 in
   Array.iteri
@@ -157,14 +236,8 @@ let dynamics g iters () =
     (Prd.utilities final);
   Format.printf "max utility error after %d rounds: %.3e@." iters !err
 
-let budget_of ~time_budget ~step_budget =
-  match (time_budget, step_budget) with
-  | None, None -> Budget.unlimited
-  | seconds, steps -> Budget.create ?seconds ?steps ()
-
-let sybil g solver v_opt grid refine time_budget step_budget checkpoint resume
-    () =
-  let budget = budget_of ~time_budget ~step_budget in
+let sybil g ctx v_opt checkpoint resume () =
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
   let report (a : Incentive.attack) =
     Format.printf
       "v=%d  best w1=%s  attack utility=%s  honest=%s  ratio=%s (%.5f)@." a.v
@@ -172,14 +245,11 @@ let sybil g solver v_opt grid refine time_budget step_budget checkpoint resume
       (Q.to_string a.ratio) (Q.to_float a.ratio)
   in
   (match v_opt with
-  | Some v -> report (Incentive.best_split ~solver ~grid ~refine ~budget g ~v)
+  | Some v -> report (Incentive.best_split ~ctx g ~v)
   | None when Budget.is_limited budget || checkpoint <> None || resume ->
       (* fault-tolerant path: sequential scan, snapshot per vertex,
          partial best on budget exhaustion *)
-      let p =
-        Incentive.best_attack_within ~solver ~grid ~refine ~budget ?checkpoint
-          ~resume g
-      in
+      let p = Incentive.best_attack_within ~ctx ?checkpoint ~resume g in
       Format.printf "searched %d/%d vertices@." p.Incentive.completed
         p.Incentive.total;
       Option.iter report p.Incentive.best;
@@ -191,11 +261,11 @@ let sybil g solver v_opt grid refine time_budget step_budget checkpoint resume
             Format.printf "stopped early (checkpoint saved; rerun with --resume)@."
           else Format.printf "stopped early@.";
           Ringshare_error.error e)
-  | None -> report (Incentive.best_attack ~solver ~grid ~refine g));
+  | None -> report (Incentive.best_attack ~ctx g));
   Format.printf "Theorem 8 bound: 2@."
 
-let curve g v samples () =
-  let pts = Misreport.curve g ~v ~samples in
+let curve g ctx v samples () =
+  let pts = Misreport.curve ~ctx g ~v ~samples in
   Format.printf "x,utility,alpha,class@.";
   List.iter
     (fun (p : Misreport.point) ->
@@ -209,8 +279,8 @@ let curve g v samples () =
   | Ok () -> Format.printf "Theorem 10 (monotone utility): OK@."
   | Error m -> Format.printf "Theorem 10: VIOLATED (%s)@." m
 
-let breaks g v grid () =
-  let events = Breakpoints.scan ~grid g ~v in
+let breaks g ctx v () =
+  let events = Breakpoints.scan ~ctx g ~v in
   Format.printf "%d decomposition change events for x in [0, %s]@."
     (List.length events)
     (Q.to_string (Graph.weight g v));
@@ -227,16 +297,16 @@ let breaks g v grid () =
         Decompose.pp ev.after)
     events
 
-let trace g v grid () =
-  let t = Trace.compute ~grid g ~v in
+let trace g ctx v () =
+  let t = Trace.compute ~ctx g ~v in
   Format.printf "%a@." Trace.pp t;
   (match Trace.check_prop12 t with
   | Ok () -> Format.printf "Propositions 11/12 on the trace: OK@."
   | Error m -> Format.printf "Propositions 11/12: VIOLATED (%s)@." m);
   Format.printf "@.csv:@.%s" (Trace.to_csv t)
 
-let certify g () =
-  let d = Decompose.compute g in
+let certify g ctx () =
+  let d = Decompose.compute ~ctx g in
   Format.printf "decomposition:@.%a@." Decompose.pp d;
   let cert = Certificate.build g d in
   let size =
@@ -248,8 +318,12 @@ let certify g () =
   | Ok () -> Format.printf "certificate verifies: alpha-ratios are optimal@."
   | Error m -> Format.printf "CERTIFICATE REJECTED: %s@." m
 
-let general g v grid () =
-  let spec, utility, ratio = Sybil_general.best_attack ~grid g ~v in
+let general g ctx v () =
+  (* ctx.grid doubles as the per-dimension simplex resolution here, as
+     the --grid flag always has for this subcommand *)
+  let spec, utility, ratio =
+    Sybil_general.best_attack ~ctx ~grid:ctx.Engine.Ctx.grid g ~v
+  in
   Format.printf "agent %d: best attack uses %d identities@." v
     (Array.length spec.Sybil_general.groups);
   Array.iteri
@@ -261,28 +335,31 @@ let general g v grid () =
   Format.printf "attack utility %s, ratio %.5f (conjectured bound: 2)@."
     (Q.to_string utility) (Q.to_float ratio)
 
-let family ks grid () =
+let family ks ctx () =
   Format.printf "%6s %16s %16s@." "k" "sup 2-1/(5k+1)" "search finds";
   List.iter
     (fun k ->
       Format.printf "%6d %16.6f %16.6f@." k
         (Q.to_float (Lower_bound.supremum_ratio ~k))
-        (Q.to_float (Lower_bound.measured_ratio ~grid ~refine:3 ~k ())))
+        (Q.to_float (Lower_bound.measured_ratio ~ctx ~k ())))
     ks
 
-let audit g grid refine () =
+let audit g ctx () =
   Format.printf "%-6s %-10s %-12s %-12s %-8s@." "agent" "weight" "honest"
     "attack" "ratio";
   for v = 0 to Graph.n g - 1 do
     if Graph.degree g v = 2 && Graph.is_ring g then begin
-      let a = Incentive.best_split ~grid ~refine g ~v in
+      let a = Incentive.best_split ~ctx g ~v in
       Format.printf "%-6d %-10s %-12s %-12s %-8.4f@." v
         (Q.to_string (Graph.weight g v))
         (Q.to_string a.honest) (Q.to_string a.utility)
         (Incentive.ratio_of_attack a)
     end
     else if Graph.degree g v >= 1 && Graph.degree g v <= 4 then begin
-      let _, u, r = Sybil_general.best_attack ~grid:(Stdlib.min grid 6) g ~v in
+      let _, u, r =
+        Sybil_general.best_attack ~ctx
+          ~grid:(Stdlib.min ctx.Engine.Ctx.grid 6) g ~v
+      in
       Format.printf "%-6d %-10s %-12s %-12s %-8.4f@." v
         (Q.to_string (Graph.weight g v))
         "-" (Q.to_string u) (Q.to_float r)
@@ -294,8 +371,8 @@ let save g out () =
   Serial.save out g;
   Format.printf "wrote %s@." out
 
-let verify g v grid () =
-  match Symbolic.verify_theorem8 ~grid g ~v with
+let verify g ctx v () =
+  match Symbolic.verify_theorem8 ~ctx g ~v with
   | Error m -> Format.printf "internal error: %s@." m
   | Ok r ->
       Format.printf
@@ -322,11 +399,11 @@ let verify g v grid () =
 (* The search that discovered the tightness family, now living in
    Experiments.hunt so the harness and the CLI share the checkpointed,
    budget-aware implementation. *)
-let hunt seed trials time_budget step_budget checkpoint resume () =
-  let budget = budget_of ~time_budget ~step_budget in
+let hunt seed trials ctx checkpoint resume () =
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
   let r =
-    Experiments.hunt ~grid:12 ~refine:2 ?checkpoint ~resume ~budget ~seed
-      ~trials Format.std_formatter
+    Experiments.hunt ~ctx ?checkpoint ~resume ~budget ~seed ~trials
+      Format.std_formatter
   in
   match r.Experiments.hunt_status with
   | Ok () -> ()
@@ -339,6 +416,44 @@ let hunt seed trials time_budget step_budget checkpoint resume () =
         | Some _ -> " (checkpoint saved; rerun with --resume)"
         | None -> "");
       Ringshare_error.error e
+
+(* One Ctx mapped over many instance files; the decomposition cache is
+   shared by every item (attached here when no --cache was given), so
+   repeated or near-duplicate instances in the list pay for their
+   decompositions once. *)
+let batch files ctx () =
+  if files = [] then begin
+    Format.eprintf "ringshare: batch needs at least one instance file@.";
+    exit 2
+  end;
+  let ctx =
+    match ctx.Engine.Ctx.cache with
+    | Some _ -> ctx
+    | None -> Engine.Ctx.with_cache (Engine.Cache.create ~capacity:4096 ()) ctx
+  in
+  let results =
+    Engine.run_batch_r ~ctx
+      ~f:(fun ctx file ->
+        match Serial.load_r file with
+        | Error e -> Ringshare_error.error e
+        | Ok g -> (Graph.n g, Incentive.best_attack ~ctx g))
+      (Array.of_list files)
+  in
+  let failed = ref 0 in
+  Format.printf "%-32s %6s %6s %10s %10s@." "file" "n" "v" "w1" "ratio";
+  List.iteri
+    (fun i file ->
+      match results.(i) with
+      | Ok (n, (a : Incentive.attack)) ->
+          Format.printf "%-32s %6d %6d %10s %10.5f@." file n a.v
+            (Q.to_string a.w1) (Q.to_float a.ratio)
+      | Error e ->
+          incr failed;
+          Format.printf "%-32s FAILED: %s@." file (Ringshare_error.to_string e))
+    files;
+  Format.printf "batch: %d instances, %d failed (Theorem 8 bound: 2)@."
+    (List.length files) !failed;
+  if !failed > 0 then exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (shared by every subcommand)                    *)
@@ -418,21 +533,6 @@ let obs_wrap metrics spans obs_only body =
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let solver_conv =
-  Arg.enum
-    [
-      ("auto", Decompose.Auto);
-      ("chain", Decompose.Chain);
-      ("fast-chain", Decompose.FastChain);
-      ("flow", Decompose.Flow);
-      ("brute", Decompose.Brute);
-    ]
-
-let solver_arg =
-  Arg.(value & opt solver_conv Decompose.Auto
-       & info [ "solver" ] ~docv:"SOLVER"
-         ~doc:"Decomposition solver: auto, chain, fast-chain, flow or brute.")
-
 let dot_arg =
   Arg.(value & opt (some string) None
        & info [ "dot" ] ~docv:"FILE" ~doc:"Write a Graphviz rendering.")
@@ -447,16 +547,6 @@ let v_opt_arg =
   Arg.(value & opt (some int) None
        & info [ "agent"; "v" ] ~docv:"V"
          ~doc:"Restrict to one manipulative agent.")
-
-let time_budget_arg =
-  Arg.(value & opt (some float) None
-       & info [ "time-budget" ] ~docv:"SECONDS"
-         ~doc:"Stop with partial results after this much wall clock.")
-
-let step_budget_arg =
-  Arg.(value & opt (some int) None
-       & info [ "step-budget" ] ~docv:"STEPS"
-         ~doc:"Stop with partial results after this many solver steps.")
 
 let checkpoint_arg =
   Arg.(value & opt (some string) None
@@ -476,41 +566,48 @@ let cmd name doc term =
 
 let decompose_cmd =
   cmd "decompose" "Bottleneck decomposition, classes and utilities"
-    Term.(const decompose $ graph_term $ solver_arg $ dot_arg)
+    Term.(const decompose $ graph_term $ ctx_term $ dot_arg)
 
 let allocate_cmd =
   cmd "allocate" "BD allocation (Definition 5)"
-    Term.(const allocate $ graph_term)
+    Term.(const allocate $ graph_term $ ctx_term)
 
 let dynamics_cmd =
   cmd "dynamics" "Proportional response dynamics convergence"
-    Term.(const dynamics $ graph_term $ iters_arg)
+    Term.(const dynamics $ graph_term $ ctx_term $ iters_arg)
 
 let sybil_cmd =
   cmd "sybil" "Best Sybil attack and incentive ratio"
-    Term.(const sybil $ graph_term $ solver_arg $ v_opt_arg $ grid_arg
-          $ refine_arg $ time_budget_arg $ step_budget_arg $ checkpoint_arg
+    Term.(const sybil $ graph_term $ ctx_term $ v_opt_arg $ checkpoint_arg
           $ resume_arg)
 
 let curve_cmd =
   cmd "curve" "Misreport curves U_v(x) and alpha_v(x)"
-    Term.(const curve $ graph_term $ v_arg $ samples_arg)
+    Term.(const curve $ graph_term $ ctx_term $ v_arg $ samples_arg)
 
 let breaks_cmd =
   cmd "breaks" "Decomposition breakpoints as one weight varies"
-    Term.(const breaks $ graph_term $ v_arg $ grid_arg)
+    Term.(const breaks $ graph_term $ ctx_term $ v_arg)
 
 let trace_cmd =
   cmd "trace" "Full interval structure of the decomposition (Section III.B)"
-    Term.(const trace $ graph_term $ v_arg $ grid_arg)
+    Term.(const trace $ graph_term $ ctx_term $ v_arg)
 
 let certify_cmd =
   cmd "certify" "Flow-witness certificate of the decomposition"
-    Term.(const certify $ graph_term)
+    Term.(const certify $ graph_term $ ctx_term)
 
 let general_cmd =
   cmd "general" "Best m-identity Sybil attack (any network)"
-    Term.(const general $ graph_term $ v_arg $ grid_arg)
+    Term.(const general $ graph_term $ ctx_term $ v_arg)
+
+let files_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"FILE" ~doc:"ringshare-graph instance files.")
+
+let batch_cmd =
+  cmd "batch" "Best Sybil attack over many instance files (shared cache)"
+    Term.(const batch $ files_arg $ ctx_term)
 
 let ks_arg =
   Arg.(value & opt (list int) [ 1; 2; 4; 8; 16 ]
@@ -518,11 +615,11 @@ let ks_arg =
 
 let family_cmd =
   cmd "family" "The tightness family ring(20k, 4k, 100k^2, k, 1)"
-    Term.(const family $ ks_arg $ grid_arg)
+    Term.(const family $ ks_arg $ ctx_term)
 
 let audit_cmd =
   cmd "audit" "Per-agent Sybil vulnerability audit"
-    Term.(const audit $ graph_term $ grid_arg $ refine_arg)
+    Term.(const audit $ graph_term $ ctx_term)
 
 let out_arg =
   Arg.(required & opt (some string) None
@@ -537,12 +634,13 @@ let trials_arg =
 
 let hunt_cmd =
   cmd "hunt" "Random search for high-incentive-ratio rings"
-    Term.(const hunt $ seed_arg $ trials_arg $ time_budget_arg
-          $ step_budget_arg $ checkpoint_arg $ resume_arg)
+    Term.(const hunt $ seed_arg $ trials_arg
+          $ ctx_term_with ~grid_default:12 ~refine_default:2 ()
+          $ checkpoint_arg $ resume_arg)
 
 let verify_cmd =
   cmd "verify" "Symbolic certificate that zeta_v <= 2 (Theorem 8)"
-    Term.(const verify $ graph_term $ v_arg $ grid_arg)
+    Term.(const verify $ graph_term $ ctx_term $ v_arg)
 
 let () =
   let info =
@@ -568,6 +666,7 @@ let () =
             trace_cmd;
             certify_cmd;
             general_cmd;
+            batch_cmd;
             family_cmd;
             audit_cmd;
             hunt_cmd;

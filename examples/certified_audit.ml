@@ -30,10 +30,10 @@ let audit name g =
 
   (* 2. find the most exposed agent by a quick sweep, then prove the
         bound for it symbolically *)
-  let worst = Incentive.best_attack ~grid:8 ~refine:1 g in
+  let worst = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g in
   Format.printf "most exposed agent: %d (sampled ratio %.4f)@." worst.v
     (Incentive.ratio_of_attack worst);
-  (match Symbolic.verify_theorem8 ~grid:24 g ~v:worst.v with
+  (match Symbolic.verify_theorem8 ~ctx:(Engine.Ctx.make ~grid:24 ()) g ~v:worst.v with
   | Ok r ->
       Format.printf
         "symbolic certificate: %s; best attack utility %.5f vs bound %.5f@."

@@ -15,7 +15,7 @@ let audit name g =
     "best attack" "ratio";
   let worst = ref None in
   for v = 0 to Graph.n g - 1 do
-    let a = Incentive.best_split ~grid:12 ~refine:2 g ~v in
+    let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:12 ~refine:2 ()) g ~v in
     Format.printf "%-6d %-8s %-12s %-12s %-8.4f%s@." v
       (Q.to_string (Graph.weight g v))
       (Q.to_string a.honest) (Q.to_string a.utility)

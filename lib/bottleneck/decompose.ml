@@ -1,9 +1,19 @@
 module Q = Rational
 
-type solver = Chain | FastChain | Flow | Brute | Auto
+let () = Solvers.init ()
+
+type solver = Engine.solver =
+  | Chain
+  | FastChain
+  | Flow
+  | Brute
+  | Auto
+  | Named of string
 
 type pair = { b : Vset.t; c : Vset.t; alpha : Q.t }
 type t = pair list
+
+type Engine.Cache.value += Decomposition of t
 
 let pair_alpha g p =
   let wb = Graph.weight_of_set g p.b and wc = Graph.weight_of_set g p.c in
@@ -23,32 +33,38 @@ let c_auto_fastchain =
 
 let c_auto_flow = Obs.Counter.make ~subsystem:"decomposition" "auto_flow"
 
-let solver_fn ?budget g = function
-  | Chain -> Chain_solver.maximal_bottleneck ?budget
-  | FastChain -> Chain_fast.maximal_bottleneck ?budget
-  | Flow -> Flow_solver.maximal_bottleneck ?budget
-  | Brute -> Brute.maximal_bottleneck ?budget
-  | Auto ->
-      if Graph.is_chain_graph g then begin
-        Obs.Counter.incr c_auto_fastchain;
-        Chain_fast.maximal_bottleneck ?budget
-      end
-      else begin
-        Obs.Counter.incr c_auto_flow;
-        Flow_solver.maximal_bottleneck ?budget
-      end
+let backend_exn name =
+  match Engine.Registry.find name with
+  | Some s -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Decompose: unknown solver %S" name)
 
-let compute ?(solver = Auto) ?budget g =
-  Obs.Span.with_ "decompose" @@ fun () ->
-  if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
-    invalid_arg "Decompose.compute: all weights are zero";
+(* Resolution is counter-free so a cache hit can compute its key
+   without recording an auto-routing decision that never ran. *)
+let resolve g = function
+  | Chain -> backend_exn "chain"
+  | FastChain -> backend_exn "fast-chain"
+  | Flow -> backend_exn "flow"
+  | Brute -> backend_exn "brute"
+  | Named s -> backend_exn s
+  | Auto -> Engine.Registry.auto_select g
+
+let note_auto solver (module S : Engine.SOLVER) =
+  match solver with
+  | Auto ->
+      if String.equal S.name "fast-chain" then
+        Obs.Counter.incr c_auto_fastchain
+      else if String.equal S.name "flow" then Obs.Counter.incr c_auto_flow
+  | _ -> ()
+
+let compute_backend ~ctx (module S : Engine.SOLVER) g =
   Obs.Counter.incr c_computes;
-  let find = solver_fn ?budget g solver in
+  let budget = ctx.Engine.Ctx.budget in
   let rec go mask acc =
     if Vset.is_empty mask then List.rev acc
     else begin
       Option.iter (fun b -> Budget.tick b) budget;
-      let b = find g ~mask in
+      let b = S.maximal_bottleneck ~ctx g ~mask in
       let c = Graph.gamma ~mask g b in
       (* For the α = 1 last pair Γ(B) ⊇ B; Definition 2 takes C = Γ(B)∩V_i,
          which then equals B only when every B vertex has a neighbour in B.
@@ -62,8 +78,40 @@ let compute ?(solver = Auto) ?budget g =
   in
   go (Graph.full_mask g) []
 
-let compute_r ?solver ?budget g =
-  Ringshare_error.capture (fun () -> compute ?solver ?budget g)
+let cache_key (module S : Engine.SOLVER) g =
+  S.name ^ ":" ^ Digest.to_hex (Digest.string (Serial.to_string g))
+
+let compute ?ctx ?budget g =
+  Obs.Span.with_ "decompose" @@ fun () ->
+  let ctx = Engine.Ctx.get ctx in
+  let ctx =
+    match budget with
+    | Some b -> Engine.Ctx.with_budget b ctx
+    | None -> ctx
+  in
+  if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
+    invalid_arg "Decompose.compute: all weights are zero";
+  let solver = ctx.Engine.Ctx.solver in
+  let backend = resolve g solver in
+  match ctx.Engine.Ctx.cache with
+  | None ->
+      note_auto solver backend;
+      compute_backend ~ctx backend g
+  | Some cache -> (
+      let key = cache_key backend g in
+      match Engine.Cache.find cache key with
+      | Some (Decomposition d) -> d
+      | Some _ | None ->
+          note_auto solver backend;
+          let d = compute_backend ~ctx backend g in
+          Engine.Cache.store cache key (Decomposition d);
+          d)
+
+let[@lint.allow "config-drift"] compute_with ?solver ?budget g =
+  compute ~ctx:(Engine.Ctx.make ?solver ?budget ()) g
+
+let compute_r ?ctx ?budget g =
+  Ringshare_error.capture (fun () -> compute ?ctx ?budget g)
 
 let pair_index d v =
   let rec go i = function

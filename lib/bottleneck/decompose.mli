@@ -6,10 +6,20 @@
     [(B_1,C_1), …, (B_k,C_k)] with strictly increasing α-ratios
     (Proposition 3). *)
 
-type solver = Chain | FastChain | Flow | Brute | Auto
-(** [Chain] is the quadratic reference DP, [FastChain] the linear
-    forward/backward variant ({!Chain_fast}); [Auto] picks [FastChain] for
-    max-degree ≤ 2 graphs and [Flow] otherwise. *)
+type solver = Engine.solver =
+  | Chain
+  | FastChain
+  | Flow
+  | Brute
+  | Auto
+  | Named of string
+      (** Re-export of {!Engine.solver} (so [Decompose.Auto] and
+          [Engine.Auto] are the same constructor).  [Chain] is the
+          quadratic reference DP, [FastChain] the linear forward/backward
+          variant ({!Chain_fast}); [Auto] routes through
+          {!Engine.Registry.auto_select}, which picks [FastChain] for
+          max-degree ≤ 2 graphs and [Flow] otherwise; [Named s] addresses
+          any backend registered under [s]. *)
 
 type pair = {
   b : Vset.t;  (** the bottleneck [B_i] *)
@@ -19,13 +29,28 @@ type pair = {
 
 type t = pair list
 
-val compute : ?solver:solver -> ?budget:Budget.t -> Graph.t -> t
-(** @raise Invalid_argument when every vertex has zero weight.
-    @raise Budget.Exhausted when [budget] trips (it is threaded into the
-    underlying solver's Dinkelbach iterations and DP sweeps). *)
+type Engine.Cache.value += Decomposition of t
+      (** How a decomposition lives in an {!Engine.Cache}: keyed by
+          [<resolved solver name>:<MD5 of Serial.to_string>], so [Auto]
+          shares entries with the backend it resolves to. *)
+
+val compute : ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t -> t
+(** Solver choice, budget and cache policy come from [ctx]
+    ({!Engine.Ctx.default} when absent); an explicit [budget] overrides
+    the context's.  With a context cache, a hit returns the stored
+    decomposition without ticking the budget or incrementing
+    [decomposition.computes].
+    @raise Invalid_argument when every vertex has zero weight.
+    @raise Budget.Exhausted when the budget trips (it is threaded into
+    the underlying solver's Dinkelbach iterations and DP sweeps). *)
+
+val compute_with : ?solver:solver -> ?budget:Budget.t -> Graph.t -> t
+[@@deprecated "use compute ?ctx — compute_with only pins old call sites"]
+(** Deprecated shim for pre-engine call sites:
+    [compute ~ctx:(Engine.Ctx.make ?solver ?budget ())]. *)
 
 val compute_r :
-  ?solver:solver -> ?budget:Budget.t -> Graph.t ->
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t ->
   (t, Ringshare_error.t) result
 (** {!compute} behind {!Ringshare_error.capture}: one bad instance in a
     sweep becomes an [Error] value instead of killing the run. *)

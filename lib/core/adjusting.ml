@@ -8,8 +8,9 @@ type result = {
   utility_constant : bool;
 }
 
-let find_critical ?(solver = Decompose.Auto) ?tolerance ?(grid = 32) g ~v ~w1
-    ~z_max =
+let find_critical ?ctx ?tolerance g ~v ~w1 ~z_max =
+  let ctx = Engine.Ctx.get ctx in
+  let grid = ctx.Engine.Ctx.grid in
   let w = Graph.weight g v in
   let w2 = Q.sub w w1 in
   if Q.compare z_max w2 > 0 then
@@ -23,7 +24,7 @@ let find_critical ?(solver = Decompose.Auto) ?tolerance ?(grid = 32) g ~v ~w1
   in
   let state z =
     let s = Sybil.split g ~v ~w1:(Q.add w1 z) ~w2:(Q.sub w2 z) in
-    let d = Decompose.compute ~solver s.path in
+    let d = Decompose.compute ~ctx s.path in
     let u1 = Utility.of_vertex s.path d s.v1
     and u2 = Utility.of_vertex s.path d s.v2 in
     (d, Q.add u1 u2)

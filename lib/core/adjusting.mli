@@ -25,7 +25,7 @@ type result = {
 }
 
 val find_critical :
-  ?solver:Decompose.solver -> ?tolerance:Rational.t -> ?grid:int ->
-  Graph.t -> v:int -> w1:Rational.t -> z_max:Rational.t -> result
+  ?ctx:Engine.Ctx.t -> ?tolerance:Rational.t -> Graph.t -> v:int ->
+  w1:Rational.t -> z_max:Rational.t -> result
 (** Scan [z ∈ [0, z_max]] on [P_v(w1 + z, w2 − z)].
     @raise Invalid_argument when [z_max] exceeds [w₂ = w_v − w1]. *)

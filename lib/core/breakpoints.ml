@@ -7,8 +7,8 @@ type event = {
   after : Decompose.t;
 }
 
-let decomposition_at ?(solver = Decompose.Auto) g ~v ~x =
-  Decompose.compute ~solver (Graph.with_weight g v x)
+let decomposition_at ?ctx g ~v ~x =
+  Decompose.compute ?ctx (Graph.with_weight g v x)
 
 (* Generic scan of a decomposition-valued function over [0, span]. *)
 let scan_fn ~grid ~tolerance ~span decomp =
@@ -41,7 +41,8 @@ let scan_fn ~grid ~tolerance ~span decomp =
     walk 1 Q.zero d0 []
   end
 
-let scan ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
+let scan ?ctx ?tolerance g ~v =
+  let ctx = Engine.Ctx.get ctx in
   let w = Graph.weight g v in
   if Q.is_zero w then []
   else
@@ -50,9 +51,11 @@ let scan ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
       | Some t -> t
       | None -> Q.div_int w (1 lsl 20)
     in
-    scan_fn ~grid ~tolerance ~span:w (fun x -> decomposition_at ~solver g ~v ~x)
+    scan_fn ~grid:ctx.Engine.Ctx.grid ~tolerance ~span:w (fun x ->
+        decomposition_at ~ctx g ~v ~x)
 
-let scan_split ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
+let scan_split ?ctx ?tolerance g ~v =
+  let ctx = Engine.Ctx.get ctx in
   let w = Graph.weight g v in
   if Q.is_zero w then []
   else
@@ -63,9 +66,9 @@ let scan_split ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
     in
     let decomp w1 =
       let s = Sybil.split_free g ~v ~w1 ~w2:(Q.sub w w1) in
-      Decompose.compute ~solver s.Sybil.path
+      Decompose.compute ~ctx s.Sybil.path
     in
-    scan_fn ~grid ~tolerance ~span:w decomp
+    scan_fn ~grid:ctx.Engine.Ctx.grid ~tolerance ~span:w decomp
 
 let classify_event ev ~v =
   let pair_members d =

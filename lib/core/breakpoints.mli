@@ -15,20 +15,21 @@ type event = {
 }
 
 val decomposition_at :
-  ?solver:Decompose.solver -> Graph.t -> v:int -> x:Rational.t -> Decompose.t
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> x:Rational.t -> Decompose.t
 
 val scan :
-  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
-  Graph.t -> v:int -> event list
-(** Change events over [x ∈ [0, w_v]], in increasing order.  [grid]
-    defaults to 64; [tolerance] defaults to [w_v / 2^20].  A grid cell
+  ?ctx:Engine.Ctx.t -> ?tolerance:Rational.t -> Graph.t -> v:int ->
+  event list
+(** Change events over [x ∈ [0, w_v]], in increasing order.  The grid
+    width comes from [ctx.grid] ({!Engine.Ctx.default_grid} when the
+    context is absent); [tolerance] defaults to [w_v / 2^20].  A grid cell
     hiding an even number of changes that restore the same decomposition
     is reported as zero events (the scan sees equal endpoints); increase
     [grid] to separate suspected events. *)
 
 val scan_split :
-  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
-  Graph.t -> v:int -> event list
+  ?ctx:Engine.Ctx.t -> ?tolerance:Rational.t -> Graph.t -> v:int ->
+  event list
 (** Like {!scan}, but the parameter is the Sybil split weight: events in
     the decomposition of the path [P_v(w1, w_v − w1)] as [w1] sweeps
     [[0, w_v]].  Vertex ids in the events follow {!Sybil.split}

@@ -36,17 +36,28 @@ let c_attack_calls = Obs.Counter.make ~subsystem:"incentive" "best_attack_calls"
 let c_honest_shared = Obs.Counter.make ~subsystem:"incentive" "honest_shared"
 let g_cache = Obs.Gauge.make ~subsystem:"incentive" "max_cache_size"
 
-let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
-    ?(budget = Budget.unlimited) ?(domains = 1) ?honest g ~v =
+(* Explicit [?budget] wins over the context's. *)
+let with_budget_arg budget ctx =
+  match budget with
+  | Some b -> Engine.Ctx.with_budget b ctx
+  | None -> ctx
+
+let best_split ?ctx ?budget ?honest g ~v =
+  let ctx = with_budget_arg budget (Engine.Ctx.get ctx) in
+  let { Engine.Ctx.grid; refine; domains; _ } = ctx in
   if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
   Obs.Span.with_ "best_split" @@ fun () ->
   Obs.Counter.incr c_split_calls;
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  (* split evaluations are metered here, once per distinct point; the
+     decompositions they trigger run un-budgeted, as they always have *)
+  let dctx = Engine.Ctx.without_budget ctx in
   let w = Graph.weight g v in
   let cost = 1 + Graph.n g in
   let honest =
     match honest with
     | Some u -> u
-    | None -> Sybil.honest_utility ~solver g ~v
+    | None -> Sybil.honest_utility ~ctx:dctx g ~v
   in
   (* Per-search cache: zoom rounds overlap (the previous best is the
      centre of the next window) and clamped extras collide with grid
@@ -56,11 +67,11 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
   let cache = QTbl.create 64 in
   let eval w1 =
     Budget.tick ~cost budget;
-    Sybil.split_utility ~solver g ~v ~w1
+    Sybil.split_utility ~ctx:dctx g ~v ~w1
   in
   let eval_batch points =
     let fresh = List.filter (fun w1 -> not (QTbl.mem cache w1)) points in
-    if Obs.metrics_enabled () then begin
+    if Engine.Ctx.obs_enabled ctx then begin
       let lookups = List.length points and misses = List.length fresh in
       Obs.Counter.add c_lookups lookups;
       Obs.Counter.add c_misses misses;
@@ -100,14 +111,14 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
        first point of a utility tie wins, so this keeps the reported [w1]
        identical to the pre-memoisation search. *)
     let deduped = List.sort_uniq Q.compare points in
-    if Obs.metrics_enabled () then begin
+    if Engine.Ctx.obs_enabled ctx then begin
       Obs.Counter.add c_sweep_points (List.length points);
       Obs.Counter.add c_sweep_deduped (List.length deduped)
     end;
     eval_batch deduped;
     best_of points acc
   in
-  let w10, _ = Sybil.initial_split ~solver g ~v in
+  let w10, _ = Sybil.initial_split ~ctx:dctx g ~v in
   let rec zoom lo hi extras rounds (bw, bu) =
     let bw, bu = sweep lo hi extras (bw, bu) in
     if rounds = 0 then (bw, bu)
@@ -121,29 +132,34 @@ let best_split ?(solver = Decompose.Auto) ?(grid = 32) ?(refine = 3)
           [] (rounds - 1) (bw, bu)
   in
   let bw, bu = zoom Q.zero w [ w10 ] refine (w10, honest) in
-  if Obs.metrics_enabled () then Obs.Gauge.set_max g_cache (QTbl.length cache);
+  if Engine.Ctx.obs_enabled ctx then
+    Obs.Gauge.set_max g_cache (QTbl.length cache);
   { v; w1 = bw; utility = bu; honest; ratio = ratio_value ~utility:bu ~honest }
 
 let better a b = if Q.compare a.ratio b.ratio > 0 then a else b
 
-let best_attack ?solver ?grid ?refine ?budget ?(domains = 1) g =
+let best_attack ?ctx ?budget g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  let ctx = with_budget_arg budget (Engine.Ctx.get ctx) in
   Obs.Span.with_ "best_attack" @@ fun () ->
   Obs.Counter.incr c_attack_calls;
   (* the honest utilities of all vertices come from one decomposition of
      the unmodified ring; computing it once here instead of once per
      vertex inside best_split saves n-1 full decompositions *)
-  let d = Decompose.compute ?solver g in
+  let d = Decompose.compute ~ctx:(Engine.Ctx.without_budget ctx) g in
   Obs.Counter.add c_honest_shared (Graph.n g);
+  (* parallelism lives at the vertex level: each best_split runs
+     sequentially on its worker domain (nested fan-out would
+     oversubscribe), while the context's cache is shared by all *)
+  let split_ctx = Engine.Ctx.with_domains 1 ctx in
   let attacks =
     (* per-vertex searches are independent pure computations; spread them
        over domains when asked.  The budget's step counter is atomic, so
        one budget meters all domains; Parwork re-raises the first
        Exhausted after every domain has joined. *)
-    Parwork.map ~domains
+    Parwork.map ~domains:ctx.Engine.Ctx.domains
       (fun v ->
-        best_split ?solver ?grid ?refine ?budget
-          ~honest:(Utility.of_vertex g d v) g ~v)
+        best_split ~ctx:split_ctx ~honest:(Utility.of_vertex g d v) g ~v)
       (Array.init (Graph.n g) Fun.id)
   in
   Array.fold_left
@@ -189,9 +205,10 @@ let attack_of_fields fields =
 
 let ckpt_kind = "best-attack"
 
-let best_attack_within ?solver ?grid ?refine ?(budget = Budget.unlimited)
-    ?checkpoint ?(resume = false) g =
+let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  let ctx = with_budget_arg budget (Engine.Ctx.get ctx) in
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
   let total = Graph.n g in
   let digest = Digest.to_hex (Digest.string (Serial.to_string g)) in
   let start, best0 =
@@ -240,14 +257,17 @@ let best_attack_within ?solver ?grid ?refine ?(budget = Budget.unlimited)
   let d =
     lazy
       (Obs.Counter.add c_honest_shared total;
-       Decompose.compute ?solver g)
+       Decompose.compute ~ctx:(Engine.Ctx.without_budget ctx) g)
   in
+  (* unlike best_attack, vertices stay sequential (the checkpoint is
+     rewritten after each one); ctx.domains instead parallelises each
+     vertex's sweep inside best_split, which is bit-identical to the
+     sequential search — so kill/resume determinism is preserved *)
   (try
      for v = start to total - 1 do
        Budget.check budget;
        let a =
-         best_split ?solver ?grid ?refine ~budget
-           ~honest:(Utility.of_vertex g (Lazy.force d) v) g ~v
+         best_split ~ctx ~honest:(Utility.of_vertex g (Lazy.force d) v) g ~v
        in
        best := Some (match !best with None -> a | Some b -> better a b);
        incr completed;

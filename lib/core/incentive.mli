@@ -17,34 +17,37 @@ type attack = {
 }
 
 val best_split :
-  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
-  ?domains:int -> ?honest:Rational.t -> Graph.t -> v:int -> attack
-(** Sweep [w_{v¹}] over a [grid]-point subdivision of [[0, w_v]] (plus the
-    honest point [w₁⁰]), then zoom [refine] times around the best point.
-    Defaults: [grid = 32], [refine = 3].
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> ?honest:Rational.t -> Graph.t ->
+  v:int -> attack
+(** Sweep [w_{v¹}] over a [ctx.grid]-point subdivision of [[0, w_v]] (plus
+    the honest point [w₁⁰]), then zoom [ctx.refine] times around the best
+    point.  Solver choice, grid/refine, domains and cache policy come from
+    [ctx] ({!Engine.Ctx.default} when absent); an explicit [budget]
+    overrides the context's.
 
     Candidate points are deduplicated (clamped extras collide with grid
     points, and each zoom window re-visits its centre) and memoised in a
     per-search cache keyed by [w1], so each distinct split is decomposed —
-    and [budget]-ticked, proportionally to the graph size — exactly once
-    per search.  The cache lives for one [best_split] call; nothing is
-    shared across searches.
+    and budget-ticked, proportionally to the graph size — exactly once
+    per search.  That memo lives for one [best_split] call; giving the
+    context an {!Engine.Cache} additionally shares the decompositions
+    themselves across searches.
 
-    [domains > 1] evaluates the fresh points of each sweep round in
+    [ctx.domains > 1] evaluates the fresh points of each sweep round in
     parallel over that many OCaml 5 domains; the result is identical to
     the sequential search.  [honest] supplies an externally computed
     honest utility [U_v] (e.g. shared across vertices by {!best_attack});
     when absent it is computed from the graph. *)
 
 val best_attack :
-  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
-  ?domains:int -> Graph.t -> attack
-(** [ζ] estimate: best over all vertices.  [domains > 1] spreads the
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t -> attack
+(** [ζ] estimate: best over all vertices.  [ctx.domains > 1] spreads the
     per-vertex searches over that many OCaml 5 domains (the result is
-    identical to the sequential search).  A shared [budget] meters all
-    domains; its [Exhausted] is re-raised after they join.  The honest
-    decomposition of the unmodified ring is computed once and shared by
-    every per-vertex search. *)
+    identical to the sequential search; each per-vertex [best_split] runs
+    sequentially on its worker).  A shared budget meters all domains; its
+    [Exhausted] is re-raised after they join.  The honest decomposition
+    of the unmodified ring is computed once and shared by every
+    per-vertex search. *)
 
 type progress = {
   best : attack option;  (** best attack over the vertices finished so far *)
@@ -56,15 +59,19 @@ type progress = {
 }
 
 val best_attack_within :
-  ?solver:Decompose.solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
-  ?checkpoint:string -> ?resume:bool -> Graph.t -> progress
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> ?checkpoint:string ->
+  ?resume:bool -> Graph.t -> progress
 (** Sequential, fault-tolerant variant of {!best_attack}: vertices are
     searched in order, the best-so-far is returned even when the budget
     trips mid-scan, and an optional [checkpoint] file is atomically
     rewritten after every vertex.  With [resume:true] the scan continues
     from the snapshot (validated against a digest of the graph); a
     missing checkpoint file means start from scratch.  Killing the
-    process and resuming reproduces the uninterrupted result exactly. *)
+    process and resuming reproduces the uninterrupted result exactly.
+    [ctx.domains > 1] parallelises each vertex's sweep {e inside}
+    {!best_split} (bit-identical to the sequential sweep), so the
+    checkpoint stream — one snapshot per vertex, in order — is unchanged
+    by parallelism. *)
 
 val ratio_of_attack : attack -> float
 (** Convenience float view. *)

@@ -20,6 +20,6 @@ let ratio_at ~k ~epsilon =
   (* Honest utility is exactly 1, so the ratio is the attack utility. *)
   Q.add u1 Q.one
 
-let measured_ratio ?grid ?refine ~k () =
+let measured_ratio ?ctx ~k () =
   let g = family ~k in
-  (Incentive.best_split ?grid ?refine g ~v:attacker).ratio
+  (Incentive.best_split ?ctx g ~v:attacker).ratio

@@ -32,6 +32,6 @@ val ratio_at : k:int -> epsilon:Rational.t -> Rational.t
     [0 < ε < 1].  Computed from the closed form [U'(ε)] above — the test
     suite checks it against the full mechanism. *)
 
-val measured_ratio : ?grid:int -> ?refine:int -> k:int -> unit -> Rational.t
+val measured_ratio : ?ctx:Engine.Ctx.t -> k:int -> unit -> Rational.t
 (** What the generic search of {!Incentive.best_split} finds (a certified
     lower bound on the supremum). *)

@@ -7,11 +7,11 @@ type point = {
   cls : Classes.cls;
 }
 
-let at ?(solver = Decompose.Auto) g ~v ~x =
+let at ?ctx g ~v ~x =
   if Q.sign x < 0 || Q.compare x (Graph.weight g v) > 0 then
     invalid_arg "Misreport.at: reported weight out of range";
   let g' = Graph.with_weight g v x in
-  let d = Decompose.compute ~solver g' in
+  let d = Decompose.compute ?ctx g' in
   {
     x;
     utility = Utility.of_vertex g' d v;
@@ -19,13 +19,13 @@ let at ?(solver = Decompose.Auto) g ~v ~x =
     cls = (Classes.of_decomposition g' d).(v);
   }
 
-let curve ?solver g ~v ~samples =
+let curve ?ctx g ~v ~samples =
   if samples < 1 then invalid_arg "Misreport.curve: need samples >= 1";
   let w = Graph.weight g v in
   let step = Q.div_int w samples in
   List.init (samples + 1) (fun i ->
       let x = if i = samples then w else Q.mul_int step i in
-      at ?solver g ~v ~x)
+      at ?ctx g ~v ~x)
 
 type shape = B1 | B2 | B3
 

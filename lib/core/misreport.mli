@@ -17,10 +17,10 @@ type point = {
   cls : Classes.cls;  (** [v]'s class at [x] *)
 }
 
-val at : ?solver:Decompose.solver -> Graph.t -> v:int -> x:Rational.t -> point
+val at : ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> x:Rational.t -> point
 
 val curve :
-  ?solver:Decompose.solver -> Graph.t -> v:int -> samples:int -> point list
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> samples:int -> point list
 (** [samples + 1] evenly spaced points over [[0, w_v]] (x = 0 included). *)
 
 type shape = B1 | B2 | B3

@@ -18,14 +18,14 @@ let side_of d v =
   else if Vset.mem v p.b then `B
   else `C
 
-let classify_initial ?(solver = Decompose.Auto) g ~v =
-  let w10, w20 = Sybil.initial_split ~solver g ~v in
+let classify_initial ?ctx g ~v =
+  let w10, w20 = Sybil.initial_split ?ctx g ~v in
   let s = Sybil.split_free g ~v ~w1:w10 ~w2:w20 in
-  let d = Decompose.compute ~solver s.path in
+  let d = Decompose.compute ?ctx s.path in
   let side1 = side_of d s.v1 and side2 = side_of d s.v2 in
   let a1 = Decompose.alpha_of d s.v1 and a2 = Decompose.alpha_of d s.v2 in
   let single_pair = List.length d = 1 in
-  let ring_d = Decompose.compute ~solver g in
+  let ring_d = Decompose.compute ?ctx g in
   let ring_side = side_of ring_d v in
   match (side1, side2) with
   | `C, `C ->
@@ -57,9 +57,9 @@ type report = {
   checks : (string * bool) list;
 }
 
-let analyse ?(solver = Decompose.Auto) g ~v ~w1_star =
+let analyse ?ctx g ~v ~w1_star =
   let w = Graph.weight g v in
-  let w10, w20 = Sybil.initial_split ~solver g ~v in
+  let w10, w20 = Sybil.initial_split ?ctx g ~v in
   let w2_star = Q.sub w w1_star in
   (* Orient so that identity "grow" is the one whose weight increases
      (paper w.l.o.g. assumes w1⋆ >= w1⁰). *)
@@ -67,7 +67,7 @@ let analyse ?(solver = Decompose.Auto) g ~v ~w1_star =
   let eval (wg, ws) =
     let w1, w2 = if grow_is_v1 then (wg, ws) else (ws, wg) in
     let s = Sybil.split_free g ~v ~w1 ~w2 in
-    let d = Decompose.compute ~solver s.path in
+    let d = Decompose.compute ?ctx s.path in
     let u1 = Utility.of_vertex s.path d s.v1
     and u2 = Utility.of_vertex s.path d s.v2 in
     let ug, us = if grow_is_v1 then (u1, u2) else (u2, u1) in
@@ -76,7 +76,7 @@ let analyse ?(solver = Decompose.Auto) g ~v ~w1_star =
   in
   let g0, s0 = if grow_is_v1 then (w10, w20) else (w20, w10) in
   let gs, ss = if grow_is_v1 then (w1_star, w2_star) else (w2_star, w1_star) in
-  let ring_d = Decompose.compute ~solver g in
+  let ring_d = Decompose.compute ?ctx g in
   let kind = match side_of ring_d v with `C -> `C | `B -> `D in
   let honest = Utility.of_vertex g ring_d v in
   let u_init_g, u_init_s, _ = eval (g0, s0) in

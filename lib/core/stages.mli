@@ -22,7 +22,7 @@ type initial_form =
 val pp_initial_form : Format.formatter -> initial_form -> unit
 
 val classify_initial :
-  ?solver:Decompose.solver -> Graph.t -> v:int -> (initial_form, string) result
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> (initial_form, string) result
 (** Classify [P_v(w₁⁰, w₂⁰)]; identities in an [α = 1] pair count as C
     class (the paper's convention).  [Error] reports a decomposition shape
     outside the lemmas' case lists — a reproduction failure. *)
@@ -42,7 +42,7 @@ type report = {
 }
 
 val analyse :
-  ?solver:Decompose.solver -> Graph.t -> v:int -> w1_star:Rational.t -> report
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> w1_star:Rational.t -> report
 (** Full stage analysis of the deviation that ends at
     [P_v(w1_star, w_v − w1_star)]. *)
 

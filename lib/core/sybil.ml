@@ -33,26 +33,22 @@ let split g ~v ~w1 ~w2 =
     invalid_arg "Sybil.split: weights must sum to w_v";
   split_free g ~v ~w1 ~w2
 
-let utilities_of_split ?(solver = Decompose.Auto) s =
-  let d = Decompose.compute ~solver s.path in
+let utilities_of_split ?ctx s =
+  let d = Decompose.compute ?ctx s.path in
   (Utility.of_vertex s.path d s.v1, Utility.of_vertex s.path d s.v2)
 
-let split_utility ?solver g ~v ~w1 =
+let split_utility ?ctx g ~v ~w1 =
   let w2 = Q.sub (Graph.weight g v) w1 in
   let s = split g ~v ~w1 ~w2 in
-  let u1, u2 = utilities_of_split ?solver s in
+  let u1, u2 = utilities_of_split ?ctx s in
   Q.add u1 u2
 
-let honest_utility ?(solver = Decompose.Auto) g ~v =
-  let d = Decompose.compute ~solver g in
+let honest_utility ?ctx g ~v =
+  let d = Decompose.compute ?ctx g in
   Utility.of_vertex g d v
 
-let initial_split ?solver g ~v =
+let initial_split ?ctx g ~v =
   if not (Graph.is_ring g) then invalid_arg "Sybil.initial_split: not a ring";
   let a, b = ring_neighbors g v in
-  let alloc =
-    match solver with
-    | None -> Allocation.compute g
-    | Some s -> Allocation.compute ~solver:s g
-  in
+  let alloc = Allocation.compute ?ctx g in
   (Allocation.amount alloc ~src:v ~dst:a, Allocation.amount alloc ~src:v ~dst:b)

@@ -26,18 +26,18 @@ val split_free : Graph.t -> v:int -> w1:Rational.t -> w2:Rational.t -> split
     [P_v(w₁⁰, w₂⋆)] — whose identity weights do not sum to [w_v]. *)
 
 val split_utility :
-  ?solver:Decompose.solver -> Graph.t -> v:int -> w1:Rational.t -> Rational.t
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> w1:Rational.t -> Rational.t
 (** [U_{v¹} + U_{v²}] on [P_v(w1, w_v − w1)] — the attacker's post-attack
     utility. *)
 
-val utilities_of_split :
-  ?solver:Decompose.solver -> split -> Rational.t * Rational.t
+val utilities_of_split : ?ctx:Engine.Ctx.t -> split -> Rational.t * Rational.t
 (** The two identities' utilities separately. *)
 
-val honest_utility : ?solver:Decompose.solver -> Graph.t -> v:int -> Rational.t
+val honest_utility : ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> Rational.t
 (** [U_v] on the original ring (Proposition 6). *)
 
-val initial_split : ?solver:Decompose.solver -> Graph.t -> v:int -> Rational.t * Rational.t
+val initial_split :
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> Rational.t * Rational.t
 (** [(w₁⁰, w₂⁰)]: the amounts [v] ships to its two neighbours under the BD
     allocation on the ring (smaller-id neighbour first, matching
     {!split}).  Lemma 9: the split utility at this point equals [U_v]. *)

@@ -50,9 +50,9 @@ let apply g ~v spec =
   in
   { graph = Graph.create ~weights ~edges:(keep @ added); ids }
 
-let attack_utility ?(solver = Decompose.Auto) g ~v spec =
+let attack_utility ?ctx g ~v spec =
   let s = apply g ~v spec in
-  let d = Decompose.compute ~solver s.graph in
+  let d = Decompose.compute ?ctx s.graph in
   Array.fold_left
     (fun acc id -> Q.add acc (Utility.of_vertex s.graph d id))
     Q.zero s.ids
@@ -101,14 +101,17 @@ let weight_grids w m ~grid =
   in
   List.map Array.of_list (go m grid)
 
-let best_attack ?(solver = Decompose.Auto) ?(grid = 6) ?(max_degree = 5) g ~v =
+(* [?grid] here is the per-dimension simplex resolution over m identity
+   weights (cost grows as grid^m), not the ctx sweep grid — reusing
+   ctx.grid (32) would blow the enumeration up, so it stays a distinct,
+   recorded exemption from the config-drift rule. *)
+let[@lint.allow "config-drift"] best_attack ?ctx ?(grid = 6) ?(max_degree = 5)
+    g ~v =
   let d_v = Graph.degree g v in
   if d_v > max_degree then
     invalid_arg "Sybil_general.best_attack: degree exceeds max_degree";
   if d_v = 0 then invalid_arg "Sybil_general.best_attack: isolated vertex";
-  let honest =
-    Utility.of_vertex g (Decompose.compute ~solver g) v
-  in
+  let honest = Utility.of_vertex g (Decompose.compute ?ctx g) v in
   let nbrs = Array.to_list (Graph.neighbors g v) in
   let w = Graph.weight g v in
   let best = ref None in
@@ -122,7 +125,7 @@ let best_attack ?(solver = Decompose.Auto) ?(grid = 6) ?(max_degree = 5) g ~v =
       List.iter
         (fun weights ->
           let spec = { groups; weights } in
-          let u = attack_utility ~solver g ~v spec in
+          let u = attack_utility ?ctx g ~v spec in
           match !best with
           | Some (_, bu, _) when Q.compare u bu <= 0 -> ()
           | _ ->

@@ -29,7 +29,7 @@ val apply : Graph.t -> v:int -> spec -> split
     neighbours into non-empty sets, or the weights mismatch in length or
     sum, or are negative. *)
 
-val attack_utility : ?solver:Decompose.solver -> Graph.t -> v:int -> spec -> Rational.t
+val attack_utility : ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> spec -> Rational.t
 (** Total utility of all identities under the BD allocation on the
     post-attack network. *)
 
@@ -38,10 +38,12 @@ val partitions : 'a list -> max_groups:int -> 'a list list list
     (set partitions; exposed for tests and experiments). *)
 
 val best_attack :
-  ?solver:Decompose.solver -> ?grid:int -> ?max_degree:int ->
+  ?ctx:Engine.Ctx.t -> ?grid:int -> ?max_degree:int ->
   Graph.t -> v:int -> spec * Rational.t * Rational.t
 (** [(best spec found, its utility, utility / honest)] over all identity
     counts, all neighbour partitions, and a simplex grid of weight
-    splits.  [grid] is the per-dimension resolution (default 6).
+    splits.  [grid] is the {e per-dimension} resolution (default 6) — a
+    deliberately separate knob from [ctx.grid], whose 32 would make the
+    [grid^m] enumeration explode.
     @raise Invalid_argument when [d_v > max_degree] (default 5; the
     partition count grows as the Bell number). *)

@@ -63,12 +63,12 @@ let utility_function g ~v ~structure ~v2 =
     Poly.mul d1 d2 )
 
 (* Exact attack utility at a concrete split, straight from the mechanism. *)
-let exact_utility ~solver g ~v w1 =
-  Sybil.split_utility ~solver g ~v ~w1
+let exact_utility ~ctx g ~v w1 = Sybil.split_utility ~ctx g ~v ~w1
 
-let verify_theorem8 ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
+let verify_theorem8 ?ctx ?tolerance g ~v =
+  let ctx = Engine.Ctx.get ctx in
   let total = Graph.weight g v in
-  let honest = Sybil.honest_utility ~solver g ~v in
+  let honest = Sybil.honest_utility ~ctx g ~v in
   if Q.is_zero total then
     Ok
       {
@@ -80,7 +80,7 @@ let verify_theorem8 ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
         best_found = honest;
       }
   else begin
-    let events = Breakpoints.scan_split ~solver ~grid ?tolerance g ~v in
+    let events = Breakpoints.scan_split ~ctx ?tolerance g ~v in
     let pieces =
       (* closed intervals between consecutive event brackets *)
       let cuts =
@@ -102,7 +102,7 @@ let verify_theorem8 ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
     let best = ref honest in
     let note_candidate w1 =
       let w1 = Q.max Q.zero (Q.min total w1) in
-      let u = exact_utility ~solver g ~v w1 in
+      let u = exact_utility ~ctx g ~v w1 in
       if Q.compare u !best > 0 then best := u;
       u
     in
@@ -125,7 +125,7 @@ let verify_theorem8 ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
           else begin
             let mid = Q.div_int (Q.add a b) 2 in
             let s = Sybil.split_free g ~v ~w1:mid ~w2:(Q.sub total mid) in
-            let structure = Decompose.compute ~solver s.Sybil.path in
+            let structure = Decompose.compute ~ctx s.Sybil.path in
             let num, den =
               utility_function g ~v ~structure ~v2:s.Sybil.v2
             in
@@ -136,7 +136,7 @@ let verify_theorem8 ?(solver = Decompose.Auto) ?(grid = 64) ?tolerance g ~v =
               if Q.sign dv <= 0 then false
               else
                 Q.equal (Q.div (Poly.eval num pt) dv)
-                  (exact_utility ~solver g ~v pt)
+                  (exact_utility ~ctx g ~v pt)
             in
             let third = Q.add a (Q.div_int (Q.sub b a) 3) in
             if not (consistent mid && consistent third) then

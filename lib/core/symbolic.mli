@@ -50,8 +50,8 @@ val utility_function :
     ([v2] is the second identity's vertex id).  Exposed for tests. *)
 
 val verify_theorem8 :
-  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
-  Graph.t -> v:int -> (report, string) result
+  ?ctx:Engine.Ctx.t -> ?tolerance:Rational.t -> Graph.t -> v:int ->
+  (report, string) result
 (** Scan, build the per-interval rational functions, cross-check them
     against the mechanism at interior sample points (exact equality), and
     decide the bound on every interval.  [Error] means an internal

@@ -1,10 +1,9 @@
 module Q = Rational
 
-let proposition3 ?(solver = Decompose.Auto) g =
-  Decompose.validate g (Decompose.compute ~solver g)
+let proposition3 ?ctx g = Decompose.validate g (Decompose.compute ?ctx g)
 
-let proposition6 ?(solver = Decompose.Auto) g =
-  let a = Allocation.compute ~solver g in
+let proposition6 ?ctx g =
+  let a = Allocation.compute ?ctx g in
   match Allocation.validate a with
   | Error _ as e -> e
   | Ok () ->
@@ -12,18 +11,18 @@ let proposition6 ?(solver = Decompose.Auto) g =
       if Prd_exact.equal (Prd_exact.step st) st then Ok ()
       else Error "BD allocation is not a fixed point of the dynamics"
 
-let theorem10 ?solver ?(samples = 24) g ~v =
-  Misreport.check_utility_monotone (Misreport.curve ?solver g ~v ~samples)
+let theorem10 ?ctx ?(samples = 24) g ~v =
+  Misreport.check_utility_monotone (Misreport.curve ?ctx g ~v ~samples)
 
-let proposition11 ?solver ?(samples = 24) g ~v =
-  Misreport.classify_shape (Misreport.curve ?solver g ~v ~samples)
+let proposition11 ?ctx ?(samples = 24) g ~v =
+  Misreport.classify_shape (Misreport.curve ?ctx g ~v ~samples)
 
-let proposition12 ?solver ?grid g ~v =
+let proposition12 ?ctx g ~v =
   (* Propositions 11 and 12 together say: scanning x upward, v's class
      side forms a C-phase followed by a B-phase with at most one switch
      (at α_v = 1).  A B→C transition, or a second C→B transition, would
      violate them. *)
-  let events = Breakpoints.scan ?solver ?grid g ~v in
+  let events = Breakpoints.scan ?ctx g ~v in
   let side d u =
     let p = Decompose.pair_of d u in
     if Q.equal p.alpha Q.one then `Either
@@ -47,13 +46,13 @@ let proposition12 ?solver ?grid g ~v =
   in
   check `C_phase sides
 
-let lemma13 ?solver ?grid g ~v =
+let lemma13 ?ctx g ~v =
   (* Within a constant-class phase of the reported weight, the pairs on
      the "safe" side of v's alpha-ratio are untouched: for C-class v and
      x increasing, every pair with a smaller alpha-ratio persists with
      identical sets and ratio; for B-class v, every pair with a larger
      alpha-ratio does. *)
-  let t = Trace.compute ?solver ?grid g ~v in
+  let t = Trace.compute ?ctx g ~v in
   let ivs = Array.of_list t.Trace.intervals in
   let pair_in structure (p : Decompose.pair) =
     List.exists
@@ -88,28 +87,28 @@ let lemma13 ?solver ?grid g ~v =
   if !ok then Ok ()
   else Error "a pair on the safe side of alpha_v was impacted (Lemma 13)"
 
-let lemma9 ?(solver = Decompose.Auto) g ~v =
-  let honest = Sybil.honest_utility ~solver g ~v in
-  let w10, _ = Sybil.initial_split ~solver g ~v in
-  let u = Sybil.split_utility ~solver g ~v ~w1:w10 in
+let lemma9 ?ctx g ~v =
+  let honest = Sybil.honest_utility ?ctx g ~v in
+  let w10, _ = Sybil.initial_split ?ctx g ~v in
+  let u = Sybil.split_utility ?ctx g ~v ~w1:w10 in
   if Q.equal u honest then Ok ()
   else
     Error
       (Format.asprintf "split at (w1^0, w2^0) yields %a, honest U_v = %a"
          Q.pp u Q.pp honest)
 
-let lemma14_20 ?solver g ~v = Stages.classify_initial ?solver g ~v
+let lemma14_20 ?ctx g ~v = Stages.classify_initial ?ctx g ~v
 
-let lemmas15_21 ?(solver = Decompose.Auto) g ~v =
+let lemmas15_21 ?ctx g ~v =
   (* Lemma 15 (Case C-3) / Lemma 21 (Case D-1): when both identities
      share a pair (same side) on the honest path, an arbitrarily small
      move of the stage-1 weight splits that pair in two, the moving
      identity's alpha strictly on the far side and the fixed identity's
      alpha unchanged.  Vacuously true when the identities are already in
      different pairs. *)
-  let w10, w20 = Sybil.initial_split ~solver g ~v in
+  let w10, w20 = Sybil.initial_split ?ctx g ~v in
   let s0 = Sybil.split_free g ~v ~w1:w10 ~w2:w20 in
-  let d0 = Decompose.compute ~solver s0.Sybil.path in
+  let d0 = Decompose.compute ?ctx s0.Sybil.path in
   let v1 = s0.Sybil.v1 and v2 = s0.Sybil.v2 in
   let same_side =
     Decompose.pair_index d0 v1 = Decompose.pair_index d0 v2
@@ -136,7 +135,7 @@ let lemmas15_21 ?(solver = Decompose.Auto) g ~v =
           if Q.sign eps <= 0 then Ok ()
           else begin
             let s = probe eps in
-            let d = Decompose.compute ~solver s.Sybil.path in
+            let d = Decompose.compute ?ctx s.Sybil.path in
             if Decompose.pair_index d v1 = Decompose.pair_index d v2 then
               try_eps (k + 1)
             else begin
@@ -166,26 +165,26 @@ let lemmas15_21 ?(solver = Decompose.Auto) g ~v =
     end
   end
 
-let theorem8 ?solver ?grid ?refine g =
-  let a = Incentive.best_attack ?solver ?grid ?refine g in
+let theorem8 ?ctx g =
+  let a = Incentive.best_attack ?ctx g in
   if Q.compare a.ratio (Q.of_int 2) <= 0 then Ok a
   else
     Error
       (Format.asprintf "incentive ratio %a exceeds 2 at vertex %d" Q.pp
          a.ratio a.v)
 
-let corollaries17_23 ?(solver = Decompose.Auto) ?grid ?refine g ~v =
+let corollaries17_23 ?ctx g ~v =
   (* Corollary 17 (v C class) / Corollary 23 (v B class): at the end of
      the first stage the two identities sit in different pairs, with
      alpha_{grow} > alpha_{shrink} for C-class v and
      alpha_{grow} < alpha_{shrink} for B-class v. *)
-  let a = Incentive.best_split ~solver ?grid ?refine g ~v in
+  let a = Incentive.best_split ?ctx g ~v in
   let w = Graph.weight g v in
-  let w10, w20 = Sybil.initial_split ~solver g ~v in
+  let w10, w20 = Sybil.initial_split ?ctx g ~v in
   let w1s = a.w1 in
   let w2s = Q.sub w w1s in
   let grow_is_v1 = Q.compare w1s w10 >= 0 in
-  let ring_d = Decompose.compute ~solver g in
+  let ring_d = Decompose.compute ?ctx g in
   let v_in_c =
     Q.equal (Decompose.pair_of ring_d v).alpha Q.one || Decompose.in_c ring_d v
   in
@@ -196,7 +195,7 @@ let corollaries17_23 ?(solver = Decompose.Auto) ?grid ?refine g ~v =
     else (w10, w2s)
   in
   let s = Sybil.split_free g ~v ~w1:(fst state) ~w2:(snd state) in
-  let d = Decompose.compute ~solver s.Sybil.path in
+  let d = Decompose.compute ?ctx s.Sybil.path in
   let grow_id = if grow_is_v1 then s.Sybil.v1 else s.Sybil.v2 in
   let shrink_id = if grow_is_v1 then s.Sybil.v2 else s.Sybil.v1 in
   let ag = Decompose.alpha_of d grow_id
@@ -217,9 +216,9 @@ let corollaries17_23 ?(solver = Decompose.Auto) ?grid ?refine g ~v =
   else if Q.compare ag ash <= 0 then Ok ()
   else Error "Corollary 23: alpha_grow > alpha_shrink after stage D-1"
 
-let stage_lemmas ?solver ?grid ?refine g ~v =
-  let a = Incentive.best_split ?solver ?grid ?refine g ~v in
-  let r = Stages.analyse ?solver g ~v ~w1_star:a.w1 in
+let stage_lemmas ?ctx g ~v =
+  let a = Incentive.best_split ?ctx g ~v in
+  let r = Stages.analyse ?ctx g ~v ~w1_star:a.w1 in
   if Stages.all_checks_pass r then Ok r
   else
     let failed =

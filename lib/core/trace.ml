@@ -16,9 +16,10 @@ type transition = {
 
 type t = { v : int; intervals : interval list; transitions : transition list }
 
-let compute ?(solver = Decompose.Auto) ?grid ?tolerance g ~v =
+let compute ?ctx ?tolerance g ~v =
+  let ctx = Engine.Ctx.get ctx in
   let w = Graph.weight g v in
-  let events = Breakpoints.scan ~solver ?grid ?tolerance g ~v in
+  let events = Breakpoints.scan ~ctx ?tolerance g ~v in
   (* interval boundaries: 0, each event bracket, w *)
   let boundaries =
     (Q.zero, Q.zero)
@@ -31,7 +32,7 @@ let compute ?(solver = Decompose.Auto) ?grid ?tolerance g ~v =
           if Q.equal lo hi then lo else Q.div_int (Q.add lo hi) 2
         in
         let g' = Graph.with_weight g v sample in
-        let d = Decompose.compute ~solver g' in
+        let d = Decompose.compute ~ctx g' in
         {
           lo;
           hi;

@@ -27,9 +27,9 @@ type transition = {
 type t = { v : int; intervals : interval list; transitions : transition list }
 
 val compute :
-  ?solver:Decompose.solver -> ?grid:int -> ?tolerance:Rational.t ->
-  Graph.t -> v:int -> t
-(** Breakpoint scan + interior sampling. *)
+  ?ctx:Engine.Ctx.t -> ?tolerance:Rational.t -> Graph.t -> v:int -> t
+(** Breakpoint scan + interior sampling; solver choice and grid width
+    come from [ctx] ({!Engine.Ctx.default} when absent). *)
 
 val check_prop12 : t -> (unit, string) result
 (** Proposition 11/12 on the trace: [v]'s class sides form a C-phase then

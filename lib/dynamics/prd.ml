@@ -48,7 +48,14 @@ let step st =
   in
   { g; send = send' }
 
-let run ?(budget = Budget.unlimited) ~iters g =
+(* Explicit [?budget] wins over the context's; no context = unlimited. *)
+let effective_budget ctx budget =
+  match budget with
+  | Some b -> b
+  | None -> Engine.Ctx.budget_or_unlimited (Engine.Ctx.get ctx)
+
+let run ?ctx ?budget ~iters g =
+  let budget = effective_budget ctx budget in
   let cost = 1 + Graph.n g in
   let rec go st n =
     if n = 0 then st
@@ -82,7 +89,8 @@ let l1_distance_to_allocation st alloc =
   done;
   !acc
 
-let trajectory ?(budget = Budget.unlimited) ~iters g alloc =
+let trajectory ?ctx ?budget ~iters g alloc =
+  let budget = effective_budget ctx budget in
   let cost = 1 + Graph.n g in
   let rec go st t acc =
     let acc = (t, l1_distance_to_allocation st alloc) :: acc in

@@ -14,8 +14,9 @@ type t
 val init : Graph.t -> t
 val step : t -> t
 
-val run : ?budget:Budget.t -> iters:int -> Graph.t -> t
-(** [budget] is ticked once per round, proportionally to the graph size.
+val run : ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> iters:int -> Graph.t -> t
+(** The budget (explicit [budget], else [ctx]'s, else unlimited) is
+    ticked once per round, proportionally to the graph size.
     @raise Budget.Exhausted when it trips. *)
 
 val graph : t -> Graph.t
@@ -31,6 +32,6 @@ val l1_distance : t -> t -> float
 val l1_distance_to_allocation : t -> Allocation.t -> float
 
 val trajectory :
-  ?budget:Budget.t -> iters:int -> Graph.t -> Allocation.t ->
-  (int * float) list
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> iters:int -> Graph.t ->
+  Allocation.t -> (int * float) list
 (** [(t, L1 distance to the BD allocation)] for [t = 0 .. iters]. *)

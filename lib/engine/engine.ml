@@ -1,0 +1,268 @@
+(* Request-scoped execution engine: context, solver registry, cache.
+
+   This module is the single source of the search-parameter defaults
+   and the only place allowed to declare the historical
+   [?solver ?grid ?refine ?domains] optional arguments (the
+   [config-drift] lint rule pins that).  It sits below the solver
+   libraries: backends register themselves here, and cached values go
+   through the extensible [Cache.value] type, so no dependency cycle
+   forms. *)
+
+type solver = Chain | FastChain | Flow | Brute | Auto | Named of string
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type value = ..
+
+  module Stbl = Hashtbl.Make (struct
+    type t = string
+
+    let equal = String.equal
+    let hash = String.hash
+  end)
+
+  type shard = {
+    mutex : Mutex.t;
+    tbl : value Stbl.t;
+    order : string Queue.t; (* insertion order; head = next eviction *)
+  }
+
+  type t = { shards : shard array; cap_per_shard : int; capacity : int }
+
+  let c_lookups = Obs.Counter.make ~subsystem:"engine" "cache_lookups"
+  let c_hits = Obs.Counter.make ~subsystem:"engine" "cache_hits"
+  let c_misses = Obs.Counter.make ~subsystem:"engine" "cache_misses"
+  let c_stores = Obs.Counter.make ~subsystem:"engine" "cache_stores"
+  let c_evictions = Obs.Counter.make ~subsystem:"engine" "cache_evictions"
+  let g_peak = Obs.Gauge.make ~subsystem:"engine" "cache_peak"
+
+  let create ?(shards = 8) ~capacity () =
+    if capacity < 1 then invalid_arg "Engine.Cache.create: capacity < 1";
+    if shards < 1 then invalid_arg "Engine.Cache.create: shards < 1";
+    let cap_per_shard = Stdlib.max 1 (capacity / shards) in
+    {
+      shards =
+        Array.init shards (fun _ ->
+            {
+              mutex = Mutex.create ();
+              tbl = Stbl.create 16;
+              order = Queue.create ();
+            });
+      cap_per_shard;
+      capacity;
+    }
+
+  let capacity t = t.capacity
+
+  let shard_of t key =
+    t.shards.(String.hash key mod Array.length t.shards)
+
+  let with_shard s f =
+    Mutex.lock s.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+  let length t =
+    Array.fold_left
+      (fun acc s -> acc + with_shard s (fun () -> Stbl.length s.tbl))
+      0 t.shards
+
+  let find t key =
+    Obs.Counter.incr c_lookups;
+    let s = shard_of t key in
+    match with_shard s (fun () -> Stbl.find_opt s.tbl key) with
+    | Some _ as v ->
+        Obs.Counter.incr c_hits;
+        v
+    | None ->
+        Obs.Counter.incr c_misses;
+        None
+
+  let store t key value =
+    let s = shard_of t key in
+    let evicted =
+      with_shard s (fun () ->
+          if Stbl.mem s.tbl key then begin
+            (* replace in place; the key keeps its eviction slot *)
+            Stbl.replace s.tbl key value;
+            0
+          end
+          else begin
+            let evicted =
+              if Stbl.length s.tbl >= t.cap_per_shard then begin
+                let oldest = Queue.pop s.order in
+                Stbl.remove s.tbl oldest;
+                1
+              end
+              else 0
+            in
+            Stbl.replace s.tbl key value;
+            Queue.push key s.order;
+            evicted
+          end)
+    in
+    if Obs.metrics_enabled () then begin
+      Obs.Counter.incr c_stores;
+      Obs.Counter.add c_evictions evicted;
+      Obs.Gauge.set_max g_peak (length t)
+    end
+
+  let clear t =
+    Array.iter
+      (fun s ->
+        with_shard s (fun () ->
+            Stbl.reset s.tbl;
+            Queue.clear s.order))
+      t.shards
+end
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ctx = struct
+  type t = {
+    solver : solver;
+    grid : int;
+    refine : int;
+    budget : Budget.t option;
+    domains : int;
+    obs : bool;
+    cache : Cache.t option;
+  }
+
+  let default_grid = 32
+  let default_refine = 3
+
+  let default =
+    {
+      solver = Auto;
+      grid = default_grid;
+      refine = default_refine;
+      budget = None;
+      domains = 1;
+      obs = true;
+      cache = None;
+    }
+
+  (* The one sanctioned home of the optional-argument spray; everywhere
+     else in lib/ the config-drift lint rule forbids these labels. *)
+  let make ?(solver = default.solver) ?(grid = default.grid)
+      ?(refine = default.refine) ?budget ?(domains = default.domains)
+      ?(obs = default.obs) ?cache () =
+    { solver; grid; refine; budget; domains; obs; cache }
+
+  let with_solver solver t = { t with solver }
+  let with_grid grid t = { t with grid }
+  let with_refine refine t = { t with refine }
+  let with_budget b t = { t with budget = Some b }
+  let without_budget t = { t with budget = None }
+  let with_domains domains t = { t with domains }
+  let with_obs obs t = { t with obs }
+  let with_cache c t = { t with cache = Some c }
+  let without_cache t = { t with cache = None }
+  let get = function Some ctx -> ctx | None -> default
+
+  let budget_or_unlimited t =
+    match t.budget with Some b -> b | None -> Budget.unlimited
+
+  let obs_enabled t = t.obs && Obs.metrics_enabled ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Solver registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module type SOLVER = sig
+  val name : string
+  val rank : int
+  val handles : Graph.t -> bool
+  val maximal_bottleneck : ctx:Ctx.t -> Graph.t -> mask:Vset.t -> Vset.t
+end
+
+module Registry = struct
+  (* Kept sorted by (rank, name) so auto-selection is deterministic
+     regardless of registration order. *)
+  let backends : (module SOLVER) list ref = ref []
+  let mutex = Mutex.create ()
+
+  let order (module A : SOLVER) (module B : SOLVER) =
+    let c = Int.compare A.rank B.rank in
+    if c <> 0 then c else String.compare A.name B.name
+
+  let register (module S : SOLVER) =
+    Mutex.lock mutex;
+    let others =
+      List.filter
+        (fun (module O : SOLVER) -> not (String.equal O.name S.name))
+        !backends
+    in
+    let s : (module SOLVER) = (module S) in
+    backends := List.sort order (s :: others);
+    Mutex.unlock mutex
+
+  let snapshot () =
+    Mutex.lock mutex;
+    let l = !backends in
+    Mutex.unlock mutex;
+    l
+
+  let find name =
+    List.find_opt
+      (fun (module S : SOLVER) -> String.equal S.name name)
+      (snapshot ())
+
+  let names () =
+    List.sort String.compare
+      (List.map (fun (module S : SOLVER) -> S.name) (snapshot ()))
+
+  let auto_select g =
+    match
+      List.find_opt (fun (module S : SOLVER) -> S.handles g) (snapshot ())
+    with
+    | Some s -> s
+    | None -> invalid_arg "Engine.Registry.auto_select: no applicable solver"
+end
+
+let solver_name = function
+  | Chain -> "chain"
+  | FastChain -> "fast-chain"
+  | Flow -> "flow"
+  | Brute -> "brute"
+  | Auto -> "auto"
+  | Named s -> s
+
+let solver_of_name = function
+  | "chain" -> Some Chain
+  | "fast-chain" -> Some FastChain
+  | "flow" -> Some Flow
+  | "brute" -> Some Brute
+  | "auto" -> Some Auto
+  | s -> ( match Registry.find s with Some _ -> Some (Named s) | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let c_batch_runs = Obs.Counter.make ~subsystem:"engine" "batch_runs"
+let c_batch_items = Obs.Counter.make ~subsystem:"engine" "batch_items"
+
+let run_batch ?ctx ~f items =
+  let ctx = Ctx.get ctx in
+  Obs.Counter.incr c_batch_runs;
+  Obs.Counter.add c_batch_items (Array.length items);
+  (* parallelism lives at the batch level; each item runs sequentially
+     on its worker domain but shares the context's cache *)
+  let item_ctx = Ctx.with_domains 1 ctx in
+  Parwork.map ~domains:ctx.Ctx.domains (f item_ctx) items
+
+let run_batch_r ?ctx ~f items =
+  let ctx = Ctx.get ctx in
+  Obs.Counter.incr c_batch_runs;
+  Obs.Counter.add c_batch_items (Array.length items);
+  let item_ctx = Ctx.with_domains 1 ctx in
+  Parwork.map ~domains:ctx.Ctx.domains
+    (fun item -> Ringshare_error.capture (fun () -> f item_ctx item))
+    items

@@ -1,0 +1,184 @@
+(** Request-scoped execution engine (DESIGN.md §12).
+
+    Every layer that reaches the bottleneck decomposition — the attack
+    search, the theorem checkers, the trace/breakpoint scanners, the
+    experiment harness, the CLI — used to re-declare its own
+    [?solver ?grid ?refine ?budget ?domains] optional-argument spray with
+    duplicated defaults.  This module replaces the spray with one
+    immutable request context ({!Ctx.t}) carrying a single source of
+    defaults, a first-class solver registry so decomposition backends are
+    data, not a hard-coded variant match, and a bounded, domain-safe
+    decomposition cache ({!Cache}) that a context owns and shares
+    {e across} searches.
+
+    The engine sits {e below} the solver libraries in the dependency
+    order: solvers register themselves here, and the cache stores their
+    results through the extensible {!Cache.value} type, so no layer above
+    is forced into a dependency cycle. *)
+
+type solver = Chain | FastChain | Flow | Brute | Auto | Named of string
+(** Decomposition backend choice.  The four classic constructors name the
+    built-in solvers; [Auto] routes through the registry by
+    {!Registry.auto_select}; [Named s] addresses any backend registered
+    under [s] — new backends become reachable without touching the
+    decomposition layer.  [Decompose.solver] re-exports this type, so
+    [Decompose.Auto] and [Engine.Auto] are the same constructor. *)
+
+val solver_name : solver -> string
+(** Canonical registry name: ["chain"], ["fast-chain"], ["flow"],
+    ["brute"], ["auto"], or the [Named] payload. *)
+
+val solver_of_name : string -> solver option
+(** Inverse of {!solver_name} for the five canonical names; any other
+    string maps to [Named] only if a backend of that name is registered
+    ([None] otherwise — the CLI turns that into a spec error). *)
+
+(** {1 Decomposition cache} *)
+
+module Cache : sig
+  (** A bounded, mutex-sharded key/value cache shared across searches.
+
+      Keys are canonical digests (the decomposition layer keys by
+      resolved solver name plus a digest of the serialised graph).
+      Values go through the extensible type {!value} so layers above the
+      engine can store their own result types: the decomposition layer
+      declares [type Engine.Cache.value += Decomposition of Decompose.t].
+
+      Domain-safety: each shard carries its own mutex, so concurrent
+      [find]/[store] from {!Parwork} workers are safe.  Eviction is
+      FIFO per shard — deterministic for a given insertion order (use
+      [~shards:1] when the test needs one global order).
+
+      Instrumented via [Obs] under the ["engine"] subsystem:
+      [cache_lookups], [cache_hits], [cache_misses], [cache_stores],
+      [cache_evictions] counters and the [cache_peak] gauge, with
+      [cache_hits + cache_misses = cache_lookups] by construction. *)
+
+  type value = ..
+  (** Extensible so the cache can hold results of types defined above
+      the engine in the dependency order. *)
+
+  type t
+
+  val create : ?shards:int -> capacity:int -> unit -> t
+  (** [shards] defaults to 8; [capacity] is the total bound across
+      shards (each shard holds at most [max 1 (capacity / shards)]
+      entries).
+      @raise Invalid_argument when [capacity < 1] or [shards < 1]. *)
+
+  val find : t -> string -> value option
+  val store : t -> string -> value -> unit
+  (** Storing under an existing key replaces the value in place (the
+      key keeps its original eviction slot). *)
+
+  val length : t -> int
+  val capacity : t -> int
+  val clear : t -> unit
+end
+
+(** {1 Request context} *)
+
+module Ctx : sig
+  type t = {
+    solver : solver;  (** decomposition backend ([Auto]) *)
+    grid : int;  (** sweep subdivision for attack searches (32) *)
+    refine : int;  (** zoom refinement rounds (3) *)
+    budget : Budget.t option;  (** cooperative compute budget (none) *)
+    domains : int;  (** OCaml 5 domains for parallel sweeps (1) *)
+    obs : bool;  (** request-level metrics enablement (true) *)
+    cache : Cache.t option;  (** shared decomposition cache (none) *)
+  }
+  (** An immutable request context.  [Ctx.default] is the single source
+      of the defaults above; every [?ctx] entry point in the stack reads
+      its configuration from here instead of a private optional-argument
+      default. *)
+
+  val default : t
+
+  val default_grid : int
+  (** 32 — pinned by [test_engine.ml] against the documented value. *)
+
+  val default_refine : int
+  (** 3 — pinned by [test_engine.ml] against the documented value. *)
+
+  val make :
+    ?solver:solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
+    ?domains:int -> ?obs:bool -> ?cache:Cache.t -> unit -> t
+  (** {!default} with the given fields overridden.  This is the one
+      sanctioned home of the old optional-argument spray; the
+      [config-drift] lint rule forbids re-declaring these optional
+      arguments anywhere in [lib/] outside [lib/engine]. *)
+
+  val with_solver : solver -> t -> t
+  val with_grid : int -> t -> t
+  val with_refine : int -> t -> t
+  val with_budget : Budget.t -> t -> t
+  val without_budget : t -> t
+  val with_domains : int -> t -> t
+  val with_obs : bool -> t -> t
+  val with_cache : Cache.t -> t -> t
+  val without_cache : t -> t
+
+  val get : t option -> t
+  (** [Option.value ~default] — the idiom at every [?ctx] entry point. *)
+
+  val budget_or_unlimited : t -> Budget.t
+
+  val obs_enabled : t -> bool
+  (** [ctx.obs && Obs.metrics_enabled ()]: layers consult this instead of
+      the global switch so a context can opt a request out of metric
+      recording. *)
+end
+
+(** {1 Solver registry} *)
+
+module type SOLVER = sig
+  val name : string
+  (** Registry key, e.g. ["fast-chain"]. *)
+
+  val rank : int
+  (** [Registry.auto_select] priority: among applicable solvers the
+      lowest rank wins (ties break by name).  Built-ins use 10/20/30/40
+      so external backends can slot in anywhere. *)
+
+  val handles : Graph.t -> bool
+  (** Whether this backend is applicable to the graph (the chain DPs
+      only handle max-degree ≤ 2). *)
+
+  val maximal_bottleneck : ctx:Ctx.t -> Graph.t -> mask:Vset.t -> Vset.t
+  (** The bottleneck oracle: the maximal bottleneck of the subgraph
+      induced by [mask] (paper, Definition 2). *)
+end
+
+module Registry : sig
+  val register : (module SOLVER) -> unit
+  (** Idempotent on the name: re-registering replaces the backend. *)
+
+  val find : string -> (module SOLVER) option
+  val names : unit -> string list
+  (** Sorted; the vocabulary the CLI validates [--solver] against
+      (together with ["auto"]). *)
+
+  val auto_select : Graph.t -> (module SOLVER)
+  (** Lowest-rank applicable backend.
+      @raise Invalid_argument when no registered backend handles the
+      graph (cannot happen once the built-ins are registered). *)
+end
+
+(** {1 Batch execution} *)
+
+val run_batch : ?ctx:Ctx.t -> f:(Ctx.t -> 'a -> 'b) -> 'a array -> 'b array
+(** Map [f] over the instances with {!Parwork} on [ctx.domains] domains.
+    Each item receives the context with [domains = 1] (parallelism lives
+    at the batch level; nested domain fan-out would oversubscribe), and
+    the shared [ctx.cache] — so repeated instances, and repeated
+    decompositions inside one instance, hit the cache across the whole
+    batch.  The first exception any item raises is re-raised after all
+    domains join. *)
+
+val run_batch_r :
+  ?ctx:Ctx.t -> f:(Ctx.t -> 'a -> 'b) -> 'a array ->
+  ('b, Ringshare_error.t) result array
+(** Fault-tolerant variant: each item's failure becomes its [Error] slot
+    (via [Ringshare_error.capture]) and every other item still runs —
+    one bad instance cannot kill a batch. *)

@@ -63,7 +63,12 @@ let e2_families =
   ]
 
 let run_e2_theorem8_sweep ?(trials = 40) ?checkpoint ?(resume = false)
-    ?stop_after ?(domains = 1) fmt =
+    ?stop_after ?ctx fmt =
+  let ctx = Engine.Ctx.get ctx in
+  (* each seed's search runs on a worker domain, so its own sweep stays
+     sequential; grid/refine are the sweep's own resolution, not the
+     caller's *)
+  let seed_ctx = Engine.Ctx.(with_domains 1 (with_refine 1 (with_grid 8 ctx))) in
   header fmt
     "E2 / Theorem 8 - incentive ratio sweep over ring families (bound = 2)";
   Format.fprintf fmt
@@ -133,10 +138,10 @@ let run_e2_theorem8_sweep ?(trials = 40) ?checkpoint ?(resume = false)
            single bad instance degrades the row, it does not kill the
            sweep *)
         let report =
-          Parwork.map_report ~domains
+          Parwork.map_report ~domains:ctx.Engine.Ctx.domains
             (fun seed ->
               let g = Instances.ring ~seed ~n dist in
-              (Incentive.best_attack ~grid:8 ~refine:1 g).Incentive.ratio)
+              (Incentive.best_attack ~ctx:seed_ctx g).Incentive.ratio)
             (Array.init trials (fun i -> i + 1))
         in
         let max_r = ref Q.one and sum = ref 0.0 and profitable = ref 0 in
@@ -185,7 +190,10 @@ let run_e2_theorem8_sweep ?(trials = 40) ?checkpoint ?(resume = false)
   else begin
     (* the engineered near-tight instance *)
     let tight = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |] in
-    let a = Incentive.best_attack ~grid:16 ~refine:3 tight in
+    let tight_ctx =
+      Engine.Ctx.(with_domains 1 (with_refine 3 (with_grid 16 ctx)))
+    in
+    let a = Incentive.best_attack ~ctx:tight_ctx tight in
     Format.fprintf fmt "%-38s %8.4f %8s %8s@." "engineered [200;40;10000;10;1]"
       (Q.to_float a.ratio) "-" "-";
     if Q.compare a.ratio !global_max > 0 then global_max := a.ratio;
@@ -281,7 +289,8 @@ let run_e4_breakpoints fmt =
     "E4 / Fig. 3 - decomposition breakpoints and pair merge/split events";
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
   let v = 0 in
-  let events = Breakpoints.scan ~grid:32 g ~v in
+  let e4_ctx = Engine.Ctx.make ~grid:32 () in
+  let events = Breakpoints.scan ~ctx:e4_ctx g ~v in
   Format.fprintf fmt "ring [7;2;9;4;3], agent %d, x in [0, %s]: %d events@."
     v
     (Q.to_string (Graph.weight g v))
@@ -300,7 +309,7 @@ let run_e4_breakpoints fmt =
         (List.length ev.before)
         (List.length ev.after))
     events;
-  let prop12 = Theorems.proposition12 ~grid:32 g ~v = Ok () in
+  let prop12 = Theorems.proposition12 ~ctx:e4_ctx g ~v = Ok () in
   Format.fprintf fmt "Proposition 12 (class side stable): %s@."
     (if prop12 then "holds" else "VIOLATED");
   verdict fmt
@@ -475,7 +484,9 @@ let run_e8_stage_deltas ?(trials = 25) fmt =
      table shows non-trivial deltas; random rings are mostly truthful. *)
   let lead =
     let g = Lower_bound.family ~k:2 in
-    let a = Incentive.best_split ~grid:12 ~refine:2 g ~v:0 in
+    let a =
+      Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:12 ~refine:2 ()) g ~v:0
+    in
     Stages.analyse g ~v:0 ~w1_star:a.w1
   in
   print_row lead;
@@ -487,7 +498,9 @@ let run_e8_stage_deltas ?(trials = 25) fmt =
         (Array.init n (fun _ -> Q.of_int (1 + Prng.int rng 25)))
     in
     let v = Prng.int rng n in
-    let a = Incentive.best_split ~grid:8 ~refine:1 g ~v in
+    let a =
+      Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v
+    in
     let r = Stages.analyse g ~v ~w1_star:a.w1 in
     if Stages.all_checks_pass r then incr pass else incr fail;
     if !shown < 4 then begin
@@ -516,7 +529,10 @@ let run_e9_tightness fmt =
   List.iter
     (fun k ->
       let sup = Lower_bound.supremum_ratio ~k in
-      let measured = Lower_bound.measured_ratio ~grid:24 ~refine:3 ~k () in
+      let measured =
+        Lower_bound.measured_ratio ~ctx:(Engine.Ctx.make ~grid:24 ~refine:3 ())
+          ~k ()
+      in
       if Q.compare measured sup > 0 then ok := false;
       if Q.compare measured (Q.mul sup (Q.of_ints 49 50)) < 0 then ok := false;
       Format.fprintf fmt "%6d %14.6f %14.6f@." k (Q.to_float sup)
@@ -542,6 +558,9 @@ let time_of f =
   (x, Unix.gettimeofday () -. t0)
 
 let run_e10_solver_ablation ?(trials = 60) fmt =
+  (* the ablation pins each backend explicitly — and must not share a
+     decomposition cache, or the later solvers would be timed on hits *)
+  let dc solver g = Decompose.compute ~ctx:(Engine.Ctx.make ~solver ()) g in
   header fmt
     "E10 / ablation - chain DPs vs generic flow vs brute-force oracle";
   let rng = Prng.create 99 in
@@ -557,10 +576,10 @@ let run_e10_solver_ablation ?(trials = 60) fmt =
         (Array.init n (fun _ -> Q.of_int (1 + Prng.int rng 50)))
     in
     incr total;
-    let d_chain, tc = time_of (fun () -> Decompose.compute ~solver:Decompose.Chain g) in
-    let d_fast, tq = time_of (fun () -> Decompose.compute ~solver:Decompose.FastChain g) in
-    let d_flow, tf = time_of (fun () -> Decompose.compute ~solver:Decompose.Flow g) in
-    let d_brute, tb = time_of (fun () -> Decompose.compute ~solver:Decompose.Brute g) in
+    let d_chain, tc = time_of (fun () -> dc Decompose.Chain g) in
+    let d_fast, tq = time_of (fun () -> dc Decompose.FastChain g) in
+    let d_flow, tf = time_of (fun () -> dc Decompose.Flow g) in
+    let d_brute, tb = time_of (fun () -> dc Decompose.Brute g) in
     t_chain := !t_chain +. tc;
     t_fast := !t_fast +. tq;
     t_flow := !t_flow +. tf;
@@ -582,9 +601,9 @@ let run_e10_solver_ablation ?(trials = 60) fmt =
   List.iter
     (fun n ->
       let g = Instances.ring ~seed:7 ~n (Weights.Uniform (1, 100)) in
-      let d1, tc = time_of (fun () -> Decompose.compute ~solver:Decompose.Chain g) in
-      let d3, tq = time_of (fun () -> Decompose.compute ~solver:Decompose.FastChain g) in
-      let d2, tf = time_of (fun () -> Decompose.compute ~solver:Decompose.Flow g) in
+      let d1, tc = time_of (fun () -> dc Decompose.Chain g) in
+      let d3, tq = time_of (fun () -> dc Decompose.FastChain g) in
+      let d2, tf = time_of (fun () -> dc Decompose.Flow g) in
       Format.fprintf fmt
         "  n=%-4d chain %7.3f s  fast %7.3f s  flow %7.3f s  agree=%b@." n tc
         tq tf
@@ -594,7 +613,7 @@ let run_e10_solver_ablation ?(trials = 60) fmt =
   List.iter
     (fun n ->
       let g = Instances.ring ~seed:7 ~n (Weights.Uniform (1, 100)) in
-      let d, tq = time_of (fun () -> Decompose.compute ~solver:Decompose.FastChain g) in
+      let d, tq = time_of (fun () -> dc Decompose.FastChain g) in
       Format.fprintf fmt "  n=%-5d fast %7.3f s  pairs=%d@." n tq (List.length d))
     [ 128; 256 ];
   verdict fmt
@@ -716,7 +735,7 @@ let run_e13_symbolic ?(trials = 10) fmt =
   let certified = ref 0 and total = ref 0 in
   let show name g v =
     incr total;
-    match Symbolic.verify_theorem8 ~grid:24 g ~v with
+    match Symbolic.verify_theorem8 ~ctx:(Engine.Ctx.make ~grid:24 ()) g ~v with
     | Ok r ->
         if r.Symbolic.certified then incr certified;
         Format.fprintf fmt
@@ -784,8 +803,15 @@ let weights_of_string s =
    holders.  The best-so-far ratio is tracked in exact arithmetic, so an
    interrupted hunt resumed from its checkpoint prints the same record
    lines and ends on the same answer as an uninterrupted one. *)
-let hunt ?(grid = 12) ?(refine = 2) ?checkpoint ?(resume = false)
-    ?(budget = Budget.unlimited) ?stop_after ~seed ~trials fmt =
+let hunt ?ctx ?checkpoint ?(resume = false) ?(budget = Budget.unlimited)
+    ?stop_after ~seed ~trials fmt =
+  (* the hunt's historical sweep resolution, chosen for throughput over
+     per-instance precision; an explicit context overrides it wholesale *)
+  let ctx =
+    match ctx with
+    | Some c -> c
+    | None -> Engine.Ctx.make ~grid:12 ~refine:2 ()
+  in
   let fresh () = (Prng.create seed, 1, Q.zero, 0, 0, [||], 0) in
   let rng, start, ratio0, trial0, v0, ws0, failed0 =
     if not resume then fresh ()
@@ -860,7 +886,7 @@ let hunt ?(grid = 12) ?(refine = 2) ?checkpoint ?(resume = false)
        (match
           Ringshare_error.capture (fun () ->
               let g = Generators.ring weights in
-              Incentive.best_attack ~grid ~refine ~budget g)
+              Incentive.best_attack ~ctx ~budget g)
         with
        | Ok a ->
            if Q.compare a.Incentive.ratio !best_ratio > 0 then begin
@@ -910,12 +936,12 @@ let hunt ?(grid = 12) ?(refine = 2) ?checkpoint ?(resume = false)
 (* Battery                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_all ?(quick = false) fmt =
+let run_all ?ctx ?(quick = false) fmt =
   let tt default = if quick then Stdlib.min 8 default else default in
   (* explicit sequencing: list elements would otherwise run in
      unspecified order and interleave their output *)
   let e1 = run_e1_fig1 fmt in
-  let e2 = run_e2_theorem8_sweep ~trials:(tt 40) fmt in
+  let e2 = run_e2_theorem8_sweep ?ctx ~trials:(tt 40) fmt in
   let e3 = run_e3_alpha_curves fmt in
   let e4 = run_e4_breakpoints fmt in
   let e5 = run_e5_initial_forms ~trials:(tt 120) fmt in

@@ -19,7 +19,7 @@ val run_e1_fig1 : Format.formatter -> outcome
 
 val run_e2_theorem8_sweep :
   ?trials:int -> ?checkpoint:string -> ?resume:bool -> ?stop_after:int ->
-  ?domains:int -> Format.formatter -> outcome
+  ?ctx:Engine.Ctx.t -> Format.formatter -> outcome
 (** Headline: ζ over ring families stays ≤ 2; prior bounds 3 and 4 are
     loose.
 
@@ -28,10 +28,12 @@ val run_e2_theorem8_sweep :
     [resume:true] continues from the snapshot, reprinting finished rows
     and recomputing only the remaining families — byte-identical verdict
     to an uninterrupted run.  [stop_after:k] stops after [k] families
-    this invocation (the in-process analogue of a kill).  [domains]
+    this invocation (the in-process analogue of a kill).  [ctx.domains]
     spreads the per-seed attacks over OCaml 5 domains via
     [Parwork.map_report]: a faulting seed is retried once sequentially
-    and otherwise skipped (counted in the verdict), never fatal. *)
+    and otherwise skipped (counted in the verdict), never fatal.  The
+    per-seed searches use their own fixed grid/refine (8/1); a [ctx]
+    cache is shared by every search in the sweep. *)
 
 val run_e3_alpha_curves : Format.formatter -> outcome
 (** Fig. 2 / Proposition 11: the three α_v(x) shapes, with a witness
@@ -75,8 +77,10 @@ val run_e13_symbolic : ?trials:int -> Format.formatter -> outcome
 (** Symbolic (Sturm-certificate) proof of ζ_v ≤ 2 per instance, via
     {!Symbolic.verify_theorem8}. *)
 
-val run_all : ?quick:bool -> Format.formatter -> outcome list
-(** The whole battery; [quick] shrinks trial counts for smoke runs. *)
+val run_all : ?ctx:Engine.Ctx.t -> ?quick:bool -> Format.formatter -> outcome list
+(** The whole battery; [quick] shrinks trial counts for smoke runs.
+    [ctx] reaches the E2 sweep (domains, shared cache); the other
+    experiments pin their own documented resolutions. *)
 
 (** {1 Hunt: randomised record search} *)
 
@@ -94,7 +98,7 @@ type hunt_result = {
 }
 
 val hunt :
-  ?grid:int -> ?refine:int -> ?checkpoint:string -> ?resume:bool ->
+  ?ctx:Engine.Ctx.t -> ?checkpoint:string -> ?resume:bool ->
   ?budget:Budget.t -> ?stop_after:int -> seed:int -> trials:int ->
   Format.formatter -> hunt_result
 (** Random search for high-incentive-ratio rings (the search that found

@@ -301,10 +301,18 @@ let check_try ctx cases =
 (* Per-node dispatch                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let ctx_knobs = [ "solver"; "grid"; "refine"; "domains" ]
+
 let check_expr ctx e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float _) ->
       report ctx F.Float_ban e.pexp_loc "float literal in the exact core"
+  (* C: a fresh per-function execution knob outside lib/engine *)
+  | Pexp_fun (Optional name, _, _, _) when mem name ctx_knobs ->
+      report ctx F.Config_drift e.pexp_loc
+        (Printf.sprintf
+           "optional `?%s` execution knob outside lib/engine; take an             `?ctx:Engine.Ctx.t` instead (Engine.Ctx owns the defaults)"
+           name)
   | Pexp_ident { txt; loc } -> check_ident ctx loc txt
   | Pexp_apply
       ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); _ }; _ },

@@ -12,23 +12,37 @@
                                      checkpoint exceptions;
    - [Determinism]   "determinism" — no ambient randomness, wall-clock
                                      reads, or hash-order-dependent
-                                     iteration in solver code. *)
+                                     iteration in solver code;
+   - [Config_drift]  "config-drift" — execution knobs (?solver ?grid
+                                     ?refine ?domains) belong to
+                                     Engine.Ctx; fresh per-function
+                                     copies outside lib/engine re-grow
+                                     the default spray the PR 5
+                                     refactor deleted. *)
 
-type rule = Float_ban | Poly_compare | Exn_swallow | Determinism
+type rule =
+  | Float_ban
+  | Poly_compare
+  | Exn_swallow
+  | Determinism
+  | Config_drift
 
-let all_rules = [ Float_ban; Poly_compare; Exn_swallow; Determinism ]
+let all_rules =
+  [ Float_ban; Poly_compare; Exn_swallow; Determinism; Config_drift ]
 
 let rule_name = function
   | Float_ban -> "float"
   | Poly_compare -> "polycompare"
   | Exn_swallow -> "exnswallow"
   | Determinism -> "determinism"
+  | Config_drift -> "config-drift"
 
 let rule_of_name = function
   | "float" -> Some Float_ban
   | "polycompare" -> Some Poly_compare
   | "exnswallow" -> Some Exn_swallow
   | "determinism" -> Some Determinism
+  | "config-drift" -> Some Config_drift
   | _ -> None
 
 let rule_equal (a : rule) (b : rule) =
@@ -36,7 +50,8 @@ let rule_equal (a : rule) (b : rule) =
   | Float_ban, Float_ban
   | Poly_compare, Poly_compare
   | Exn_swallow, Exn_swallow
-  | Determinism, Determinism ->
+  | Determinism, Determinism
+  | Config_drift, Config_drift ->
       true
   | _ -> false
 

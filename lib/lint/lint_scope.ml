@@ -27,7 +27,16 @@
    - determinism: every solver dir.  workload/ owns the sanctioned
      PRNG (Workload.Prng), runtime/ owns the wall-clock budget, and
      experiments/ reports wall-clock timings, so those three are
-     allowlisted. *)
+     allowlisted.
+
+   - config-drift: everywhere except engine/, which is the one module
+     allowed to declare the [?solver ?grid ?refine ?domains] knobs (it
+     owns their defaults).  The two survivors outside it — the
+     deprecated [Decompose.compute_with] pin wrapper and the
+     per-dimension simplex [?grid] of [Sybil_general.best_attack] plus
+     parwork's own [?domains] plumbing — carry recorded
+     [@lint.allow "config-drift"] attributes, so any new knob shows up
+     either as a finding or as an audited exemption. *)
 
 let exact_core_dirs =
   [ "bigint"; "rational"; "bottleneck"; "core"; "flow"; "mechanism"; "obs";
@@ -54,6 +63,8 @@ let exn_scope _path = true
 let det_scope path =
   not (mem (dir_of path) [ "workload"; "runtime"; "experiments" ])
 
+let config_scope path = not (String.equal (dir_of path) "engine")
+
 let rules_for path : Lint_finding.rule list =
   if skipped path then []
   else
@@ -63,5 +74,6 @@ let rules_for path : Lint_finding.rule list =
         | Float_ban -> float_scope path
         | Poly_compare -> poly_scope path
         | Exn_swallow -> exn_scope path
-        | Determinism -> det_scope path)
+        | Determinism -> det_scope path
+        | Config_drift -> config_scope path)
       Lint_finding.all_rules

@@ -119,13 +119,7 @@ let of_decomposition g d =
     d;
   { g; d; x }
 
-let compute ?solver g =
-  let d =
-    match solver with
-    | None -> Decompose.compute g
-    | Some s -> Decompose.compute ~solver:s g
-  in
-  of_decomposition g d
+let compute ?ctx g = of_decomposition g (Decompose.compute ?ctx g)
 
 let utility a v =
   Array.fold_left

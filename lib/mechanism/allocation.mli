@@ -12,8 +12,9 @@ type t
 
 val of_decomposition : Graph.t -> Decompose.t -> t
 
-val compute : ?solver:Decompose.solver -> Graph.t -> t
-(** Decomposition plus allocation in one step. *)
+val compute : ?ctx:Engine.Ctx.t -> Graph.t -> t
+(** Decomposition plus allocation in one step; solver choice, budget and
+    cache policy come from [ctx] ({!Engine.Ctx.default} when absent). *)
 
 val amount : t -> src:int -> dst:int -> Rational.t
 (** Resource flowing from [src] to its neighbour [dst]; zero on non-edges

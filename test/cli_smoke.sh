@@ -109,6 +109,52 @@ bclose=$(tr -cd ']' < "$mjson" | wc -c)
   echo "FAIL: metrics JSON brackets unbalanced ($bopen vs $bclose)" >&2
   fails=$((fails + 1)); }
 
+# 11. batch: save two instances, run them through one shared-cache batch
+"$cli" save --ring 3,1,2,5 --out "$tmpdir/a.graph" > /dev/null 2>&1
+expect "save instance a" 0 $?
+"$cli" save --ring 7,2,9,4,3 --out "$tmpdir/b.graph" > /dev/null 2>&1
+expect "save instance b" 0 $?
+"$cli" batch "$tmpdir/a.graph" "$tmpdir/b.graph" --grid 6 --refine 1 \
+  --cache > "$tmpdir/out" 2> "$tmpdir/err"
+expect "batch two instances" 0 $?
+grep -q "a.graph" "$tmpdir/out" && grep -q "b.graph" "$tmpdir/out" || {
+  echo "FAIL: batch output missing a per-file row" >&2
+  cat "$tmpdir/out" >&2; fails=$((fails + 1)); }
+grep -q "batch: 2 instances, 0 failed" "$tmpdir/out" || {
+  echo "FAIL: batch summary line missing" >&2; fails=$((fails + 1)); }
+
+# 12. batch with no files is a user-input error: exit 2
+"$cli" batch > /dev/null 2> "$tmpdir/err"
+expect "batch without files" 2 $?
+
+# 13. batch isolates a bad instance: exit 2, the good row still prints
+"$cli" batch "$tmpdir/a.graph" "$tmpdir/bad.graph" --grid 6 --refine 1 \
+  > "$tmpdir/out" 2> /dev/null
+expect "batch with one corrupt file" 2 $?
+grep -q "a.graph" "$tmpdir/out" || {
+  echo "FAIL: good instance row lost to the bad one" >&2
+  fails=$((fails + 1)); }
+grep -q "batch: 2 instances, 1 failed" "$tmpdir/out" || {
+  echo "FAIL: batch failure count wrong" >&2; fails=$((fails + 1)); }
+
+# 14. an unknown --solver is a spec error everywhere: exit 4, names the
+#     known backends
+"$cli" decompose --fig1 --solver nope > /dev/null 2> "$tmpdir/err"
+expect "unknown --solver" 4 $?
+grep -q "unknown solver" "$tmpdir/err" && grep -q "fast-chain" "$tmpdir/err" || {
+  echo "FAIL: unknown --solver error does not list the backends" >&2
+  cat "$tmpdir/err" >&2; fails=$((fails + 1)); }
+
+# 15. flag parity: every compute subcommand accepts the one shared set of
+#     execution flags (the Ctx term), so no subcommand drifts
+for sub in "decompose --fig1" "allocate --fig1" "sybil --ring 3,1,2,5" \
+           "trace --ring 3,1,2,5 --v 0" "audit --ring 3,1,2,5" \
+           "batch $tmpdir/a.graph"; do
+  "$cli" $sub --solver flow --grid 6 --refine 1 --domains 1 --cache \
+    > /dev/null 2> "$tmpdir/err"
+  expect "flag parity: $sub" 0 $?
+done
+
 # 10. an unknown --obs-only subsystem is a spec error: exit 4, one line
 "$cli" decompose --fig1 --obs-only bogus > /dev/null 2> "$tmpdir/err"
 expect "unknown --obs-only subsystem" 4 $?

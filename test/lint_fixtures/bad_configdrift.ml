@@ -1,0 +1,11 @@
+(* Fixture: fresh per-function execution knobs (rule C, config-drift).
+   Outside lib/engine these must be an Engine.Ctx.t, not loose optional
+   arguments. *)
+
+let search ?(grid = 32) xs = List.length xs + grid
+
+let solve ?solver () = ignore solver
+
+let spread ?(domains = 1) () = domains
+
+let zoom ?(refine = 3) () = refine

@@ -27,8 +27,8 @@ let test_fig1 () =
 
 let test_fig1_all_solvers () =
   let g = Generators.fig1 () in
-  let d_flow = Decompose.compute ~solver:Decompose.Flow g in
-  let d_brute = Decompose.compute ~solver:Decompose.Brute g in
+  let d_flow = Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.Flow ()) g in
+  let d_brute = Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.Brute ()) g in
   Alcotest.(check bool) "flow = brute" true (Decompose.equal d_flow d_brute)
 
 (* ------------------------------------------------------------------ *)
@@ -101,8 +101,8 @@ let test_all_zero_rejected () =
 (* ------------------------------------------------------------------ *)
 
 let agree solver_a solver_b g =
-  Decompose.equal (Decompose.compute ~solver:solver_a g)
-    (Decompose.compute ~solver:solver_b g)
+  Decompose.equal (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:solver_a ()) g)
+    (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:solver_b ()) g)
 
 let props =
   [

@@ -12,7 +12,7 @@ let test_no_events_on_flat_instance () =
      assert the scan is consistent instead: events are ordered and
      bracket-tight. *)
   let g = Generators.path_of_ints [| 4; 100 |] in
-  let events = Breakpoints.scan ~grid:16 g ~v:0 in
+  let events = Breakpoints.scan ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:0 in
   let w = Graph.weight g 0 in
   List.iter
     (fun (ev : Breakpoints.event) ->
@@ -34,7 +34,7 @@ let test_uniform_ring_has_event () =
   (* Uniform even ring: at x = w_v everything is one alpha = 1 pair, at
      small x the decomposition differs -> at least one event. *)
   let g = Generators.ring_of_ints [| 5; 5; 5; 5 |] in
-  let events = Breakpoints.scan ~grid:16 g ~v:0 in
+  let events = Breakpoints.scan ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:0 in
   Alcotest.(check bool) "at least one event" true (List.length events >= 1);
   (* events ordered by position *)
   let rec ordered = function
@@ -46,7 +46,7 @@ let test_uniform_ring_has_event () =
 
 let test_events_are_real_changes () =
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
-  let events = Breakpoints.scan ~grid:24 g ~v:0 in
+  let events = Breakpoints.scan ~ctx:(Engine.Ctx.make ~grid:24 ()) g ~v:0 in
   List.iter
     (fun (ev : Breakpoints.event) ->
       Alcotest.(check bool) "decompositions differ" false
@@ -64,7 +64,7 @@ let test_classify_merge_or_split () =
   (* On the uniform even ring the event at the top of the range merges
      pairs into the single alpha = 1 pair as x grows. *)
   let g = Generators.ring_of_ints [| 5; 5; 5; 5 |] in
-  let events = Breakpoints.scan ~grid:16 g ~v:0 in
+  let events = Breakpoints.scan ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:0 in
   Alcotest.(check bool) "classifiable" true
     (List.for_all
        (fun ev ->
@@ -76,14 +76,14 @@ let props =
   [
     Helpers.qtest ~count:20 "Proposition 12: class stable across events"
       (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
-        match Theorems.proposition12 ~grid:16 g ~v:0 with
+        match Theorems.proposition12 ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:0 with
         | Ok () -> true
         | Error _ -> false);
     Helpers.qtest ~count:15 "scan finds every grid-visible change"
       (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
         let v = 0 in
         let w = Graph.weight g v in
-        let events = Breakpoints.scan ~grid:12 g ~v in
+        let events = Breakpoints.scan ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v in
         (* between consecutive events the decomposition at the midpoints
            of event-free stretches equals the stretch endpoints' *)
         let boundaries =
@@ -124,7 +124,7 @@ let continuity_prop =
   Helpers.qtest ~count:12 "utility continuous across breakpoints"
     (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
       let v = 0 in
-      let events = Breakpoints.scan ~grid:12 g ~v in
+      let events = Breakpoints.scan ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v in
       let u x = (Misreport.at g ~v ~x).Misreport.utility in
       let range =
         Q.to_float (Sybil.honest_utility g ~v) +. 1.0
@@ -141,7 +141,7 @@ let split_scan_prop =
   Helpers.qtest ~count:10 "split-parameter scan events are real"
     (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
       let v = 0 in
-      let events = Breakpoints.scan_split ~grid:12 g ~v in
+      let events = Breakpoints.scan_split ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v in
       let w = Graph.weight g v in
       List.for_all
         (fun (ev : Breakpoints.event) ->

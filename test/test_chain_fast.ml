@@ -96,8 +96,8 @@ let props =
     Helpers.qtest ~count:150 "full decomposition agrees" (Helpers.ring_gen ())
       (fun g ->
         Decompose.equal
-          (Decompose.compute ~solver:Decompose.Chain g)
-          (Decompose.compute ~solver:Decompose.FastChain g));
+          (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.Chain ()) g)
+          (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.FastChain ()) g));
   ]
 
 let () =

@@ -24,10 +24,10 @@ let general_solvers =
 
 let check_all ~solvers g =
   let ref_name, ref_solver = List.hd solvers in
-  let d0 = Decompose.compute ~solver:ref_solver g in
+  let d0 = Decompose.compute ~ctx:(Engine.Ctx.make ~solver:ref_solver ()) g in
   List.iter
     (fun (name, solver) ->
-      let d = Decompose.compute ~solver g in
+      let d = Decompose.compute ~ctx:(Engine.Ctx.make ~solver ()) g in
       if not (Decompose.equal d0 d) then
         QCheck2.Test.fail_reportf
           "solver %s disagrees with %s on@.%a@.%s found:@.%a@.%s found:@.%a"

@@ -1,0 +1,368 @@
+(* The execution engine: context defaults, the bounded sharded cache,
+   the solver registry, batch execution, and the cache's headline
+   property — a warm-cache best_attack redoes (far) fewer than half the
+   cold run's decompositions yet returns the bit-identical attack. *)
+
+module Q = Rational
+module E = Ringshare_error
+
+let with_obs ?(metrics = false) f =
+  Obs.reset ();
+  Obs.set_metrics metrics;
+  Fun.protect f ~finally:(fun () -> Obs.set_metrics false)
+
+let count s sub name = Obs.counter_value s ~subsystem:sub name
+
+let gauge s sub name =
+  List.fold_left
+    (fun acc (e : Obs.entry) ->
+      if String.equal e.subsystem sub && String.equal e.name name then e.value
+      else acc)
+    0 (Obs.gauges s)
+
+(* ------------------------------------------------------------------ *)
+(* Ctx: the single source of defaults                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Pins the documented defaults (engine.mli, README): a drive-by edit
+   of one default must show up here, not silently shift every search. *)
+let test_ctx_defaults () =
+  let d = Engine.Ctx.default in
+  Alcotest.(check bool) "solver Auto" true (d.Engine.Ctx.solver = Engine.Auto);
+  Alcotest.(check int) "grid 32" 32 d.Engine.Ctx.grid;
+  Alcotest.(check int) "refine 3" 3 d.Engine.Ctx.refine;
+  Alcotest.(check int) "domains 1" 1 d.Engine.Ctx.domains;
+  Alcotest.(check bool) "no budget" true (d.Engine.Ctx.budget = None);
+  Alcotest.(check bool) "no cache" true (d.Engine.Ctx.cache = None);
+  Alcotest.(check bool) "obs on" true d.Engine.Ctx.obs;
+  Alcotest.(check int) "default_grid agrees" Engine.Ctx.default_grid
+    d.Engine.Ctx.grid;
+  Alcotest.(check int) "default_refine agrees" Engine.Ctx.default_refine
+    d.Engine.Ctx.refine;
+  Alcotest.(check bool) "get None = default" true
+    (Engine.Ctx.get None == Engine.Ctx.default);
+  let c = Engine.Ctx.make ~grid:7 () in
+  Alcotest.(check int) "make overrides grid" 7 c.Engine.Ctx.grid;
+  Alcotest.(check int) "make keeps refine default" 3 c.Engine.Ctx.refine
+
+let test_ctx_builders () =
+  let b = Budget.create ~steps:10 () in
+  let c =
+    Engine.Ctx.(
+      default |> with_grid 5 |> with_refine 1 |> with_domains 3
+      |> with_budget b)
+  in
+  Alcotest.(check int) "with_grid" 5 c.Engine.Ctx.grid;
+  Alcotest.(check int) "with_refine" 1 c.Engine.Ctx.refine;
+  Alcotest.(check int) "with_domains" 3 c.Engine.Ctx.domains;
+  Alcotest.(check bool) "with_budget" true (c.Engine.Ctx.budget = Some b);
+  let c' = Engine.Ctx.without_budget c in
+  Alcotest.(check bool) "without_budget" true (c'.Engine.Ctx.budget = None);
+  Alcotest.(check bool) "budget_or_unlimited unbounded on None" true
+    (not (Budget.is_limited (Engine.Ctx.budget_or_unlimited c')))
+
+(* ------------------------------------------------------------------ *)
+(* Cache: counters, bound, eviction                                    *)
+(* ------------------------------------------------------------------ *)
+
+type Engine.Cache.value += V of int
+
+let v_of = function Some (V n) -> Some n | _ -> None
+
+let test_cache_identities () =
+  with_obs ~metrics:true (fun () ->
+      let c = Engine.Cache.create ~shards:4 ~capacity:16 () in
+      Engine.Cache.store c "a" (V 1);
+      Engine.Cache.store c "b" (V 2);
+      Alcotest.(check (option int)) "find a" (Some 1)
+        (v_of (Engine.Cache.find c "a"));
+      Alcotest.(check (option int)) "find b" (Some 2)
+        (v_of (Engine.Cache.find c "b"));
+      Alcotest.(check (option int)) "miss" None
+        (v_of (Engine.Cache.find c "z"));
+      let s = Obs.snapshot () in
+      let lookups = count s "engine" "cache_lookups" in
+      let hits = count s "engine" "cache_hits" in
+      let misses = count s "engine" "cache_misses" in
+      Alcotest.(check int) "3 lookups" 3 lookups;
+      Alcotest.(check int) "hits + misses = lookups" lookups (hits + misses);
+      Alcotest.(check int) "2 hits" 2 hits;
+      Alcotest.(check int) "2 stores" 2 (count s "engine" "cache_stores");
+      Alcotest.(check int) "length" 2 (Engine.Cache.length c);
+      Engine.Cache.clear c;
+      Alcotest.(check int) "clear empties" 0 (Engine.Cache.length c))
+
+(* one shard = one global FIFO order, so eviction is fully predictable *)
+let test_cache_bounded_fifo () =
+  with_obs ~metrics:true (fun () ->
+      let c = Engine.Cache.create ~shards:1 ~capacity:3 () in
+      Alcotest.(check int) "capacity" 3 (Engine.Cache.capacity c);
+      List.iter
+        (fun (k, v) -> Engine.Cache.store c k (V v))
+        [ ("k1", 1); ("k2", 2); ("k3", 3) ];
+      Alcotest.(check int) "at capacity" 3 (Engine.Cache.length c);
+      (* replacing an existing key must not evict anyone *)
+      Engine.Cache.store c "k2" (V 22);
+      Alcotest.(check int) "replace keeps length" 3 (Engine.Cache.length c);
+      Alcotest.(check (option int)) "replace visible" (Some 22)
+        (v_of (Engine.Cache.find c "k2"));
+      (* a fourth key evicts the oldest insertion, k1, and only it *)
+      Engine.Cache.store c "k4" (V 4);
+      Alcotest.(check int) "still bounded" 3 (Engine.Cache.length c);
+      Alcotest.(check (option int)) "k1 evicted first-in-first-out" None
+        (v_of (Engine.Cache.find c "k1"));
+      Alcotest.(check (option int)) "k2 survives" (Some 22)
+        (v_of (Engine.Cache.find c "k2"));
+      Alcotest.(check (option int)) "k3 survives" (Some 3)
+        (v_of (Engine.Cache.find c "k3"));
+      Alcotest.(check (option int)) "k4 present" (Some 4)
+        (v_of (Engine.Cache.find c "k4"));
+      let s = Obs.snapshot () in
+      Alcotest.(check int) "exactly one eviction" 1
+        (count s "engine" "cache_evictions");
+      Alcotest.(check bool) "peak gauge saw the bound" true
+        (gauge s "engine" "cache_peak" >= 3))
+
+let test_cache_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Engine.Cache.create: capacity < 1") (fun () ->
+      ignore (Engine.Cache.create ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry () =
+  Solvers.init ();
+  let names = Engine.Registry.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true
+        (List.exists (String.equal n) names))
+    [ "brute"; "chain"; "fast-chain"; "flow" ];
+  Alcotest.(check bool) "find chain" true
+    (Engine.Registry.find "chain" <> None);
+  Alcotest.(check bool) "find unknown" true
+    (Engine.Registry.find "simplex" = None);
+  (* auto_select reproduces the historical Auto routing: the linear
+     chain DP on chain graphs (paths and rings alike), the generic flow
+     solver on anything of higher degree *)
+  let path = Generators.path_of_ints [| 3; 1; 2 |] in
+  let ring = Generators.ring_of_ints [| 3; 1; 2; 5 |] in
+  let star = Generators.star (Array.map Q.of_int [| 4; 1; 1; 1 |]) in
+  let name g =
+    let (module S : Engine.SOLVER) = Engine.Registry.auto_select g in
+    S.name
+  in
+  Alcotest.(check string) "path -> fast-chain" "fast-chain" (name path);
+  Alcotest.(check string) "ring -> fast-chain" "fast-chain" (name ring);
+  Alcotest.(check string) "star -> flow" "flow" (name star)
+
+let test_solver_names () =
+  Solvers.init ();
+  List.iter
+    (fun (s, n) ->
+      Alcotest.(check string) ("name of " ^ n) n (Engine.solver_name s);
+      Alcotest.(check bool) ("roundtrip " ^ n) true
+        (Engine.solver_of_name n = Some s))
+    [
+      (Engine.Chain, "chain"); (Engine.FastChain, "fast-chain");
+      (Engine.Flow, "flow"); (Engine.Brute, "brute"); (Engine.Auto, "auto");
+    ];
+  Alcotest.(check bool) "unregistered name rejected" true
+    (Engine.solver_of_name "simplex" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-search cache: fewer computes, identical results               *)
+(* ------------------------------------------------------------------ *)
+
+let e2_ring () = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |]
+
+let check_attack msg (a : Incentive.attack) (b : Incentive.attack) =
+  Alcotest.(check int) (msg ^ ": vertex") a.Incentive.v b.Incentive.v;
+  Helpers.check_q (msg ^ ": w1") a.Incentive.w1 b.Incentive.w1;
+  Helpers.check_q (msg ^ ": utility") a.Incentive.utility b.Incentive.utility;
+  Helpers.check_q (msg ^ ": honest") a.Incentive.honest b.Incentive.honest;
+  Helpers.check_q (msg ^ ": ratio") a.Incentive.ratio b.Incentive.ratio
+
+(* The acceptance property of the whole engine: re-running a search
+   against a warm cache recomputes at most half the decompositions of
+   the cold run (in practice almost none) and returns the bit-identical
+   attack.  A plain uncached run referees the values. *)
+let test_warm_cache_best_attack () =
+  let g = e2_ring () in
+  let plain =
+    Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g
+  in
+  with_obs ~metrics:true (fun () ->
+      let cache = Engine.Cache.create ~capacity:4096 () in
+      let ctx = Engine.Ctx.make ~grid:8 ~refine:1 ~cache () in
+      let s0 = Obs.snapshot () in
+      let cold = Incentive.best_attack ~ctx g in
+      let s1 = Obs.snapshot () in
+      let warm = Incentive.best_attack ~ctx g in
+      let s2 = Obs.snapshot () in
+      let computes a b = count (Obs.diff b a) "decomposition" "computes" in
+      let cold_n = computes s0 s1 and warm_n = computes s1 s2 in
+      Alcotest.(check bool) "cold run decomposes" true (cold_n > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "warm computes %d <= cold %d / 2" warm_n cold_n)
+        true (2 * warm_n <= cold_n);
+      Alcotest.(check bool) "cache stayed bounded" true
+        (Engine.Cache.length cache <= Engine.Cache.capacity cache);
+      check_attack "cold = plain" plain cold;
+      check_attack "warm = cold" cold warm)
+
+(* The deprecated pin wrapper must keep answering like the ctx path. *)
+let[@alert "-deprecated"] test_compute_with_pin () =
+  let g = e2_ring () in
+  Alcotest.(check bool) "compute_with = compute ~ctx" true
+    (Decompose.equal
+       (Decompose.compute_with ~solver:Decompose.Flow g)
+       (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.Flow ()) g))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep inside best_attack_within (+ kill/resume)            *)
+(* ------------------------------------------------------------------ *)
+
+(* ctx.domains parallelises each vertex's sweep inside best_split; the
+   result — and therefore the checkpoint stream — must be bit-identical
+   to the sequential scan. *)
+let test_within_parallel_identical () =
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let seq =
+    Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g
+  in
+  let par =
+    Incentive.best_attack_within
+      ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~domains:4 ()) g
+  in
+  Alcotest.(check int) "same completed" seq.Incentive.completed
+    par.Incentive.completed;
+  match (seq.Incentive.best, par.Incentive.best) with
+  | Some a, Some b -> check_attack "parallel sweep = sequential" a b
+  | _ -> Alcotest.fail "scan found no attack"
+
+let test_within_parallel_kill_resume () =
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let path = Filename.temp_file "engine_within" ".ckpt" in
+  Sys.remove path;
+  let ctx = Engine.Ctx.make ~grid:8 ~refine:1 ~domains:4 () in
+  (* phase 1: a budget trip mid-scan plays the part of a kill between
+     vertices; the snapshot on disk is the survivor *)
+  let p1 =
+    Incentive.best_attack_within ~ctx ~budget:(Budget.create ~steps:400 ())
+      ~checkpoint:path g
+  in
+  Alcotest.(check bool) "interrupted mid-scan" true
+    (p1.Incentive.completed < p1.Incentive.total);
+  Alcotest.(check bool) "snapshot exists" true (Sys.file_exists path);
+  (* phase 2: resume with fresh domains; the combined result must equal
+     the uninterrupted (sequential-equivalent) search exactly *)
+  let p2 = Incentive.best_attack_within ~ctx ~checkpoint:path ~resume:true g in
+  Alcotest.(check bool) "complete" true (p2.Incentive.status = Ok ());
+  Alcotest.(check int) "all vertices" p2.Incentive.total
+    p2.Incentive.completed;
+  let a =
+    Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g
+  in
+  (match p2.Incentive.best with
+  | Some b -> check_attack "kill/resume with parallel sweep" a b
+  | None -> Alcotest.fail "no best after resume");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* run_batch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let batch_rings () =
+  [|
+    Generators.ring_of_ints [| 3; 1; 2; 5 |];
+    Generators.ring_of_ints [| 7; 2; 9; 4; 3 |];
+    Generators.ring_of_ints [| 3; 1; 2; 5 |] (* duplicate: cache fodder *);
+  |]
+
+let test_run_batch () =
+  let items = batch_rings () in
+  let ctx =
+    Engine.Ctx.make ~domains:2 ~cache:(Engine.Cache.create ~capacity:64 ()) ()
+  in
+  let batched =
+    Engine.run_batch ~ctx ~f:(fun ctx g -> Decompose.compute ~ctx g) items
+  in
+  let direct = Array.map (fun g -> Decompose.compute g) items in
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "item %d matches direct" i)
+        true
+        (Decompose.equal d direct.(i)))
+    batched
+
+let test_run_batch_r_isolates_faults () =
+  let good = Generators.ring_of_ints [| 3; 1; 2; 5 |] in
+  let items = [| `Good; `Bad |] in
+  let rs =
+    Engine.run_batch_r
+      ~f:(fun ctx item ->
+        match item with
+        | `Good -> Decompose.compute ~ctx good
+        | `Bad -> E.error (E.Invalid_input "intentional batch fault"))
+      items
+  in
+  (match rs.(0) with
+  | Ok d ->
+      Alcotest.(check bool) "good item computed" true
+        (Decompose.equal d (Decompose.compute good))
+  | Error e -> Alcotest.fail ("good item failed: " ^ E.to_string e));
+  match rs.(1) with
+  | Error (E.Invalid_input _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ E.to_string e)
+  | Ok _ -> Alcotest.fail "bad item did not fail"
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "ctx",
+        [
+          Alcotest.test_case "defaults pinned (grid 32, refine 3)" `Quick
+            test_ctx_defaults;
+          Alcotest.test_case "builders" `Quick test_ctx_builders;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hits + misses = lookups" `Quick
+            test_cache_identities;
+          Alcotest.test_case "bounded, deterministic FIFO eviction" `Quick
+            test_cache_bounded_fifo;
+          Alcotest.test_case "capacity >= 1 enforced" `Quick
+            test_cache_rejects_bad_capacity;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "built-ins + auto_select routing" `Quick
+            test_registry;
+          Alcotest.test_case "solver name round-trips" `Quick
+            test_solver_names;
+        ] );
+      ( "cross-search cache",
+        [
+          Alcotest.test_case "warm best_attack: >=2x fewer computes" `Quick
+            test_warm_cache_best_attack;
+          Alcotest.test_case "deprecated compute_with pin" `Quick
+            test_compute_with_pin;
+        ] );
+      ( "parallel sweep",
+        [
+          Alcotest.test_case "within: domains > 1 bit-identical" `Quick
+            test_within_parallel_identical;
+          Alcotest.test_case "within: kill/resume under domains > 1" `Quick
+            test_within_parallel_kill_resume;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "run_batch = direct map" `Quick test_run_batch;
+          Alcotest.test_case "run_batch_r isolates faults" `Quick
+            test_run_batch_r_isolates_faults;
+        ] );
+    ]

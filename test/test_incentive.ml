@@ -10,7 +10,7 @@ let test_best_split_includes_honest () =
      the candidate set and achieves exactly U_v by Lemma 9). *)
   let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
   for v = 0 to 4 do
-    let a = Incentive.best_split ~grid:8 ~refine:1 g ~v in
+    let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v in
     Alcotest.(check bool)
       (Printf.sprintf "ratio >= 1 at v=%d" v)
       true
@@ -22,7 +22,7 @@ let test_uniform_ring_truthful () =
   List.iter
     (fun n ->
       let g = Generators.ring_of_ints (Array.make n 1) in
-      let a = Incentive.best_attack ~grid:16 ~refine:2 g in
+      let a = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:16 ~refine:2 ()) g in
       check_q (Printf.sprintf "n=%d" n) Q.one a.ratio)
     [ 3; 4; 5; 6 ]
 
@@ -30,7 +30,7 @@ let test_known_profitable_instance () =
   (* Found by this repository's own search: the ratio is large and the
      attacker is vertex 0. *)
   let g = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |] in
-  let a = Incentive.best_split ~grid:16 ~refine:2 g ~v:0 in
+  let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:16 ~refine:2 ()) g ~v:0 in
   Alcotest.(check bool) "ratio > 1.9" true
     (Q.compare a.ratio (Q.of_ints 19 10) > 0);
   Alcotest.(check bool) "ratio <= 2" true (Q.compare a.ratio Q.two <= 0)
@@ -39,7 +39,7 @@ let test_theorem8_families () =
   List.iter
     (fun weights ->
       let g = Generators.ring_of_ints weights in
-      match Theorems.theorem8 ~grid:12 ~refine:2 g with
+      match Theorems.theorem8 ~ctx:(Engine.Ctx.make ~grid:12 ~refine:2 ()) g with
       | Ok _ -> ()
       | Error m -> Alcotest.fail m)
     [
@@ -58,7 +58,7 @@ let test_budget_charges_distinct_points_once () =
   let g = Generators.ring_of_ints [| 3; 1; 4; 1; 5 |] in
   let cost = 1 + Graph.n g in
   let budget = Budget.create ~steps:max_int () in
-  ignore (Incentive.best_split ~grid:8 ~refine:2 ~budget g ~v:0);
+  ignore (Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:2 ()) ~budget g ~v:0);
   let steps = Budget.used_steps budget in
   Alcotest.(check int) "budget charged in whole evaluations" 0 (steps mod cost);
   let evals = steps / cost in
@@ -71,8 +71,8 @@ let test_parallel_inner_sweep_deterministic () =
   (* ~domains parallelises the grid-point evaluations inside one search;
      the reported attack must be bit-identical to the sequential one. *)
   let g = Generators.ring_of_ints [| 200; 40; 10000; 10; 1 |] in
-  let a1 = Incentive.best_split ~grid:16 ~refine:2 g ~v:0 in
-  let a2 = Incentive.best_split ~grid:16 ~refine:2 ~domains:4 g ~v:0 in
+  let a1 = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:16 ~refine:2 ()) g ~v:0 in
+  let a2 = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:16 ~refine:2 ~domains:4 ()) g ~v:0 in
   check_q "same w1" a1.Incentive.w1 a2.Incentive.w1;
   check_q "same utility" a1.Incentive.utility a2.Incentive.utility;
   check_q "same honest" a1.Incentive.honest a2.Incentive.honest;
@@ -82,8 +82,8 @@ let test_shared_honest_matches_per_vertex () =
   (* best_attack shares one decomposition for the honest utilities; the
      result must match what per-vertex recomputation reports. *)
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 6 |] in
-  let a = Incentive.best_attack ~grid:8 ~refine:1 g in
-  let b = Incentive.best_split ~grid:8 ~refine:1 g ~v:a.Incentive.v in
+  let a = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g in
+  let b = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v:a.Incentive.v in
   check_q "same honest" a.Incentive.honest b.Incentive.honest;
   check_q "same ratio" a.Incentive.ratio b.Incentive.ratio
 
@@ -125,7 +125,7 @@ let test_family_approaches_two () =
 
 let test_family_measured_close_to_sup () =
   let k = 4 in
-  let measured = Lower_bound.measured_ratio ~grid:32 ~refine:3 ~k () in
+  let measured = Lower_bound.measured_ratio ~ctx:(Engine.Ctx.make ~grid:32 ~refine:3 ()) ~k () in
   let sup = Lower_bound.supremum_ratio ~k in
   Alcotest.(check bool) "measured <= sup" true (Q.compare measured sup <= 0);
   (* the grid search must get within 2% of the supremum *)
@@ -145,12 +145,12 @@ let props =
   [
     Helpers.qtest ~count:25 "Theorem 8: ratio <= 2 on random rings"
       (Helpers.ring_gen ~nmax:7 ~wmax:40 ()) (fun g ->
-        match Theorems.theorem8 ~grid:10 ~refine:1 g with
+        match Theorems.theorem8 ~ctx:(Engine.Ctx.make ~grid:10 ~refine:1 ()) g with
         | Ok a -> Q.compare a.Incentive.ratio Q.two <= 0
         | Error _ -> false);
     Helpers.qtest ~count:25 "search reports a real achievable utility"
       (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
-        let a = Incentive.best_split ~grid:8 ~refine:1 g ~v:0 in
+        let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v:0 in
         Q.equal a.Incentive.utility
           (Sybil.split_utility g ~v:0 ~w1:a.Incentive.w1));
   ]

@@ -39,6 +39,15 @@ let test_bad_polycompare () =
 let test_bad_exnswallow () =
   check_findings "bad_exnswallow.ml" [ ("exnswallow", 5); ("exnswallow", 7) ]
 
+let test_bad_configdrift () =
+  check_findings "bad_configdrift.ml"
+    [
+      ("config-drift", 5);
+      ("config-drift", 7);
+      ("config-drift", 9);
+      ("config-drift", 11);
+    ]
+
 let test_bad_determinism () =
   check_findings "bad_determinism.ml"
     [ ("determinism", 4); ("determinism", 6); ("determinism", 10);
@@ -119,9 +128,13 @@ let test_bad_rule_name_is_spec_error () =
 
 let test_scope_map () =
   let active rel = List.map F.rule_name (Lint_scope.rules_for rel) in
-  Alcotest.(check (list string)) "exact core gets all four"
-    [ "float"; "polycompare"; "exnswallow"; "determinism" ]
+  Alcotest.(check (list string)) "exact core gets all five"
+    [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift" ]
     (active "bigint/bigint.ml");
+  Alcotest.(check bool) "engine owns the knobs: config-drift off there" false
+    (List.exists (String.equal "config-drift") (active "engine/engine.ml"));
+  Alcotest.(check bool) "config-drift active in core" true
+    (List.exists (String.equal "config-drift") (active "core/incentive.ml"));
   Alcotest.(check bool) "trace.ml is float-exempt" false
     (List.exists (String.equal "float") (active "core/trace.ml"));
   Alcotest.(check bool) "workload is float-exempt" false
@@ -130,7 +143,7 @@ let test_scope_map () =
     (List.exists (String.equal "float") (active "dynamics/prd_exact.ml"));
   Alcotest.(check (list string))
     "obs is exact-core: float ban and determinism active"
-    [ "float"; "polycompare"; "exnswallow"; "determinism" ]
+    [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift" ]
     (active "obs/obs.ml");
   Alcotest.(check (list string)) "lint sources are skipped" []
     (active "lint/lint_check.ml")
@@ -144,6 +157,7 @@ let () =
           Alcotest.test_case "bad_polycompare" `Quick test_bad_polycompare;
           Alcotest.test_case "bad_exnswallow" `Quick test_bad_exnswallow;
           Alcotest.test_case "bad_determinism" `Quick test_bad_determinism;
+          Alcotest.test_case "bad_configdrift" `Quick test_bad_configdrift;
           Alcotest.test_case "clean" `Quick test_clean;
           Alcotest.test_case "exit_codes" `Quick test_exit_codes;
         ] );

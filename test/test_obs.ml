@@ -28,8 +28,8 @@ let count s sub name = Obs.counter_value s ~subsystem:sub name
 let test_disabled_zero () =
   with_obs ~metrics:false (fun () ->
       let g = e1_ring () in
-      ignore (Decompose.compute ~solver:Decompose.Flow g);
-      ignore (Incentive.best_split ~grid:6 ~refine:1 g ~v:0);
+      ignore (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.Flow ()) g);
+      ignore (Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:6 ~refine:1 ()) g ~v:0);
       let s = Obs.snapshot () in
       List.iter
         (fun (e : Obs.entry) ->
@@ -45,7 +45,7 @@ let test_disabled_zero () =
 let test_memo_identity () =
   with_obs ~metrics:true (fun () ->
       let g = e1_ring () in
-      ignore (Incentive.best_split ~grid:8 ~refine:2 g ~v:0);
+      ignore (Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:2 ()) g ~v:0);
       let s = Obs.snapshot () in
       let lookups = count s "incentive" "memo_lookups" in
       let hits = count s "incentive" "memo_hits" in
@@ -90,7 +90,7 @@ let test_maxflow_bound () =
 
 let test_attack_bit_identical () =
   let g = e1_ring () in
-  let run () = Incentive.best_attack ~grid:6 ~refine:1 g in
+  let run () = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:6 ~refine:1 ()) g in
   let a1 = with_obs ~metrics:false run in
   let a2 = with_obs ~metrics:true ~spans:true run in
   Alcotest.(check int) "same vertex" a1.Incentive.v a2.Incentive.v;
@@ -101,7 +101,7 @@ let test_attack_bit_identical () =
 
 let test_trace_identical () =
   let g = e1_ring () in
-  let run () = Trace.to_csv (Trace.compute ~grid:8 g ~v:0) in
+  let run () = Trace.to_csv (Trace.compute ~ctx:(Engine.Ctx.make ~grid:8 ()) g ~v:0) in
   let t_off = with_obs ~metrics:false run in
   let t_on = with_obs ~metrics:true ~spans:true run in
   Alcotest.(check string) "identical interval structure" t_off t_on
@@ -110,7 +110,7 @@ let test_trace_identical () =
 
 let test_span_nesting () =
   with_obs ~metrics:true ~spans:true (fun () ->
-      ignore (Incentive.best_attack ~grid:6 ~refine:1 (e1_ring ()));
+      ignore (Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:6 ~refine:1 ()) (e1_ring ()));
       let rs = Obs.Span.records () in
       let has p =
         List.exists

@@ -103,8 +103,8 @@ let test_map_list () =
 let test_parallel_best_attack_matches () =
   (* exact-arithmetic search must be scheduling-independent *)
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
-  let a1 = Incentive.best_attack ~grid:8 ~refine:1 ~domains:1 g in
-  let a4 = Incentive.best_attack ~grid:8 ~refine:1 ~domains:4 g in
+  let a1 = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~domains:1 ()) g in
+  let a4 = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~domains:4 ()) g in
   Alcotest.(check int) "same vertex" a1.Incentive.v a4.Incentive.v;
   Helpers.check_q "same ratio" a1.Incentive.ratio a4.Incentive.ratio;
   Helpers.check_q "same split" a1.Incentive.w1 a4.Incentive.w1

@@ -120,7 +120,7 @@ let test_all_solvers_respect_budget () =
     (fun solver ->
       match
         E.capture (fun () ->
-            Decompose.compute ~solver ~budget:(Budget.create ~steps:3 ()) g)
+            Decompose.compute ~ctx:(Engine.Ctx.make ~solver ()) ~budget:(Budget.create ~steps:3 ()) g)
       with
       | Error (E.Budget_exhausted _) -> ()
       | Ok _ -> Alcotest.fail "3-step budget cannot finish"
@@ -256,8 +256,8 @@ let attack_ring () = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |]
 
 let test_best_attack_within_complete () =
   let g = attack_ring () in
-  let p = Incentive.best_attack_within ~grid:8 ~refine:1 g in
-  let a = Incentive.best_attack ~grid:8 ~refine:1 g in
+  let p = Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g in
+  let a = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g in
   Alcotest.(check bool) "status ok" true (p.Incentive.status = Ok ());
   Alcotest.(check int) "all vertices" p.Incentive.total p.Incentive.completed;
   match p.Incentive.best with
@@ -269,7 +269,7 @@ let test_best_attack_within_complete () =
 let test_best_attack_within_budget_partial () =
   let g = attack_ring () in
   let p =
-    Incentive.best_attack_within ~grid:8 ~refine:1
+    Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ())
       ~budget:(Budget.create ~steps:400 ()) g
   in
   (match p.Incentive.status with
@@ -284,7 +284,7 @@ let test_best_attack_within_resume () =
   Sys.remove path;
   (* phase 1: trip a budget partway through the scan *)
   let p1 =
-    Incentive.best_attack_within ~grid:8 ~refine:1 ~checkpoint:path
+    Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) ~checkpoint:path
       ~budget:(Budget.create ~steps:400 ()) g
   in
   Alcotest.(check bool) "interrupted" true (p1.Incentive.completed < p1.Incentive.total);
@@ -292,12 +292,12 @@ let test_best_attack_within_resume () =
   (* phase 2: resume with no budget; the combined scan must equal the
      uninterrupted one exactly *)
   let p2 =
-    Incentive.best_attack_within ~grid:8 ~refine:1 ~checkpoint:path
+    Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) ~checkpoint:path
       ~resume:true g
   in
   Alcotest.(check bool) "complete" true (p2.Incentive.status = Ok ());
   Alcotest.(check int) "all vertices" p2.Incentive.total p2.Incentive.completed;
-  let a = Incentive.best_attack ~grid:8 ~refine:1 g in
+  let a = Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g in
   (match p2.Incentive.best with
   | Some b ->
       Alcotest.(check int) "same vertex" a.Incentive.v b.Incentive.v;
@@ -310,12 +310,12 @@ let test_best_attack_within_rejects_wrong_graph () =
   let path = tmp ".ckpt" in
   Sys.remove path;
   let _ =
-    Incentive.best_attack_within ~grid:8 ~refine:1 ~checkpoint:path
+    Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) ~checkpoint:path
       (attack_ring ())
   in
   (match
      E.capture (fun () ->
-         Incentive.best_attack_within ~grid:8 ~refine:1 ~checkpoint:path
+         Incentive.best_attack_within ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) ~checkpoint:path
            ~resume:true
            (Generators.ring_of_ints [| 1; 2; 3; 4 |]))
    with

@@ -36,7 +36,7 @@ let test_analyse_tightness_family () =
   (* On the tightness family the attacker is B class and the attack is
      profitable; all stage lemma checks must hold. *)
   let g = Lower_bound.family ~k:2 in
-  let a = Incentive.best_split ~grid:16 ~refine:2 g ~v:0 in
+  let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:16 ~refine:2 ()) g ~v:0 in
   Alcotest.(check bool) "profitable" true (Q.compare a.ratio Q.one > 0);
   let r = Stages.analyse g ~v:0 ~w1_star:a.w1 in
   List.iter
@@ -54,7 +54,7 @@ let test_analyse_honest_split_is_neutral () =
 
 let test_report_fields_consistent () =
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
-  let a = Incentive.best_split ~grid:8 ~refine:1 g ~v:1 in
+  let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v:1 in
   let r = Stages.analyse g ~v:1 ~w1_star:a.w1 in
   let g0, gs = r.Stages.w1_grow and s0, ss = r.Stages.w2_shrink in
   Alcotest.(check bool) "grow grows" true (Q.compare gs g0 >= 0);
@@ -104,12 +104,12 @@ let props =
         !ok);
     Helpers.qtest ~count:12 "stage lemmas on best attacks"
       (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
-        match Theorems.stage_lemmas ~grid:8 ~refine:1 g ~v:0 with
+        match Theorems.stage_lemmas ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v:0 with
         | Ok _ -> true
         | Error _ -> false);
     Helpers.qtest ~count:15 "delta telescoping"
       (Helpers.ring_gen ~nmax:6 ~wmax:20 ()) (fun g ->
-        let a = Incentive.best_split ~grid:6 ~refine:1 g ~v:0 in
+        let a = Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:6 ~refine:1 ()) g ~v:0 in
         let r = Stages.analyse g ~v:0 ~w1_star:a.Incentive.w1 in
         let sum =
           Q.add
@@ -121,7 +121,7 @@ let props =
       (Helpers.ring_gen ~nmax:6 ~wmax:10 ()) (fun g ->
         let w10, w20 = Sybil.initial_split g ~v:0 in
         let z_max = Q.div_int w20 2 in
-        let r = Adjusting.find_critical ~grid:8 g ~v:0 ~w1:w10 ~z_max in
+        let r = Adjusting.find_critical ~ctx:(Engine.Ctx.make ~grid:8 ()) g ~v:0 ~w1:w10 ~z_max in
         (* meaningful only when both identities share a pair at z = 0 *)
         (not r.Adjusting.same_pair) || r.Adjusting.utility_constant);
   ]

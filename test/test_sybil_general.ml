@@ -109,7 +109,7 @@ let props =
         (* the general search includes the ring split as a special case
            (coarser grid, so compare against the same grid) *)
         let _, _, r_general = Sybil_general.best_attack ~grid:8 g ~v:0 in
-        let r_ring = (Incentive.best_split ~grid:8 ~refine:0 g ~v:0).ratio in
+        let r_ring = (Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:8 ~refine:0 ()) g ~v:0).ratio in
         Q.compare r_general (Q.mul r_ring (Q.of_ints 999 1000)) >= 0);
   ]
 

@@ -17,7 +17,7 @@ let test_utility_function_matches_mechanism () =
     (Q.div (Poly.eval num w1) (Poly.eval den w1))
 
 let certify g v =
-  match Symbolic.verify_theorem8 ~grid:24 g ~v with
+  match Symbolic.verify_theorem8 ~ctx:(Engine.Ctx.make ~grid:24 ()) g ~v with
   | Ok r -> r
   | Error m -> Alcotest.fail m
 
@@ -42,7 +42,7 @@ let test_best_found_beats_grid_search () =
      least as much utility as a coarse grid search. *)
   let g = Lower_bound.family ~k:3 in
   let r = certify g 0 in
-  let grid_best = (Incentive.best_split ~grid:16 ~refine:1 g ~v:0).utility in
+  let grid_best = (Incentive.best_split ~ctx:(Engine.Ctx.make ~grid:16 ~refine:1 ()) g ~v:0).utility in
   Alcotest.(check bool) "symbolic >= grid" true
     (Q.compare r.Symbolic.best_found (Q.mul grid_best (Q.of_ints 999 1000)) >= 0)
 
@@ -64,7 +64,7 @@ let props =
   [
     Helpers.qtest ~count:10 "certifies random rings"
       (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
-        match Symbolic.verify_theorem8 ~grid:16 g ~v:0 with
+        match Symbolic.verify_theorem8 ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:0 with
         | Ok r -> r.Symbolic.certified
         | Error _ -> false);
   ]

@@ -47,7 +47,7 @@ let test_thm10_and_prop11 () =
 let test_prop12 () =
   List.iter
     (fun g ->
-      match Theorems.proposition12 ~grid:12 g ~v:0 with
+      match Theorems.proposition12 ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v:0 with
       | Ok () -> ()
       | Error m -> Alcotest.fail m)
     [ Generators.ring_of_ints [| 5; 5; 5; 5 |]; Lower_bound.family ~k:1 ]
@@ -71,7 +71,7 @@ let test_lemma14_20 () =
 let test_theorem8_tight_family () =
   (* The family attack gets close to 2 but the checker still approves. *)
   let g = Lower_bound.family ~k:5 in
-  match Theorems.theorem8 ~grid:24 ~refine:3 g with
+  match Theorems.theorem8 ~ctx:(Engine.Ctx.make ~grid:24 ~refine:3 ()) g with
   | Ok a ->
       Alcotest.(check bool) "ratio in (1.9, 2]" true
         (Q.compare a.Incentive.ratio (Q.of_ints 19 10) > 0
@@ -81,7 +81,7 @@ let test_theorem8_tight_family () =
 let test_lemma13 () =
   List.iter
     (fun (name, g, v) ->
-      match Theorems.lemma13 ~grid:16 g ~v with
+      match Theorems.lemma13 ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s: %s" name m)
     [
@@ -105,7 +105,7 @@ let test_lemmas15_21 () =
 let test_corollaries () =
   List.iter
     (fun (name, g, v) ->
-      match Theorems.corollaries17_23 ~grid:12 ~refine:1 g ~v with
+      match Theorems.corollaries17_23 ~ctx:(Engine.Ctx.make ~grid:12 ~refine:1 ()) g ~v with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s: %s" name m)
     [
@@ -115,7 +115,7 @@ let test_corollaries () =
     ]
 
 let test_stage_lemmas_family () =
-  match Theorems.stage_lemmas ~grid:16 ~refine:2 (Lower_bound.family ~k:2) ~v:0 with
+  match Theorems.stage_lemmas ~ctx:(Engine.Ctx.make ~grid:16 ~refine:2 ()) (Lower_bound.family ~k:2) ~v:0 with
   | Ok r -> Alcotest.(check bool) "all pass" true (Stages.all_checks_pass r)
   | Error m -> Alcotest.fail m
 
@@ -123,7 +123,7 @@ let props =
   [
     Helpers.qtest ~count:8 "Lemma 13 on random rings"
       (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
-        match Theorems.lemma13 ~grid:10 g ~v:0 with
+        match Theorems.lemma13 ~ctx:(Engine.Ctx.make ~grid:10 ()) g ~v:0 with
         | Ok () -> true
         | Error _ -> false);
     Helpers.qtest ~count:15 "Lemmas 15/21 on random rings"
@@ -137,7 +137,7 @@ let props =
         !ok);
     Helpers.qtest ~count:8 "Corollaries 17/23 on random rings"
       (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
-        match Theorems.corollaries17_23 ~grid:8 ~refine:1 g ~v:0 with
+        match Theorems.corollaries17_23 ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ()) g ~v:0 with
         | Ok () -> true
         | Error _ -> false);
   ]

@@ -5,7 +5,7 @@ module Q = Rational
 let test_known_instance () =
   (* ring [7;2;9;4;3], agent 0: C then B with a split and a merge. *)
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
-  let t = Trace.compute ~grid:24 g ~v:0 in
+  let t = Trace.compute ~ctx:(Engine.Ctx.make ~grid:24 ()) g ~v:0 in
   Alcotest.(check int) "intervals" 4 (List.length t.Trace.intervals);
   Alcotest.(check int) "transitions" 3 (List.length t.Trace.transitions);
   (match Trace.check_prop12 t with
@@ -26,7 +26,7 @@ let test_known_instance () =
 
 let test_intervals_cover_range () =
   let g = Generators.ring_of_ints [| 5; 3; 8; 2 |] in
-  let t = Trace.compute ~grid:16 g ~v:1 in
+  let t = Trace.compute ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:1 in
   let first = List.hd t.Trace.intervals in
   let last = List.nth t.Trace.intervals (List.length t.Trace.intervals - 1) in
   Helpers.check_q "starts at 0" Q.zero first.Trace.lo;
@@ -34,7 +34,7 @@ let test_intervals_cover_range () =
 
 let test_csv_shape () =
   let g = Generators.ring_of_ints [| 5; 3; 8; 2 |] in
-  let t = Trace.compute ~grid:16 g ~v:0 in
+  let t = Trace.compute ~ctx:(Engine.Ctx.make ~grid:16 ()) g ~v:0 in
   let csv = Trace.to_csv t in
   let lines = String.split_on_char '\n' (String.trim csv) in
   Alcotest.(check int) "header + rows"
@@ -43,7 +43,7 @@ let test_csv_shape () =
 
 let test_structure_constant_inside_interval () =
   let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
-  let t = Trace.compute ~grid:24 g ~v:0 in
+  let t = Trace.compute ~ctx:(Engine.Ctx.make ~grid:24 ()) g ~v:0 in
   List.iter
     (fun (iv : Trace.interval) ->
       if Q.compare iv.lo iv.hi < 0 then begin
@@ -64,12 +64,12 @@ let props =
   [
     Helpers.qtest ~count:15 "prop 11/12 hold on traces"
       (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
-        match Trace.check_prop12 (Trace.compute ~grid:12 g ~v:0) with
+        match Trace.check_prop12 (Trace.compute ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v:0) with
         | Ok () -> true
         | Error _ -> false);
     Helpers.qtest ~count:15 "intervals tile [0, w]"
       (Helpers.ring_gen ~nmax:6 ~wmax:15 ()) (fun g ->
-        let t = Trace.compute ~grid:12 g ~v:0 in
+        let t = Trace.compute ~ctx:(Engine.Ctx.make ~grid:12 ()) g ~v:0 in
         let w = Graph.weight g 0 in
         let gap_tol = Q.div_int w (1 lsl 16) in
         let rec tiled = function
