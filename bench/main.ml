@@ -140,6 +140,25 @@ let case_rational_sum n =
     Printf.sprintf "rational/sum-fractions/n=%d" n,
     fun () -> ignore (Array.fold_left Rational.add Rational.zero qs) )
 
+let case_failpoint_inactive () =
+  (* the robustness tax: 1k hits on an instrumented site with no spec
+     installed should be indistinguishable from 1k branches *)
+  let site = Failpoint.register "bench.hot-loop" in
+  ( "runtime",
+    "runtime/failpoint-inactive-1k-hits",
+    fun () ->
+      for _ = 1 to 1000 do
+        Failpoint.hit site
+      done )
+
+let case_retry_passthrough n =
+  (* Retry.with_retry around a first-try success: the envelope cost is
+     one counter bump, nothing else *)
+  let g = ring n in
+  ( "runtime",
+    Printf.sprintf "runtime/retry-wrapped-decompose/n=%d" n,
+    fun () -> ignore (Retry.with_retry (fun () -> Decompose.compute g)) )
+
 let cases () =
   [
     case_decompose Decompose.Chain "chain" 8;
@@ -167,6 +186,8 @@ let cases () =
     case_bigint_mul 2000;
     case_bigint_small_arith ();
     case_rational_sum 256;
+    case_failpoint_inactive ();
+    case_retry_passthrough 32;
   ]
 
 let benchmarks cases =
@@ -194,7 +215,8 @@ let json_file = "BENCH_ringshare.json"
 let metrics_file = "METRICS_ringshare.json"
 
 let write_metrics () =
-  Obs.write_json ~spans:true ~path:metrics_file (Obs.snapshot ());
+  Artifact.write ~path:metrics_file
+    (Obs.to_json ~spans:true (Obs.snapshot ()));
   Format.printf "wrote %s@." metrics_file
 
 let json_escape s =

@@ -135,6 +135,11 @@ let step_budget_arg =
        & info [ "step-budget" ] ~docv:"STEPS"
          ~doc:"Stop with partial results after this many solver steps.")
 
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECONDS"
+         ~doc:"Per-request wall-clock deadline, enforced at budget-tick                granularity.  Unlike --time-budget the clock starts when                each request starts, so $(b,batch) gives every item its own                allowance.  Ignored when --time-budget/--step-budget is set.")
+
 let budget_of ~time_budget ~step_budget =
   match (time_budget, step_budget) with
   | None, None -> Budget.unlimited
@@ -153,7 +158,7 @@ let solver_of_flag s =
 (* [grid_default]/[refine_default] let a subcommand keep a historical
    resolution (hunt: 12/2) while still honouring explicit flags *)
 let ctx_term_with ?grid_default ?refine_default () =
-  let make solver grid refine domains cache time_budget step_budget =
+  let make solver grid refine domains cache time_budget step_budget deadline =
     let solver = solver_of_flag solver in
     let grid =
       match grid with
@@ -168,12 +173,14 @@ let ctx_term_with ?grid_default ?refine_default () =
     let cache =
       if cache <= 0 then None else Some (Engine.Cache.create ~capacity:cache ())
     in
-    let ctx = Engine.Ctx.make ~solver ~grid ~refine ~domains ?cache () in
+    let ctx =
+      Engine.Ctx.make ~solver ~grid ~refine ?deadline ~domains ?cache ()
+    in
     let budget = budget_of ~time_budget ~step_budget in
     if Budget.is_limited budget then Engine.Ctx.with_budget budget ctx else ctx
   in
   Term.(const make $ solver_arg $ grid_arg $ refine_arg $ domains_arg
-        $ cache_arg $ time_budget_arg $ step_budget_arg)
+        $ cache_arg $ time_budget_arg $ step_budget_arg $ deadline_arg)
 
 let ctx_term = ctx_term_with ()
 
@@ -237,6 +244,9 @@ let dynamics g ctx iters () =
   Format.printf "max utility error after %d rounds: %.3e@." iters !err
 
 let sybil g ctx v_opt checkpoint resume () =
+  (* arm here (not just inside best_attack) so a --deadline also routes
+     through the fault-tolerant partial-results path below *)
+  let ctx = Engine.Ctx.arm ctx in
   let budget = Engine.Ctx.budget_or_unlimited ctx in
   let report (a : Incentive.attack) =
     Format.printf
@@ -400,6 +410,7 @@ let verify g ctx v () =
    Experiments.hunt so the harness and the CLI share the checkpointed,
    budget-aware implementation. *)
 let hunt seed trials ctx checkpoint resume () =
+  let ctx = Engine.Ctx.arm ctx in
   let budget = Engine.Ctx.budget_or_unlimited ctx in
   let r =
     Experiments.hunt ~ctx ?checkpoint ~resume ~budget ~seed ~trials
@@ -479,7 +490,20 @@ let obs_only_arg =
          ~doc:"Restrict the metrics artifact to these subsystems.  An \
                unknown subsystem is a spec error (exit 4).")
 
-let obs_wrap metrics spans obs_only body =
+let failpoints_arg =
+  Arg.(value & opt (some string) None
+       & info [ "failpoints" ] ~docv:"SPEC"
+         ~doc:"Activate deterministic fault injection:                site=action[@trigger] entries separated by commas, e.g.                $(b,checkpoint.rename=error@3,parwork.task=fail@p0.25/seed7).                Actions: error (transient), fail (permanent), delay, skip.                Triggers: every hit, the K-th hit (@K), or seeded probability                (@pP/seedN).  An unknown site or malformed entry is a spec                error (exit 4).")
+
+let obs_wrap metrics spans obs_only failpoints body =
+  (match failpoints with
+  | None -> ()
+  | Some spec -> (
+      match Failpoint.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Format.eprintf "ringshare: bad --failpoints spec: %s@." msg;
+          exit 4));
   let only =
     match obs_only with
     | None -> None
@@ -520,8 +544,14 @@ let obs_wrap metrics spans obs_only body =
               | Some subs -> Obs.filter_subsystems subs snap
               | None -> snap
             in
-            Obs.write_json ~spans ~path snap;
-            Format.eprintf "ringshare: metrics written to %s@." path);
+            (* Artifact.write = atomic temp+rename, with the
+               artifact.write/artifact.rename failpoints on the path *)
+            (match Artifact.write ~path (Obs.to_json ~spans snap) with
+            | () -> Format.eprintf "ringshare: metrics written to %s@." path
+            | exception Ringshare_error.Error e ->
+                Format.eprintf "ringshare: failed to write metrics: %s@."
+                  (Ringshare_error.to_string e);
+                exit (Ringshare_error.exit_code e)));
         if spans then
           List.iter
             (fun (r : Obs.Span.record) ->
@@ -562,7 +592,8 @@ let resume_arg =
    before it and artifact emission after it (even on taxonomy exits). *)
 let cmd name doc term =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const obs_wrap $ metrics_arg $ spans_arg $ obs_only_arg $ term)
+    Term.(const obs_wrap $ metrics_arg $ spans_arg $ obs_only_arg
+          $ failpoints_arg $ term)
 
 let decompose_cmd =
   cmd "decompose" "Bottleneck decomposition, classes and utilities"

@@ -206,6 +206,8 @@ let solve_cycle g ~alpha verts =
 let c_oracle =
   Obs.Counter.make ~subsystem:"decomposition" "fastchain_oracle_calls"
 
+let fp_iter = Failpoint.register "solver.fastchain.iter"
+
 let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   if not (Chain_solver.supports g ~mask) then
     invalid_arg "Chain_fast: masked graph has a vertex of degree > 2";
@@ -215,6 +217,7 @@ let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
   let s_max = ref Vset.empty in
   List.iter
     (fun (comp : Chain_solver.component) ->
+      Failpoint.hit fp_iter;
       Budget.tick ~cost:(1 + Array.length comp.verts) budget;
       let m, members =
         if comp.cycle then solve_cycle g ~alpha comp.verts

@@ -85,9 +85,10 @@ let compute ?ctx ?budget g =
   Obs.Span.with_ "decompose" @@ fun () ->
   let ctx = Engine.Ctx.get ctx in
   let ctx =
-    match budget with
-    | Some b -> Engine.Ctx.with_budget b ctx
-    | None -> ctx
+    Engine.Ctx.arm
+      (match budget with
+      | Some b -> Engine.Ctx.with_budget b ctx
+      | None -> ctx)
   in
   if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
     invalid_arg "Decompose.compute: all weights are zero";

@@ -5,11 +5,14 @@ let c_solves = Obs.Counter.make ~subsystem:"decomposition" "dinkelbach_solves"
 let c_iters =
   Obs.Counter.make ~subsystem:"decomposition" "dinkelbach_iterations"
 
+let fp_iter = Failpoint.register "solver.dinkelbach.iter"
+
 let solve ?(budget = Budget.unlimited) ~oracle ~alpha_of init =
   Obs.Counter.incr c_solves;
   let fail m = Ringshare_error.(error (Oracle_inconsistent m)) in
   let rec iterate alpha guard =
     if guard = 0 then fail "Dinkelbach.solve: no convergence";
+    Failpoint.hit fp_iter;
     Obs.Counter.incr c_iters;
     Budget.tick budget;
     let h, s_max = oracle ~alpha in

@@ -2,7 +2,10 @@ module Q = Rational
 
 let c_oracle = Obs.Counter.make ~subsystem:"decomposition" "flow_oracle_calls"
 
+let fp_iter = Failpoint.register "solver.flow.iter"
+
 let h_and_argmax ?(budget = Budget.unlimited) g ~mask ~alpha =
+  Failpoint.hit fp_iter;
   Obs.Counter.incr c_oracle;
   Budget.tick ~cost:(1 + Vset.cardinal mask) budget;
   let verts = Vset.to_array mask in

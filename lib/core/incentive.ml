@@ -42,8 +42,19 @@ let with_budget_arg budget ctx =
   | Some b -> Engine.Ctx.with_budget b ctx
   | None -> ctx
 
+(* Domain fan-out only pays for itself once each parallel task is heavy
+   enough: below these floors the spawn + minor-heap contention overhead
+   dominates (BENCH_ringshare.json showed best-attack/n=8/domains=2 at
+   grid 8 running ~1.5x slower than domains=1), so small sweeps fall
+   back to the serial path — which computes bit-identical results by
+   construction.  [parallel_points_min] gates one sweep's fresh-point
+   batch inside best_split; [parallel_evals_min] gates the per-vertex
+   fan-out in best_attack by the expected evaluations per vertex. *)
+let parallel_points_min = 16
+let parallel_evals_min = 32
+
 let best_split ?ctx ?budget ?honest g ~v =
-  let ctx = with_budget_arg budget (Engine.Ctx.get ctx) in
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
   let { Engine.Ctx.grid; refine; domains; _ } = ctx in
   if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
   Obs.Span.with_ "best_split" @@ fun () ->
@@ -80,7 +91,7 @@ let best_split ?ctx ?budget ?honest g ~v =
     match fresh with
     | [] -> ()
     | [ w1 ] -> QTbl.replace cache w1 (eval w1)
-    | _ when domains > 1 ->
+    | _ when domains > 1 && List.length fresh >= parallel_points_min ->
         (* grid points are independent decompositions; the shared budget
            counter is atomic, and results land by index so the filled
            cache is identical to the sequential one *)
@@ -140,7 +151,7 @@ let better a b = if Q.compare a.ratio b.ratio > 0 then a else b
 
 let best_attack ?ctx ?budget g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
-  let ctx = with_budget_arg budget (Engine.Ctx.get ctx) in
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
   Obs.Span.with_ "best_attack" @@ fun () ->
   Obs.Counter.incr c_attack_calls;
   (* the honest utilities of all vertices come from one decomposition of
@@ -152,12 +163,18 @@ let best_attack ?ctx ?budget g =
      sequentially on its worker domain (nested fan-out would
      oversubscribe), while the context's cache is shared by all *)
   let split_ctx = Engine.Ctx.with_domains 1 ctx in
+  let fanout =
+    if (ctx.Engine.Ctx.grid + 1) * (ctx.Engine.Ctx.refine + 1)
+       < parallel_evals_min
+    then 1
+    else ctx.Engine.Ctx.domains
+  in
   let attacks =
     (* per-vertex searches are independent pure computations; spread them
        over domains when asked.  The budget's step counter is atomic, so
        one budget meters all domains; Parwork re-raises the first
        Exhausted after every domain has joined. *)
-    Parwork.map ~domains:ctx.Engine.Ctx.domains
+    Parwork.map ~domains:fanout
       (fun v ->
         best_split ~ctx:split_ctx ~honest:(Utility.of_vertex g d v) g ~v)
       (Array.init (Graph.n g) Fun.id)
@@ -207,7 +224,7 @@ let ckpt_kind = "best-attack"
 
 let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
-  let ctx = with_budget_arg budget (Engine.Ctx.get ctx) in
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
   let budget = Engine.Ctx.budget_or_unlimited ctx in
   let total = Graph.n g in
   let digest = Digest.to_hex (Digest.string (Serial.to_string g)) in

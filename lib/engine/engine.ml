@@ -39,6 +39,10 @@ module Cache = struct
   let c_evictions = Obs.Counter.make ~subsystem:"engine" "cache_evictions"
   let g_peak = Obs.Gauge.make ~subsystem:"engine" "cache_peak"
 
+  let fp_lookup = Failpoint.register "engine.cache.lookup"
+  let fp_insert = Failpoint.register "engine.cache.insert"
+  let fp_evict = Failpoint.register "engine.cache.evict"
+
   let create ?(shards = 8) ~capacity () =
     if capacity < 1 then invalid_arg "Engine.Cache.create: capacity < 1";
     if shards < 1 then invalid_arg "Engine.Cache.create: shards < 1";
@@ -71,16 +75,22 @@ module Cache = struct
 
   let find t key =
     Obs.Counter.incr c_lookups;
-    let s = shard_of t key in
-    match with_shard s (fun () -> Stbl.find_opt s.tbl key) with
-    | Some _ as v ->
-        Obs.Counter.incr c_hits;
-        v
-    | None ->
-        Obs.Counter.incr c_misses;
-        None
+    if Failpoint.fire fp_lookup then begin
+      (* injected skip degrades to a miss; callers always recompute *)
+      Obs.Counter.incr c_misses;
+      None
+    end
+    else
+      let s = shard_of t key in
+      match with_shard s (fun () -> Stbl.find_opt s.tbl key) with
+      | Some _ as v ->
+          Obs.Counter.incr c_hits;
+          v
+      | None ->
+          Obs.Counter.incr c_misses;
+          None
 
-  let store t key value =
+  let store_locked t key value =
     let s = shard_of t key in
     let evicted =
       with_shard s (fun () ->
@@ -92,6 +102,9 @@ module Cache = struct
           else begin
             let evicted =
               if Stbl.length s.tbl >= t.cap_per_shard then begin
+                (* fires before any mutation, so an injected fault
+                   leaves the shard exactly as it was *)
+                Failpoint.hit fp_evict;
                 let oldest = Queue.pop s.order in
                 Stbl.remove s.tbl oldest;
                 1
@@ -108,6 +121,11 @@ module Cache = struct
       Obs.Counter.add c_evictions evicted;
       Obs.Gauge.set_max g_peak (length t)
     end
+
+  let store t key value =
+    (* injected skip drops the entry; correctness never depends on a
+       store landing *)
+    if Failpoint.fire fp_insert then () else store_locked t key value
 
   let clear t =
     Array.iter
@@ -128,6 +146,7 @@ module Ctx = struct
     grid : int;
     refine : int;
     budget : Budget.t option;
+    deadline : float option;
     domains : int;
     obs : bool;
     cache : Cache.t option;
@@ -142,6 +161,7 @@ module Ctx = struct
       grid = default_grid;
       refine = default_refine;
       budget = None;
+      deadline = None;
       domains = 1;
       obs = true;
       cache = None;
@@ -150,15 +170,17 @@ module Ctx = struct
   (* The one sanctioned home of the optional-argument spray; everywhere
      else in lib/ the config-drift lint rule forbids these labels. *)
   let make ?(solver = default.solver) ?(grid = default.grid)
-      ?(refine = default.refine) ?budget ?(domains = default.domains)
-      ?(obs = default.obs) ?cache () =
-    { solver; grid; refine; budget; domains; obs; cache }
+      ?(refine = default.refine) ?budget ?deadline
+      ?(domains = default.domains) ?(obs = default.obs) ?cache () =
+    { solver; grid; refine; budget; deadline; domains; obs; cache }
 
   let with_solver solver t = { t with solver }
   let with_grid grid t = { t with grid }
   let with_refine refine t = { t with refine }
   let with_budget b t = { t with budget = Some b }
   let without_budget t = { t with budget = None }
+  let with_deadline d t = { t with deadline = Some d }
+  let without_deadline t = { t with deadline = None }
   let with_domains domains t = { t with domains }
   let with_obs obs t = { t with obs }
   let with_cache c t = { t with cache = Some c }
@@ -167,6 +189,15 @@ module Ctx = struct
 
   let budget_or_unlimited t =
     match t.budget with Some b -> b | None -> Budget.unlimited
+
+  (* Called at every request entry point (best_split / best_attack /
+     decompose / each batch item): a [deadline] only starts counting
+     when the request starts, not when the context is built, and an
+     explicit budget always takes precedence. *)
+  let arm t =
+    match (t.budget, t.deadline) with
+    | None, Some seconds -> { t with budget = Some (Budget.create ~seconds ()) }
+    | _ -> t
 
   let obs_enabled t = t.obs && Obs.metrics_enabled ()
 end
@@ -256,7 +287,9 @@ let run_batch ?ctx ~f items =
   (* parallelism lives at the batch level; each item runs sequentially
      on its worker domain but shares the context's cache *)
   let item_ctx = Ctx.with_domains 1 ctx in
-  Parwork.map ~domains:ctx.Ctx.domains (f item_ctx) items
+  Parwork.map ~domains:ctx.Ctx.domains
+    (fun item -> f (Ctx.arm item_ctx) item)
+    items
 
 let run_batch_r ?ctx ~f items =
   let ctx = Ctx.get ctx in
@@ -264,5 +297,13 @@ let run_batch_r ?ctx ~f items =
   Obs.Counter.add c_batch_items (Array.length items);
   let item_ctx = Ctx.with_domains 1 ctx in
   Parwork.map ~domains:ctx.Ctx.domains
-    (fun item -> Ringshare_error.capture (fun () -> f item_ctx item))
+    (fun item ->
+      (* each item is armed separately — a [deadline] is per item, not
+         per batch — and transiently-failed items are retried before
+         being isolated as an Error row *)
+      let ictx = Ctx.arm item_ctx in
+      Ringshare_error.capture (fun () ->
+          Retry.with_retry
+            ~budget:(Ctx.budget_or_unlimited ictx)
+            (fun () -> f ictx item)))
     items

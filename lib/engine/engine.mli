@@ -84,6 +84,10 @@ module Ctx : sig
     grid : int;  (** sweep subdivision for attack searches (32) *)
     refine : int;  (** zoom refinement rounds (3) *)
     budget : Budget.t option;  (** cooperative compute budget (none) *)
+    deadline : float option;
+        (** per-request wall-clock allowance in seconds (none); turned
+            into a running {!Budget.t} by {!arm} at request entry, so it
+            is enforced at budget-tick granularity *)
     domains : int;  (** OCaml 5 domains for parallel sweeps (1) *)
     obs : bool;  (** request-level metrics enablement (true) *)
     cache : Cache.t option;  (** shared decomposition cache (none) *)
@@ -103,7 +107,8 @@ module Ctx : sig
 
   val make :
     ?solver:solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
-    ?domains:int -> ?obs:bool -> ?cache:Cache.t -> unit -> t
+    ?deadline:float -> ?domains:int -> ?obs:bool -> ?cache:Cache.t ->
+    unit -> t
   (** {!default} with the given fields overridden.  This is the one
       sanctioned home of the old optional-argument spray; the
       [config-drift] lint rule forbids re-declaring these optional
@@ -114,6 +119,8 @@ module Ctx : sig
   val with_refine : int -> t -> t
   val with_budget : Budget.t -> t -> t
   val without_budget : t -> t
+  val with_deadline : float -> t -> t
+  val without_deadline : t -> t
   val with_domains : int -> t -> t
   val with_obs : bool -> t -> t
   val with_cache : Cache.t -> t -> t
@@ -123,6 +130,17 @@ module Ctx : sig
   (** [Option.value ~default] — the idiom at every [?ctx] entry point. *)
 
   val budget_or_unlimited : t -> Budget.t
+
+  val arm : t -> t
+  (** Materialise [deadline] into a running budget: when [deadline] is
+      set and [budget] is not, returns the context with
+      [budget = Some (Budget.create ~seconds:deadline ())] — the clock
+      starts now.  With an explicit budget (or no deadline) this is the
+      identity.  Every request entry point ([Incentive.best_split],
+      [Incentive.best_attack], [Decompose.compute], each
+      {!run_batch_r} item) arms its context, so a deadline set on a
+      long-lived context yields a fresh allowance per request rather
+      than one shared countdown. *)
 
   val obs_enabled : t -> bool
   (** [ctx.obs && Obs.metrics_enabled ()]: layers consult this instead of
@@ -181,4 +199,8 @@ val run_batch_r :
   ('b, Ringshare_error.t) result array
 (** Fault-tolerant variant: each item's failure becomes its [Error] slot
     (via [Ringshare_error.capture]) and every other item still runs —
-    one bad instance cannot kill a batch. *)
+    one bad instance cannot kill a batch.  Items that fail with a
+    transient taxonomy error ([Ringshare_error.is_transient]) are
+    retried in place by [Retry.with_retry] (bounded attempts, backoff
+    charged to the item's budget) before being isolated; each item is
+    also {!Ctx.arm}ed, so [ctx.deadline] bounds every item separately. *)

@@ -1,5 +1,10 @@
 let header = "ringshare-graph v1"
 
+let fp_write = Failpoint.register "serial.write"
+let fp_rename = Failpoint.register "serial.rename"
+let fp_read = Failpoint.register "serial.read"
+let fp_parse = Failpoint.register "serial.parse"
+
 let to_string g =
   let buf = Buffer.create 256 in
   let directives = ref 0 in
@@ -23,6 +28,7 @@ let to_string g =
    [to_string] emits, so a file truncated at a line boundary is detected;
    hand-written strings without a footer stay accepted in lax mode. *)
 let parse ?file ~strict s =
+  Failpoint.hit fp_parse;
   let fail line fmt =
     Printf.ksprintf
       (fun msg -> Ringshare_error.(error (Parse_error { file; line; msg })))
@@ -107,24 +113,10 @@ let of_string s =
 let save path g =
   (* write-to-temp + rename in the same directory: a crash mid-write can
      tear only the temp file, never an existing instance file *)
-  let tmp = path ^ ".tmp" in
-  match
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (to_string g);
-        flush oc;
-        Unix.fsync (Unix.descr_of_out_channel oc));
-    Sys.rename tmp path
-  with
-  | () -> ()
-  | exception Sys_error msg ->
-      Ringshare_error.(error (Io_error { file = path; msg }))
-  | exception Unix.Unix_error (e, _, _) ->
-      Ringshare_error.(error (Io_error { file = path; msg = Unix.error_message e }))
+  Atomic_file.write ~write_fp:fp_write ~rename_fp:fp_rename ~path (to_string g)
 
 let read_all path =
+  Failpoint.hit fp_read;
   match
     let ic = open_in_bin path in
     Fun.protect

@@ -28,6 +28,9 @@ type ctx = {
      own [compare]/[equal] (bigint, rational) refers to the typed one
      with a bare identifier, which must not be flagged. *)
   locals : (string, unit) Hashtbl.t;
+  (* Names of the [let rec]s whose bodies the walk is currently inside,
+     innermost first — the candidates for a naked-retry re-invocation. *)
+  mutable recs : string list;
 }
 
 let line_col (loc : Location.t) =
@@ -298,6 +301,47 @@ let check_try ctx cases =
     cases
 
 (* ------------------------------------------------------------------ *)
+(* Rule R: naked retry loops                                           *)
+(* ------------------------------------------------------------------ *)
+
+let calls_any names e =
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Lident s; _ } when mem s names -> raise Found
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  match it.expr it e with () -> false | exception Found -> true
+
+(* A catch-all handler whose body re-invokes the function it sits
+   inside is a hand-rolled retry loop: unbounded, unbudgeted, and
+   retrying deterministic failures.  Flagged even when the handler
+   also re-raises — the retry call is the problem, not the swallow. *)
+let check_naked_retry ctx cases =
+  match ctx.recs with
+  | [] -> ()
+  | recs ->
+      List.iter
+        (fun c ->
+          if catch_all c.pc_lhs && calls_any recs c.pc_rhs then
+            report ctx F.No_naked_retry c.pc_lhs.ppat_loc
+              "catch-all handler re-invokes the enclosing recursive \
+               function (a naked retry loop); use Retry.with_retry so \
+               attempts are bounded, budget-charged and limited to \
+               transient errors")
+        cases
+
+let rec_names vbs =
+  List.filter_map
+    (fun (vb : value_binding) ->
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt; _ } -> Some txt
+      | _ -> None)
+    vbs
+
+(* ------------------------------------------------------------------ *)
 (* Per-node dispatch                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -318,7 +362,9 @@ let check_expr ctx e =
       ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); _ }; _ },
         [ (Nolabel, a); (Nolabel, b) ] ) ->
       check_equality ctx e.pexp_loc op a b
-  | Pexp_try (_, cases) -> check_try ctx cases
+  | Pexp_try (_, cases) ->
+      check_try ctx cases;
+      check_naked_retry ctx cases
   | _ -> ()
 
 let check_pat ctx p =
@@ -361,14 +407,29 @@ type result = {
 let check ~file ~active str =
   let ctx =
     { file; active; findings = []; suppressed = []; stack = [];
-      suppressions = []; locals = Hashtbl.create 16 }
+      suppressions = []; locals = Hashtbl.create 16; recs = [] }
   in
   collect_locals ctx str;
   let super = Ast_iterator.default_iterator in
+  let push_recs names =
+    ctx.recs <- names @ ctx.recs;
+    List.length names
+  in
+  let pop_recs n =
+    for _ = 1 to n do
+      ctx.recs <- List.tl ctx.recs
+    done
+  in
   let expr it e =
     let n = push ctx ~scope:"expr" e.pexp_loc e.pexp_attributes in
+    let r =
+      match e.pexp_desc with
+      | Pexp_let (Asttypes.Recursive, vbs, _) -> push_recs (rec_names vbs)
+      | _ -> 0
+    in
     check_expr ctx e;
     super.expr it e;
+    pop_recs r;
     pop ctx n
   in
   let pat it p =
@@ -388,6 +449,15 @@ let check ~file ~active str =
     super.value_binding it vb;
     pop ctx n
   in
+  let structure_item it item =
+    let r =
+      match item.pstr_desc with
+      | Pstr_value (Asttypes.Recursive, vbs) -> push_recs (rec_names vbs)
+      | _ -> 0
+    in
+    super.structure_item it item;
+    pop_recs r
+  in
   (* A floating [@@@lint.allow "..."] scopes over the remainder of the
      enclosing structure (module body), including nested modules. *)
   let structure it items =
@@ -401,7 +471,7 @@ let check ~file ~active str =
       items;
     pop ctx !pushed
   in
-  let it = { super with expr; pat; typ; value_binding; structure } in
+  let it = { super with expr; pat; typ; value_binding; structure_item; structure } in
   it.structure it str;
   {
     findings = List.sort F.compare_finding ctx.findings;

@@ -18,7 +18,13 @@
                                      Engine.Ctx; fresh per-function
                                      copies outside lib/engine re-grow
                                      the default spray the PR 5
-                                     refactor deleted. *)
+                                     refactor deleted;
+   - [No_naked_retry] "no-naked-retry" — retry loops around catch-alls
+                                     belong to Retry.with_retry
+                                     (lib/runtime): a hand-rolled
+                                     recursive retry is unbounded,
+                                     charges no budget, and retries
+                                     non-transient errors. *)
 
 type rule =
   | Float_ban
@@ -26,9 +32,11 @@ type rule =
   | Exn_swallow
   | Determinism
   | Config_drift
+  | No_naked_retry
 
 let all_rules =
-  [ Float_ban; Poly_compare; Exn_swallow; Determinism; Config_drift ]
+  [ Float_ban; Poly_compare; Exn_swallow; Determinism; Config_drift;
+    No_naked_retry ]
 
 let rule_name = function
   | Float_ban -> "float"
@@ -36,6 +44,7 @@ let rule_name = function
   | Exn_swallow -> "exnswallow"
   | Determinism -> "determinism"
   | Config_drift -> "config-drift"
+  | No_naked_retry -> "no-naked-retry"
 
 let rule_of_name = function
   | "float" -> Some Float_ban
@@ -43,6 +52,7 @@ let rule_of_name = function
   | "exnswallow" -> Some Exn_swallow
   | "determinism" -> Some Determinism
   | "config-drift" -> Some Config_drift
+  | "no-naked-retry" -> Some No_naked_retry
   | _ -> None
 
 let rule_equal (a : rule) (b : rule) =
@@ -51,7 +61,8 @@ let rule_equal (a : rule) (b : rule) =
   | Poly_compare, Poly_compare
   | Exn_swallow, Exn_swallow
   | Determinism, Determinism
-  | Config_drift, Config_drift ->
+  | Config_drift, Config_drift
+  | No_naked_retry, No_naked_retry ->
       true
   | _ -> false
 

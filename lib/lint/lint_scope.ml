@@ -36,7 +36,12 @@
      per-dimension simplex [?grid] of [Sybil_general.best_attack] plus
      parwork's own [?domains] plumbing — carry recorded
      [@lint.allow "config-drift"] attributes, so any new knob shows up
-     either as a finding or as an audited exemption. *)
+     either as a finding or as an audited exemption.
+
+   - no-naked-retry: everywhere except runtime/, which owns
+     [Retry.with_retry].  A catch-all handler that re-invokes its
+     enclosing [let rec] is a hand-rolled retry loop — unbounded,
+     charging no budget, and blind to whether the error is transient. *)
 
 let exact_core_dirs =
   [ "bigint"; "rational"; "bottleneck"; "core"; "flow"; "mechanism"; "obs";
@@ -65,6 +70,9 @@ let det_scope path =
 
 let config_scope path = not (String.equal (dir_of path) "engine")
 
+(* runtime/ owns Retry.with_retry, the one sanctioned retry loop. *)
+let retry_scope path = not (String.equal (dir_of path) "runtime")
+
 let rules_for path : Lint_finding.rule list =
   if skipped path then []
   else
@@ -75,5 +83,6 @@ let rules_for path : Lint_finding.rule list =
         | Poly_compare -> poly_scope path
         | Exn_swallow -> exn_scope path
         | Determinism -> det_scope path
-        | Config_drift -> config_scope path)
+        | Config_drift -> config_scope path
+        | No_naked_retry -> retry_scope path)
       Lint_finding.all_rules

@@ -287,6 +287,16 @@ let to_json ?(spans = false) s =
   Buffer.contents buf
 
 let write_json ?spans ~path s =
-  let oc = open_out path in
-  output_string oc (to_json ?spans s);
-  close_out oc
+  (* temp + fsync + rename, as Checkpoint: a crash mid-write must never
+     leave a truncated metrics artifact.  (Obs sits below the runtime
+     library, so callers wanting failpoint coverage on this path go
+     through Artifact.write instead.) *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json ?spans s);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path

@@ -122,3 +122,5 @@ val to_json : ?spans:bool -> snapshot -> string
     artifact diffs and greps line by line. *)
 
 val write_json : ?spans:bool -> path:string -> snapshot -> unit
+(** Atomic: writes [path ^ ".tmp"], fsyncs, then renames over [path],
+    so a reader never observes a truncated artifact. *)

@@ -12,6 +12,9 @@ let c_exhausts = Obs.Counter.make ~subsystem:"parwork" "queue_exhausts"
 let c_retries = Obs.Counter.make ~subsystem:"parwork" "retries"
 let g_domains = Obs.Gauge.make ~subsystem:"parwork" "max_domains"
 
+let fp_spawn = Failpoint.register "parwork.spawn"
+let fp_task = Failpoint.register "parwork.task"
+
 let map ?domains f xs =
   let domains =
     match domains with Some d -> Stdlib.max 1 d | None -> recommended_domains ()
@@ -19,9 +22,17 @@ let map ?domains f xs =
   let n = Array.length xs in
   Obs.Counter.incr c_maps;
   Obs.Counter.add c_tasks n;
+  (* the task failpoint fires outside any per-task exception handling
+     the caller installed inside [f], so an injected fault exercises the
+     worker-death path, not the caller's isolation path *)
+  let run x =
+    Failpoint.hit fp_task;
+    f x
+  in
   if n = 0 then [||]
-  else if domains = 1 || n = 1 then Array.map f xs
+  else if domains = 1 || n = 1 then Array.map run xs
   else begin
+    Failpoint.hit fp_spawn;
     Obs.Counter.add c_domains (domains - 1);
     Obs.Gauge.set_max g_domains domains;
     (* results buffer; each slot written exactly once by one worker *)
@@ -37,7 +48,7 @@ let map ?domains f xs =
           continue_ := false
         end
         else
-          match f xs.(i) with
+          match run xs.(i) with
           | y -> results.(i) <- Some y
           | exception e ->
               ignore (Atomic.compare_and_set failure None (Some e));

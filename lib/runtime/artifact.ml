@@ -1,0 +1,5 @@
+let fp_write = Failpoint.register "artifact.write"
+let fp_rename = Failpoint.register "artifact.rename"
+
+let write ~path contents =
+  Atomic_file.write ~write_fp:fp_write ~rename_fp:fp_rename ~path contents

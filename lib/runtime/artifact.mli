@@ -1,0 +1,6 @@
+(** Crash-safe writes for run artifacts (metrics JSON, bench reports):
+    {!Atomic_file} with the [artifact.write] / [artifact.rename]
+    failpoints, so a crash mid-write never leaves a truncated artifact
+    behind.  Raises [Ringshare_error.Error (Io_error _)] on failure. *)
+
+val write : path:string -> string -> unit

@@ -1,0 +1,23 @@
+(* Shared crash-safe file writer: temp file + fsync + rename, the same
+   discipline Checkpoint has used since PR 1, factored out so every
+   durable artifact (checkpoints, graphs, metrics) goes through one
+   audited path — and one pair of failpoints per caller. *)
+
+let write ~write_fp ~rename_fp ~path contents =
+  let tmp = path ^ ".tmp" in
+  match
+    (if Failpoint.fire write_fp then ()
+     else
+       let oc = open_out tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc contents;
+           flush oc;
+           Unix.fsync (Unix.descr_of_out_channel oc)));
+    if Failpoint.fire rename_fp then () else Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error m -> Ringshare_error.(error (Io_error { file = path; msg = m }))
+  | exception Unix.Unix_error (e, _, _) ->
+      Ringshare_error.(error (Io_error { file = path; msg = Unix.error_message e }))

@@ -1,0 +1,17 @@
+(** Crash-safe whole-file writes: [path ^ ".tmp"] + fsync + rename, so a
+    reader never observes a truncated file — either the old content or
+    the new content is at [path].
+
+    Callers pass their own two failpoints so the chaos battery can
+    target each durable artifact independently (e.g.
+    [checkpoint.write]/[checkpoint.rename] vs
+    [artifact.write]/[artifact.rename]).  A triggered [skip] on
+    [write_fp] drops the temp-file write (the subsequent rename then
+    surfaces as a taxonomy [Io_error]); a [skip] on [rename_fp] leaves
+    the destination untouched — simulating a crash between the two
+    steps.
+
+    System-call failures raise [Ringshare_error.Error (Io_error _)]. *)
+
+val write :
+  write_fp:Failpoint.t -> rename_fp:Failpoint.t -> path:string -> string -> unit

@@ -16,6 +16,8 @@ let c_ticks = Obs.Counter.make ~subsystem:"budget" "ticks"
 let c_steps = Obs.Counter.make ~subsystem:"budget" "steps"
 let c_trips = Obs.Counter.make ~subsystem:"budget" "trips"
 
+let fp_tick = Failpoint.register "budget.tick"
+
 let unlimited =
   {
     deadline = None;
@@ -49,6 +51,7 @@ let trip t =
   raise (Exhausted { steps = used_steps t; elapsed = elapsed t })
 
 let tick ?(cost = 1) t =
+  Failpoint.hit fp_tick;
   Obs.Counter.incr c_ticks;
   Obs.Counter.add c_steps cost;
   if is_limited t then begin

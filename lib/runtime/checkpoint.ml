@@ -1,10 +1,9 @@
 let header = "ringshare-checkpoint v1"
 
-let io_error file msg =
-  Ringshare_error.(error (Io_error { file; msg }))
+let fp_write = Failpoint.register "checkpoint.write"
+let fp_rename = Failpoint.register "checkpoint.rename"
 
 let save ~path ~kind fields =
-  let tmp = path ^ ".tmp" in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (header ^ "\n");
   Buffer.add_string buf ("kind " ^ kind ^ "\n");
@@ -17,19 +16,8 @@ let save ~path ~kind fields =
       Buffer.add_string buf (k ^ " " ^ v ^ "\n"))
     fields;
   Buffer.add_string buf (Printf.sprintf "end %d\n" (List.length fields));
-  match
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (Buffer.contents buf);
-        flush oc;
-        Unix.fsync (Unix.descr_of_out_channel oc));
-    Sys.rename tmp path
-  with
-  | () -> ()
-  | exception Sys_error m -> io_error path m
-  | exception Unix.Unix_error (e, _, _) -> io_error path (Unix.error_message e)
+  Atomic_file.write ~write_fp:fp_write ~rename_fp:fp_rename ~path
+    (Buffer.contents buf)
 
 let parse ~path ~kind text =
   let err line msg =

@@ -1,0 +1,222 @@
+(* Deterministic fault-injection sites.  See failpoint.mli for the spec
+   grammar.  The hot path ([hit]/[fire] with no spec installed) is one
+   ref load and one branch, so sites stay compiled in everywhere. *)
+
+type action = Raise_transient | Raise_permanent | Delay | Skip
+
+type trigger = Always | Nth of int | Prob of float
+
+type spec = { action : action; trigger : trigger; rng : int64 Atomic.t }
+
+type t = {
+  name : string;
+  mutable spec : spec option;
+      (* written only by [configure]/[clear] (single-threaded setup),
+         read by workers; OCaml guarantees no tearing on word values *)
+  hits : int Atomic.t;
+}
+
+exception Fault of { site : string; transient : bool }
+
+let default_raiser ~site ~transient = Fault { site; transient }
+let raiser = ref default_raiser
+let set_raiser f = raiser := f
+
+(* [enabled] short-circuits every site at once: a single shared ref
+   beats scanning per-site specs when no spec is installed. *)
+let enabled = ref false
+let registry : t list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let register name =
+  Mutex.lock registry_mutex;
+  let site =
+    match List.find_opt (fun s -> String.equal s.name name) !registry with
+    | Some s -> s
+    | None ->
+        let s = { name; spec = None; hits = Atomic.make 0 } in
+        registry := s :: !registry;
+        s
+  in
+  Mutex.unlock registry_mutex;
+  site
+
+let names () =
+  List.sort String.compare (List.map (fun s -> s.name) !registry)
+
+let active () = !enabled
+
+let c_hits = Obs.Counter.make ~subsystem:"failpoint" "hits"
+let c_fires = Obs.Counter.make ~subsystem:"failpoint" "fires"
+
+(* splitmix64: tiny, seedable, and stateless apart from one Int64 cell,
+   so probabilistic triggers replay exactly for a given seed. *)
+let sm64_gamma = 0x9E3779B97F4A7C15L
+
+let sm64_mix z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let draw state =
+  let rec advance () =
+    let cur = Atomic.get state in
+    let nxt = Int64.add cur sm64_gamma in
+    if Atomic.compare_and_set state cur nxt then nxt else advance ()
+  in
+  (* top 53 bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical (sm64_mix (advance ())) 11)
+  /. 9007199254740992.0
+
+let delay_seconds = 0.001
+
+let fire site =
+  if not !enabled then false
+  else
+    match site.spec with
+    | None -> false
+    | Some s -> (
+        Obs.Counter.incr c_hits;
+        let n = 1 + Atomic.fetch_and_add site.hits 1 in
+        let triggered =
+          match s.trigger with
+          | Always -> true
+          | Nth k -> n = k
+          | Prob p -> draw s.rng < p
+        in
+        if not triggered then false
+        else begin
+          Obs.Counter.incr c_fires;
+          match s.action with
+          | Raise_transient -> raise (!raiser ~site:site.name ~transient:true)
+          | Raise_permanent -> raise (!raiser ~site:site.name ~transient:false)
+          | Delay ->
+              Unix.sleepf delay_seconds;
+              false
+          | Skip -> true
+        end)
+
+let hit site = ignore (fire site)
+
+(* ---- spec parsing ------------------------------------------------- *)
+
+let parse_action site = function
+  | "error" -> Ok Raise_transient
+  | "fail" -> Ok Raise_permanent
+  | "delay" -> Ok Delay
+  | "skip" -> Ok Skip
+  | a ->
+      Error
+        (Printf.sprintf
+           "failpoint %s: unknown action %S (expected error, fail, delay or \
+            skip)" site a)
+
+let default_seed = 1
+
+let parse_trigger site = function
+  | "" -> Ok (Always, default_seed)
+  | s when String.length s >= 2 && s.[0] = 'p' -> (
+      let body = String.sub s 1 (String.length s - 1) in
+      let prob_str, seed_result =
+        match String.index_opt body '/' with
+        | None -> (body, Ok default_seed)
+        | Some i ->
+            let rest = String.sub body (i + 1) (String.length body - i - 1) in
+            let seed =
+              if String.length rest > 4 && String.equal (String.sub rest 0 4) "seed"
+              then int_of_string_opt (String.sub rest 4 (String.length rest - 4))
+              else None
+            in
+            ( String.sub body 0 i,
+              match seed with
+              | Some n -> Ok n
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "failpoint %s: bad seed %S (expected seedN)" site rest) )
+      in
+      match (float_of_string_opt prob_str, seed_result) with
+      | _, (Error _ as e) -> e
+      | Some p, Ok seed when p >= 0.0 && p <= 1.0 -> Ok (Prob p, seed)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "failpoint %s: bad probability %S (expected p in [0,1])" site
+               prob_str))
+  | s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Ok (Nth k, default_seed)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "failpoint %s: bad trigger %S (expected K>=1, pP or pP/seedN)"
+               site s))
+
+let split_on_char_trim c s =
+  String.split_on_char c s |> List.map String.trim
+  |> List.filter (fun x -> not (String.equal x ""))
+
+let parse_entry entry =
+  match String.index_opt entry '=' with
+  | None ->
+      Error
+        (Printf.sprintf "failpoint entry %S: expected site=action[@trigger]"
+           entry)
+  | Some i -> (
+      let site_name = String.trim (String.sub entry 0 i) in
+      let rhs = String.sub entry (i + 1) (String.length entry - i - 1) in
+      let action_str, trigger_str =
+        match String.index_opt rhs '@' with
+        | None -> (String.trim rhs, "")
+        | Some j ->
+            ( String.trim (String.sub rhs 0 j),
+              String.trim (String.sub rhs (j + 1) (String.length rhs - j - 1))
+            )
+      in
+      match
+        List.find_opt (fun s -> String.equal s.name site_name) !registry
+      with
+      | None ->
+          Error
+            (Printf.sprintf "unknown failpoint %S (known: %s)" site_name
+               (String.concat ", " (names ())))
+      | Some site -> (
+          match (parse_action site_name action_str, parse_trigger site_name trigger_str) with
+          | Error e, _ | _, Error e -> Error e
+          | Ok action, Ok (trigger, seed) ->
+              Ok
+                ( site,
+                  { action; trigger; rng = Atomic.make (Int64.of_int seed) } )))
+
+let clear () =
+  enabled := false;
+  List.iter
+    (fun s ->
+      s.spec <- None;
+      Atomic.set s.hits 0)
+    !registry
+
+let configure spec_string =
+  let entries = split_on_char_trim ',' spec_string in
+  if entries = [] then Error "empty failpoint spec"
+  else
+    let rec parse_all acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+          match parse_entry e with
+          | Error _ as err -> err
+          | Ok pair -> parse_all (pair :: acc) rest)
+    in
+    match parse_all [] entries with
+    | Error _ as e -> e
+    | Ok pairs ->
+        clear ();
+        List.iter (fun (site, spec) -> site.spec <- Some spec) pairs;
+        enabled := true;
+        Ok ()

@@ -1,0 +1,75 @@
+(** Deterministic fault-injection sites (DESIGN.md §13).
+
+    A failpoint is a named site compiled into the production code path
+    permanently: [hit]/[fire] on an inactive registry cost one load and
+    one branch, so instrumentation never needs to be conditionally
+    compiled out.  A test or an operator activates sites with a spec
+    string (the CLI flag [--failpoints]):
+
+    {v
+      site=action[@trigger][,site=action[@trigger]...]
+
+      actions   error   raise a transient taxonomy error (retryable)
+                fail    raise a permanent taxonomy error
+                delay   sleep ~1ms, then continue
+                skip    return-inject: the caller skips the guarded
+                        operation (only sites calling [fire] honour it)
+
+      triggers  (none)  every hit
+                @K      the K-th hit only (K >= 1)
+                @pP     each hit with probability P in [0,1]
+                @pP/seedN   ... from a deterministic stream seeded N
+    v}
+
+    Example: ["checkpoint.rename=error@3,parwork.task=fail@p0.25/seed7,engine.cache.insert=delay"].
+
+    Determinism: [@K] counts hits in program order; [@p…/seedN] draws
+    from a per-site splitmix64 stream, so a single-domain run replays
+    identically for the same spec.  (Under parallel domains the draw
+    order follows the scheduler; use [@K] for exact replay there.)
+
+    The errors raised go through the taxonomy: [Ringshare_error]
+    installs a raiser at initialisation, so an [error]/[fail] action
+    raises [Ringshare_error.Error (Injected _)] and every existing
+    handler and [capture] boundary classifies it.  Before that raiser
+    is installed the fallback exception {!Fault} is raised instead. *)
+
+type t
+(** A registered site. *)
+
+val register : string -> t
+(** Idempotent: registering an existing name returns the same site.
+    Call at module initialisation (single domain). *)
+
+val hit : t -> unit
+(** Evaluate the site: no-op when inactive; may raise a taxonomy error
+    or delay when a spec targets this site.  A triggered [skip] action
+    is ignored — use {!fire} at sites that support return-injection. *)
+
+val fire : t -> bool
+(** Like {!hit}, but returns [true] when a triggered [skip] action asks
+    the caller to skip the guarded operation. *)
+
+val configure : string -> (unit, string) result
+(** Parse and install a spec (replacing any previous one) — all-or-
+    nothing: a malformed entry or an unregistered site name installs
+    nothing and returns [Error msg].  Hit counts restart from zero. *)
+
+val clear : unit -> unit
+(** Deactivate all sites and reset hit counts. *)
+
+val active : unit -> bool
+(** Whether a spec is currently installed. *)
+
+val names : unit -> string list
+(** Sorted names of every registered site — the vocabulary [configure]
+    validates against, and what the chaos battery enumerates so no site
+    can be added without a chaos case. *)
+
+exception Fault of { site : string; transient : bool }
+(** Fallback raised by [error]/[fail] actions if no raiser is
+    installed; [Ringshare_error.capture] still classifies it. *)
+
+val set_raiser : (site:string -> transient:bool -> exn) -> unit
+(** Route injected errors into a richer exception (installed once by
+    [Ringshare_error] so injections surface as taxonomy errors). *)

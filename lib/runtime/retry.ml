@@ -1,0 +1,35 @@
+let c_calls = Obs.Counter.make ~subsystem:"retry" "calls"
+let c_attempts = Obs.Counter.make ~subsystem:"retry" "attempts"
+let c_retries = Obs.Counter.make ~subsystem:"retry" "retries"
+let c_giveups = Obs.Counter.make ~subsystem:"retry" "giveups"
+
+let default_attempts = 3
+let backoff_base = 8
+let backoff_cap = 64
+
+(* 8, 16, 32, 64, 64, ... budget steps before attempts 2, 3, 4, 5, ... *)
+let backoff_cost k = Stdlib.min backoff_cap (backoff_base * (1 lsl (k - 1)))
+
+let with_retry ?(attempts = default_attempts) ?(budget = Budget.unlimited) f =
+  if attempts < 1 then invalid_arg "Retry.with_retry: attempts must be >= 1";
+  Obs.Counter.incr c_calls;
+  let rec go k =
+    Obs.Counter.incr c_attempts;
+    match f () with
+    | y -> y
+    | exception Ringshare_error.Error e when Ringshare_error.is_transient e ->
+        if k >= attempts then begin
+          Obs.Counter.incr c_giveups;
+          raise (Ringshare_error.Error e)
+        end
+        else begin
+          (* Deterministic backoff: instead of sleeping wall-clock time
+             (which would make runs timing-dependent), charge the pause
+             to the request budget so a deadline/step limit still bounds
+             the whole retry envelope. *)
+          Budget.tick ~cost:(backoff_cost k) budget;
+          Obs.Counter.incr c_retries;
+          go (k + 1)
+        end
+  in
+  go 1

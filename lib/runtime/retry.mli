@@ -1,0 +1,31 @@
+(** Bounded, budget-charged retry for transient failures.
+
+    [with_retry ~attempts ~budget f] runs [f ()] and re-runs it — at
+    most [attempts] times in total — when it raises a taxonomy error
+    classified transient by {!Ringshare_error.is_transient} ([Io_error]
+    and transient [Injected] faults).  Everything else, including
+    [Budget_exhausted], propagates on the first occurrence: those
+    failures are deterministic, so a retry can only waste budget.
+
+    Backoff is deterministic and charged to [budget] instead of the
+    wall clock: before attempt [k+1], [min 64 (8 * 2^(k-1))] budget
+    steps are ticked.  A step limit or deadline therefore bounds the
+    whole retry envelope, and runs replay identically.  If the backoff
+    tick itself trips the budget, [Budget.Exhausted] propagates.
+
+    [f] must be idempotent — it may run up to [attempts] times.
+
+    Counters under the [retry] subsystem: [calls], [attempts],
+    [retries], [giveups]. *)
+
+val with_retry :
+  ?attempts:int -> ?budget:Budget.t -> (unit -> 'a) -> 'a
+(** @param attempts total attempts, default 3; [< 1] is
+    [Invalid_argument].
+    @param budget charged for backoff; default {!Budget.unlimited}. *)
+
+val default_attempts : int
+
+val backoff_cost : int -> int
+(** [backoff_cost k] is the budget cost charged after failed attempt
+    [k] (exposed for tests and DESIGN.md §13). *)

@@ -6,6 +6,7 @@ type t =
   | Certificate_mismatch of string
   | Io_error of { file : string; msg : string }
   | Invalid_input of string
+  | Injected of { site : string; transient : bool }
 
 exception Error of t
 
@@ -22,6 +23,9 @@ let to_string = function
   | Certificate_mismatch m -> "certificate mismatch: " ^ m
   | Io_error { file; msg } -> Printf.sprintf "io error: %s: %s" file msg
   | Invalid_input m -> m
+  | Injected { site; transient } ->
+      Printf.sprintf "injected fault at failpoint %s (%s)" site
+        (if transient then "transient" else "permanent")
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
@@ -30,6 +34,16 @@ let exit_code = function
   | Infeasible_dp _ | Oracle_inconsistent _ | Certificate_mismatch _ -> 3
   | Budget_exhausted _ -> 4
   | Io_error _ -> 5
+  | Injected { transient; _ } -> if transient then 5 else 3
+
+(* The retry policy (Retry.with_retry) only ever re-runs these: faults
+   of the environment, not of the input or the algorithms. *)
+let is_transient = function
+  | Io_error _ -> true
+  | Injected { transient; _ } -> transient
+  | Parse_error _ | Infeasible_dp _ | Oracle_inconsistent _
+  | Budget_exhausted _ | Certificate_mismatch _ | Invalid_input _ ->
+      false
 
 let capture f =
   match f () with
@@ -40,3 +54,12 @@ let capture f =
   | exception Invalid_argument m -> Result.Error (Invalid_input m)
   | exception Failure m -> Result.Error (Invalid_input m)
   | exception Sys_error m -> Result.Error (Io_error { file = ""; msg = m })
+  | exception Failpoint.Fault { site; transient } ->
+      (* only reachable if the raiser below was bypassed *)
+      Result.Error (Injected { site; transient })
+
+(* Injected faults surface as first-class taxonomy errors everywhere,
+   not as a private Failpoint exception. *)
+let () =
+  Failpoint.set_raiser (fun ~site ~transient ->
+      Error (Injected { site; transient }))

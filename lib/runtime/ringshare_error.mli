@@ -27,6 +27,10 @@ type t =
       (** The underlying system call failed (open, rename, ...). *)
   | Invalid_input of string
       (** Anything else the libraries reject up front. *)
+  | Injected of { site : string; transient : bool }
+      (** A {!Failpoint} fired with an [error] (transient) or [fail]
+          (permanent) action — only ever seen under an active
+          [--failpoints] spec. *)
 
 exception Error of t
 (** Structured failures cross exception-free code as this single
@@ -40,9 +44,16 @@ val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
 (** CLI exit code class: 2 user input / parse, 3 internal inconsistency
-    (oracle, DP, certificate), 4 budget exhausted, 5 I/O. *)
+    (oracle, DP, certificate — and permanent injected faults), 4 budget
+    exhausted, 5 I/O (and transient injected faults). *)
+
+val is_transient : t -> bool
+(** Whether {!Retry.with_retry} may re-run the failed operation:
+    [Io_error] and transient [Injected] faults are environment hiccups
+    worth a bounded retry; everything else is deterministic (same
+    input, same failure) and retrying would only burn budget. *)
 
 val capture : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, mapping [Error], {!Budget.Exhausted},
-    [Invalid_argument], [Failure] and [Sys_error] to [Error _].  All
-    other exceptions propagate. *)
+    [Invalid_argument], [Failure], [Sys_error] and {!Failpoint.Fault}
+    to [Error _].  All other exceptions propagate. *)

@@ -2,7 +2,8 @@
 # CLI exit-code contract (documented in README.md):
 #   0  success
 #   2  user-input / parse error, as one clean line on stderr (no backtrace)
-#   4  compute budget exhausted
+#   4  compute budget exhausted (also a bad --failpoints/--obs-only spec)
+#   5  I/O failure or injected transient fault
 # ringshare-lint shares the taxonomy: 0 clean, 2 findings, 4 spec error.
 # Run via the dune runtest alias:
 #   $1  ringshare executable
@@ -154,6 +155,49 @@ for sub in "decompose --fig1" "allocate --fig1" "sybil --ring 3,1,2,5" \
     > /dev/null 2> "$tmpdir/err"
   expect "flag parity: $sub" 0 $?
 done
+
+# 16. a shared --step-budget tripping mid-batch: exit 2, the completed
+#     row still prints, the unfinished one carries the budget error
+"$cli" batch "$tmpdir/a.graph" "$tmpdir/b.graph" --grid 6 --refine 1 \
+  --step-budget 400 > "$tmpdir/out" 2> /dev/null
+expect "batch --step-budget midway" 2 $?
+grep "a.graph" "$tmpdir/out" | grep -q "1.00000" || {
+  echo "FAIL: completed row lost when the shared budget tripped" >&2
+  cat "$tmpdir/out" >&2; fails=$((fails + 1)); }
+grep "b.graph" "$tmpdir/out" | grep -q "budget exhausted" || {
+  echo "FAIL: unfinished row does not carry the budget error" >&2
+  cat "$tmpdir/out" >&2; fails=$((fails + 1)); }
+grep -q "batch: 2 instances, 1 failed" "$tmpdir/out" || {
+  echo "FAIL: batch budget-trip failure count wrong" >&2; fails=$((fails + 1)); }
+
+# 17. an unknown --failpoints site is a spec error: exit 4, the message
+#     lists the registered vocabulary
+"$cli" sybil --ring 3,1,2,5 --failpoints "bogus=error" \
+  > /dev/null 2> "$tmpdir/err"
+expect "unknown --failpoints site" 4 $?
+grep -q 'unknown failpoint' "$tmpdir/err" \
+  && grep -q 'solver.fastchain.iter' "$tmpdir/err" || {
+  echo "FAIL: --failpoints error does not list the sites" >&2
+  cat "$tmpdir/err" >&2; fails=$((fails + 1)); }
+
+# 18. an injected transient fault surfaces as a clean taxonomy error:
+#     exit 5, one line, no backtrace
+"$cli" sybil --ring 3,1,2,5 --grid 6 --refine 1 \
+  --failpoints "solver.fastchain.iter=error@2" > /dev/null 2> "$tmpdir/err"
+expect "injected transient fault" 5 $?
+grep -q "injected fault at failpoint solver.fastchain.iter" "$tmpdir/err" || {
+  echo "FAIL: injected-fault message missing" >&2
+  cat "$tmpdir/err" >&2; fails=$((fails + 1)); }
+grep -q "Raised at" "$tmpdir/err" && {
+  echo "FAIL: injected fault printed a backtrace" >&2; fails=$((fails + 1)); }
+
+# 19. a delay injection is invisible: exit 0, bit-identical stdout
+"$cli" sybil --ring 3,1,2,5 --grid 6 --refine 1 \
+  --failpoints "budget.tick=delay@5" > "$tmpdir/delay.out" 2> /dev/null
+expect "delay injection" 0 $?
+"$cli" sybil --ring 3,1,2,5 --grid 6 --refine 1 > "$tmpdir/nodelay.out" 2> /dev/null
+cmp -s "$tmpdir/delay.out" "$tmpdir/nodelay.out" || {
+  echo "FAIL: delay injection changed stdout" >&2; fails=$((fails + 1)); }
 
 # 10. an unknown --obs-only subsystem is a spec error: exit 4, one line
 "$cli" decompose --fig1 --obs-only bogus > /dev/null 2> "$tmpdir/err"

@@ -1,0 +1,21 @@
+(* Fixture: violates the naked-retry rule (rule R): catch-all handlers
+   that re-invoke their enclosing recursive function are hand-rolled
+   retry loops — unbounded, unbudgeted, and blind to whether the error
+   is transient.  Retry.with_retry (lib/runtime) is the sanctioned
+   combinator. *)
+
+let fetch x = x + 1
+
+let rec poll n = try fetch n with _ -> poll n
+
+let rec drain n =
+  try fetch n
+  with e ->
+    (* re-raising does not redeem the retry call on the line below *)
+    if n = 0 then raise e;
+    drain (n - 1)
+
+let safe_read k =
+  (* non-recursive: a catch-all calling some *other* function is an
+     exnswallow problem at most, not a naked retry *)
+  try fetch k with _ -> 0

@@ -1,0 +1,613 @@
+(* Chaos battery (DESIGN.md §13): every registered failpoint gets a
+   scenario that runs a real operation — decompose, best_attack, hunt,
+   a batch, or the persistence layer those runs sit on — with a single
+   injected fault, and asserts the invariant trio:
+
+   1. the result is bit-identical to the fault-free run, or the
+      operation fails with a clean taxonomy error ([Injected _] /
+      [Io_error _]) — never a garbled result or an unclassified
+      exception;
+   2. on-disk artifacts (checkpoints, graphs, metrics files) stay
+      parseable: a failed write leaves the previous version intact;
+   3. caches never serve a corrupt entry: post-fault lookups still
+      produce the fault-free answer.
+
+   The enumeration test pins [Failpoint.names ()] against the scenario
+   table, so a new failpoint cannot be registered without a chaos case.
+   Everything here runs on tiny rings (n <= 8, grid 6, refine 1) to
+   keep the battery under its 2 s wall-clock budget. *)
+
+module Q = Rational
+module E = Ringshare_error
+module Ctx = Engine.Ctx
+
+(* counters are asserted below (retry, parwork fan-out) *)
+let () = Obs.set_metrics true
+
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+let tmp suffix = Filename.temp_file "ringshare-chaos" suffix
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let counter name =
+  Obs.counter_value (Obs.snapshot ()) ~subsystem:(fst name) (snd name)
+
+(* ------------------------------------------------------------------ *)
+(* Instances and fault-free baselines                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ring_of_ints ws =
+  let n = Array.length ws in
+  let b = Buffer.create 128 in
+  Buffer.add_string b "ringshare-graph v1\n";
+  Buffer.add_string b (Printf.sprintf "n %d\n" n);
+  Array.iteri (fun i w -> Buffer.add_string b (Printf.sprintf "w %d %d\n" i w)) ws;
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "e %d %d\n" i ((i + 1) mod n))
+  done;
+  Buffer.add_string b (Printf.sprintf "end %d\n" (1 + (2 * n)));
+  Serial.of_string (Buffer.contents b)
+
+let g4 = ring_of_ints [| 3; 1; 2; 5 |]
+let g5 = ring_of_ints [| 7; 2; 9; 4; 3 |]
+let ctx6 = Ctx.make ~grid:6 ~refine:1 ()
+let attack6 g = Incentive.best_attack ~ctx:ctx6 g
+
+let attack_equal (a : Incentive.attack) (b : Incentive.attack) =
+  a.v = b.v && Q.equal a.w1 b.w1 && Q.equal a.utility b.utility
+  && Q.equal a.honest b.honest && Q.equal a.ratio b.ratio
+
+let graph_equal a b = String.equal (Serial.to_string a) (Serial.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Spec harness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_spec spec f =
+  (match Failpoint.configure spec with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "spec %S rejected: %s" spec msg);
+  Fun.protect ~finally:Failpoint.clear f
+
+(* Invariant-trio parts 1 and 3 for a pure operation: under [spec] the
+   op either matches the fault-free baseline bit-identically or fails
+   with a clean taxonomy error; after [clear] it matches again. *)
+let fault_or_identical ~name ~equal ~spec op =
+  let baseline = op () in
+  with_spec spec (fun () ->
+      match E.capture op with
+      | Ok r ->
+          Alcotest.(check bool)
+            (name ^ ": faulted run identical to baseline")
+            true (equal r baseline)
+      | Error (E.Injected _) | Error (E.Io_error _) -> ()
+      | Error e -> Alcotest.failf "%s: unclean failure %s" name (E.to_string e));
+  Alcotest.(check bool)
+    (name ^ ": recovers to baseline after clear")
+    true
+    (equal (op ()) baseline)
+
+(* Invariant-trio part 2 for the atomic writers: a v1 artifact survives
+   a faulted v2 write byte-for-byte, and the v2 write lands once the
+   spec is cleared. *)
+let atomic_write_survives ~name ~spec ~write ~read ~v1 ~v2 =
+  let path = tmp ".chaos" in
+  write path v1;
+  let before = read path in
+  with_spec spec (fun () ->
+      match E.capture (fun () -> write path v2) with
+      | Error (E.Injected _) | Error (E.Io_error _) -> ()
+      | Ok () -> Alcotest.failf "%s: write should have faulted" name
+      | Error e -> Alcotest.failf "%s: unclean failure %s" name (E.to_string e));
+  Alcotest.(check string)
+    (name ^ ": previous version intact after faulted write")
+    before (read path);
+  write path v2;
+  Alcotest.(check bool) (name ^ ": write lands after clear") true
+    (read path <> before);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Per-site scenarios (one per registered failpoint)                   *)
+(* ------------------------------------------------------------------ *)
+
+let ckpt_fields = [ ("seed", "5"); ("trial", "9") ]
+let ckpt_fields' = [ ("seed", "5"); ("trial", "10") ]
+
+let checkpoint_scenario spec () =
+  let write path fields = Checkpoint.save ~path ~kind:"chaos" fields in
+  let read path =
+    match Checkpoint.load ~path ~kind:"chaos" with
+    | Ok fields -> String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) fields)
+    | Error e -> Alcotest.failf "checkpoint unparseable after fault: %s" (E.to_string e)
+  in
+  atomic_write_survives ~name:spec ~spec ~write ~read ~v1:ckpt_fields
+    ~v2:ckpt_fields'
+
+let serial_write_scenario spec () =
+  atomic_write_survives ~name:spec ~spec
+    ~write:(fun path g -> Serial.save path g)
+    ~read:(fun path -> Serial.to_string (Serial.load path))
+    ~v1:g4 ~v2:g5
+
+let artifact_scenario spec () =
+  atomic_write_survives ~name:spec ~spec
+    ~write:(fun path s -> Artifact.write ~path s)
+    ~read:read_file ~v1:"{\"v\":1}\n" ~v2:"{\"v\":2}\n"
+
+let serial_read_scenario spec () =
+  let path = tmp ".graph" in
+  Serial.save path g4;
+  (* load_r, not the historical load shim: the shim downgrades every
+     structured error to Invalid_argument, losing the taxonomy *)
+  fault_or_identical ~name:spec ~equal:graph_equal ~spec (fun () ->
+      match Serial.load_r path with Ok g -> g | Error e -> E.error e);
+  Sys.remove path
+
+let decompose_scenario ~solver spec () =
+  let ctx = Ctx.with_solver solver ctx6 in
+  fault_or_identical ~name:spec ~equal:Decompose.equal ~spec (fun () ->
+      Decompose.compute ~ctx g5)
+
+(* budget.tick fires inside the solver loops of a full attack search *)
+let budget_tick_scenario spec () =
+  fault_or_identical ~name:spec ~equal:attack_equal ~spec (fun () ->
+      attack6 g4)
+
+let cache_ctx cache = Ctx.with_cache cache ctx6
+
+(* trio part 3 for the cache sites: whatever the fault did to the
+   cache, subsequent (cached or recomputed) answers match the
+   cache-free baseline — no corrupt entry is ever served. *)
+let cache_never_corrupt name cache =
+  let baseline4 = Decompose.compute ~ctx:ctx6 g4
+  and baseline5 = Decompose.compute ~ctx:ctx6 g5 in
+  List.iter
+    (fun (g, baseline) ->
+      Alcotest.(check bool)
+        (name ^ ": post-fault cached answer matches baseline")
+        true
+        (Decompose.equal (Decompose.compute ~ctx:(cache_ctx cache) g) baseline))
+    [ (g4, baseline4); (g5, baseline5); (g4, baseline4) ]
+
+let cache_skip_scenario spec () =
+  let cache = Engine.Cache.create ~shards:1 ~capacity:8 () in
+  let baseline = Decompose.compute ~ctx:ctx6 g4 in
+  (* warm the cache fault-free so lookup-skip has a hit to miss *)
+  ignore (Decompose.compute ~ctx:(cache_ctx cache) g4);
+  with_spec spec (fun () ->
+      Alcotest.(check bool)
+        (spec ^ ": skip-injected cache run identical")
+        true
+        (Decompose.equal (Decompose.compute ~ctx:(cache_ctx cache) g4) baseline));
+  cache_never_corrupt spec cache
+
+let cache_evict_scenario spec () =
+  (* capacity 1 forces an eviction on the second distinct store *)
+  let cache = Engine.Cache.create ~shards:1 ~capacity:1 () in
+  ignore (Decompose.compute ~ctx:(cache_ctx cache) g4);
+  with_spec spec (fun () ->
+      match E.capture (fun () -> Decompose.compute ~ctx:(cache_ctx cache) g5) with
+      | Ok d ->
+          Alcotest.(check bool) (spec ^ ": result identical") true
+            (Decompose.equal d (Decompose.compute ~ctx:ctx6 g5))
+      | Error (E.Injected _) -> ()
+      | Error e -> Alcotest.failf "%s: unclean failure %s" spec (E.to_string e));
+  cache_never_corrupt spec cache
+
+let parwork_scenario spec () =
+  let xs = [| 1; 2; 3; 4 |] in
+  fault_or_identical ~name:spec
+    ~equal:(fun a b -> a = b)
+    ~spec
+    (fun () -> Parwork.map ~domains:2 succ xs)
+
+(* the scenario table IS the coverage contract: the enumeration test
+   below pins it against Failpoint.names () *)
+let scenarios =
+  [
+    ("artifact.rename", artifact_scenario "artifact.rename=error@1");
+    ("artifact.write", artifact_scenario "artifact.write=error@1");
+    ("budget.tick", budget_tick_scenario "budget.tick=error@40");
+    ("checkpoint.rename", checkpoint_scenario "checkpoint.rename=error@1");
+    ("checkpoint.write", checkpoint_scenario "checkpoint.write=error@1");
+    ("engine.cache.evict", cache_evict_scenario "engine.cache.evict=error@1");
+    ("engine.cache.insert", cache_skip_scenario "engine.cache.insert=skip");
+    ("engine.cache.lookup", cache_skip_scenario "engine.cache.lookup=skip");
+    ("parwork.spawn", parwork_scenario "parwork.spawn=error@1");
+    ("parwork.task", parwork_scenario "parwork.task=fail@3");
+    ("serial.parse", serial_read_scenario "serial.parse=error@1");
+    ("serial.read", serial_read_scenario "serial.read=error@1");
+    ("serial.rename", serial_write_scenario "serial.rename=error@1");
+    ("serial.write", serial_write_scenario "serial.write=error@1");
+    ( "solver.dinkelbach.iter",
+      decompose_scenario ~solver:Engine.Flow "solver.dinkelbach.iter=error@1" );
+    ( "solver.fastchain.iter",
+      decompose_scenario ~solver:Engine.FastChain "solver.fastchain.iter=error@2"
+    );
+    ( "solver.flow.iter",
+      decompose_scenario ~solver:Engine.Flow "solver.flow.iter=error@1" );
+  ]
+
+let test_registry_enumeration () =
+  Alcotest.(check (list string))
+    "registered failpoint sites"
+    [
+      "artifact.rename"; "artifact.write"; "budget.tick"; "checkpoint.rename";
+      "checkpoint.write"; "engine.cache.evict"; "engine.cache.insert";
+      "engine.cache.lookup"; "parwork.spawn"; "parwork.task"; "serial.parse";
+      "serial.read"; "serial.rename"; "serial.write"; "solver.dinkelbach.iter";
+      "solver.fastchain.iter"; "solver.flow.iter";
+    ]
+    (Failpoint.names ());
+  Alcotest.(check (list string))
+    "every registered site has a chaos scenario" (Failpoint.names ())
+    (List.sort String.compare (List.map fst scenarios))
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar: parse errors are all-or-nothing                       *)
+(* ------------------------------------------------------------------ *)
+
+let reject spec =
+  match Failpoint.configure spec with
+  | Error _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected without installing anything" spec)
+        false (Failpoint.active ())
+  | Ok () ->
+      Failpoint.clear ();
+      Alcotest.failf "spec %S should have been rejected" spec
+
+let test_spec_parser () =
+  reject "nope.such.site=error";
+  reject "budget.tick=explode";
+  reject "budget.tick";
+  reject "budget.tick=error@0";
+  reject "budget.tick=error@zz";
+  reject "budget.tick=error@p1.5";
+  reject "budget.tick=error@p0.5/seedx";
+  (* all-or-nothing: one bad entry poisons the whole spec *)
+  reject "budget.tick=error,nope.such.site=fail";
+  (match Failpoint.configure "budget.tick=delay@4,serial.read=skip" with
+  | Ok () -> Alcotest.(check bool) "valid spec activates" true (Failpoint.active ())
+  | Error msg -> Alcotest.failf "valid spec rejected: %s" msg);
+  Failpoint.clear ();
+  Alcotest.(check bool) "clear deactivates" false (Failpoint.active ())
+
+let test_nth_trigger () =
+  with_spec "budget.tick=error@3" (fun () ->
+      let raised k =
+        match Budget.tick Budget.unlimited with
+        | () -> false
+        | exception E.Error (E.Injected { site = "budget.tick"; transient = true })
+          ->
+            true
+        | exception e ->
+            Alcotest.failf "tick %d: unexpected %s" k (Printexc.to_string e)
+      in
+      Alcotest.(check (list bool))
+        "@3 fires on the third hit exactly"
+        [ false; false; true; false; false ]
+        (List.map raised [ 1; 2; 3; 4; 5 ]))
+
+let test_probability_trigger_deterministic () =
+  let pattern () =
+    with_spec "budget.tick=error@p0.4/seed7" (fun () ->
+        List.init 32 (fun _ ->
+            match Budget.tick Budget.unlimited with
+            | () -> false
+            | exception E.Error (E.Injected _) -> true))
+  in
+  let p1 = pattern () and p2 = pattern () in
+  Alcotest.(check (list bool)) "seeded stream replays identically" p1 p2;
+  Alcotest.(check bool) "fires sometimes" true (List.mem true p1);
+  Alcotest.(check bool) "not always" true (List.mem false p1)
+
+let test_skip_ignored_by_hit_sites () =
+  (* budget.tick calls [hit], which must ignore a [skip] action: the
+     budget still meters *)
+  with_spec "budget.tick=skip" (fun () ->
+      let b = Budget.create ~steps:3 () in
+      for _ = 1 to 3 do Budget.tick b done;
+      match Budget.tick b with
+      | () -> Alcotest.fail "budget stopped metering under skip"
+      | exception Budget.Exhausted _ -> ())
+
+let test_delay_is_invisible () =
+  with_spec "engine.cache.insert=delay@1" (fun () ->
+      let cache = Engine.Cache.create ~shards:1 ~capacity:8 () in
+      Alcotest.(check bool) "delay changes nothing" true
+        (attack_equal
+           (Incentive.best_attack ~ctx:(cache_ctx cache) g4)
+           (attack6 g4)))
+
+(* ------------------------------------------------------------------ *)
+(* Retry combinator                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let transient_blip = E.Io_error { file = "chaos"; msg = "transient blip" }
+
+let test_retry_recovers_transient () =
+  let n = ref 0 in
+  let v =
+    Retry.with_retry (fun () ->
+        incr n;
+        if !n < 3 then E.error transient_blip;
+        42)
+  in
+  Alcotest.(check int) "value after recovery" 42 v;
+  Alcotest.(check int) "two retries used" 3 !n
+
+let test_retry_gives_up () =
+  let n = ref 0 in
+  (match
+     Retry.with_retry (fun () ->
+         incr n;
+         E.error transient_blip)
+   with
+  | _ -> Alcotest.fail "should have given up"
+  | exception E.Error (E.Io_error _) -> ());
+  Alcotest.(check int) "default attempts exhausted" Retry.default_attempts !n
+
+let test_retry_skips_permanent () =
+  let n = ref 0 in
+  (match
+     Retry.with_retry (fun () ->
+         incr n;
+         E.error (E.Invalid_input "deterministic"))
+   with
+  | _ -> Alcotest.fail "should have raised"
+  | exception E.Error (E.Invalid_input _) -> ());
+  Alcotest.(check int) "permanent error not retried" 1 !n
+
+let test_retry_backoff_charged_to_budget () =
+  Alcotest.(check (list int)) "backoff schedule 8,16,32,64,64"
+    [ 8; 16; 32; 64; 64 ]
+    (List.map Retry.backoff_cost [ 1; 2; 3; 4; 5 ]);
+  (match Retry.with_retry ~attempts:0 (fun () -> ()) with
+  | () -> Alcotest.fail "attempts < 1 should be rejected"
+  | exception Invalid_argument _ -> ());
+  let n = ref 0 in
+  let budget = Budget.create ~steps:10 () in
+  match
+    Retry.with_retry ~attempts:5 ~budget (fun () ->
+        incr n;
+        E.error transient_blip)
+  with
+  | _ -> Alcotest.fail "should have tripped the budget"
+  | exception Budget.Exhausted _ ->
+      (* 8 steps after attempt 1 fits in 10; +16 after attempt 2 trips *)
+      Alcotest.(check int) "trip during second backoff" 2 !n
+
+(* the flagship robustness property: a one-shot transient fault inside
+   a batch is absorbed by run_batch_r's retry, so every row still
+   matches the fault-free baseline bit-identically *)
+let test_batch_retry_masks_transient_fault () =
+  let f ictx g = Decompose.compute ~ctx:ictx g in
+  let items = [| g4; g5 |] in
+  let baseline = Engine.run_batch_r ~ctx:ctx6 ~f items in
+  let retries_before = counter ("retry", "retries") in
+  with_spec "solver.fastchain.iter=error@2" (fun () ->
+      let rows = Engine.run_batch_r ~ctx:ctx6 ~f items in
+      Array.iteri
+        (fun i row ->
+          match (row, baseline.(i)) with
+          | Ok d, Ok b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "row %d identical despite fault" i)
+                true (Decompose.equal d b)
+          | _ -> Alcotest.failf "row %d not Ok" i)
+        rows);
+  Alcotest.(check bool) "the fault was absorbed by a retry" true
+    (counter ("retry", "retries") > retries_before)
+
+let test_batch_permanent_fault_is_isolated () =
+  let f ictx g = Decompose.compute ~ctx:ictx g in
+  let retries_before = counter ("retry", "retries") in
+  with_spec "solver.fastchain.iter=fail@1" (fun () ->
+      let rows = Engine.run_batch_r ~ctx:ctx6 ~f [| g4; g5 |] in
+      (match rows.(0) with
+      | Error (E.Injected { transient = false; _ }) -> ()
+      | Ok _ -> Alcotest.fail "row 0 should carry the injected fault"
+      | Error e -> Alcotest.failf "row 0 wrong error: %s" (E.to_string e));
+      match rows.(1) with
+      | Ok d ->
+          Alcotest.(check bool) "row 1 unaffected" true
+            (Decompose.equal d (Decompose.compute ~ctx:ctx6 g5))
+      | Error e -> Alcotest.failf "row 1 failed: %s" (E.to_string e));
+  Alcotest.(check int) "permanent faults are never retried" retries_before
+    (counter ("retry", "retries"))
+
+(* ------------------------------------------------------------------ *)
+(* Budget trip mid-batch: completed rows survive                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_budget_trips_midway () =
+  let f ictx g = Incentive.best_attack ~ctx:ictx g in
+  (* size a shared budget that finishes g4 but trips inside g5 *)
+  let steps_of g =
+    let b = Budget.create ~steps:10_000_000 () in
+    ignore (Incentive.best_attack ~ctx:(Ctx.with_budget b ctx6) g);
+    Budget.used_steps b
+  in
+  let s4 = steps_of g4 and s5 = steps_of g5 in
+  let shared = Budget.create ~steps:(s4 + (s5 / 2)) () in
+  let rows =
+    Engine.run_batch_r ~ctx:(Ctx.with_budget shared ctx6) ~f [| g4; g5 |]
+  in
+  (match rows.(0) with
+  | Ok a ->
+      Alcotest.(check bool) "completed row identical to baseline" true
+        (attack_equal a (attack6 g4))
+  | Error e -> Alcotest.failf "row 0 failed: %s" (E.to_string e));
+  match rows.(1) with
+  | Error (E.Budget_exhausted _) -> ()
+  | Ok _ -> Alcotest.fail "row 1 should have tripped the shared budget"
+  | Error e -> Alcotest.failf "row 1 wrong error: %s" (E.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_arm_materialises_deadline () =
+  let armed = Ctx.arm (Ctx.make ~deadline:5.0 ()) in
+  (match armed.Ctx.budget with
+  | Some b -> Alcotest.(check bool) "armed budget is limited" true (Budget.is_limited b)
+  | None -> Alcotest.fail "arm should create a budget");
+  (* an explicit budget wins: arm is the identity *)
+  let b = Budget.create ~steps:9 () in
+  let kept = Ctx.arm (Ctx.make ~budget:b ~deadline:5.0 ()) in
+  (match kept.Ctx.budget with
+  | Some b' -> Alcotest.(check bool) "explicit budget kept" true (b == b')
+  | None -> Alcotest.fail "explicit budget dropped");
+  (* no deadline: arm is the identity *)
+  match (Ctx.arm Ctx.default).Ctx.budget with
+  | None -> ()
+  | Some _ -> Alcotest.fail "arm invented a budget from nothing"
+
+let test_deadline_bounds_batch_items () =
+  (* a deadline already in the past trips at the first budget tick of
+     every item, surfacing as a per-row taxonomy error *)
+  let ctx = Ctx.make ~grid:6 ~refine:1 ~deadline:(-1.0) () in
+  let rows =
+    Engine.run_batch_r ~ctx ~f:(fun ictx g -> Incentive.best_attack ~ctx:ictx g)
+      [| g4; g5 |]
+  in
+  Array.iteri
+    (fun i row ->
+      match row with
+      | Error (E.Budget_exhausted _) -> ()
+      | Ok _ -> Alcotest.failf "row %d beat an expired deadline" i
+      | Error e -> Alcotest.failf "row %d wrong error: %s" i (E.to_string e))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Hunt under injection: per-trial faults are counted, not fatal       *)
+(* ------------------------------------------------------------------ *)
+
+let run_hunt () = Experiments.hunt ~ctx:ctx6 ~seed:3 ~trials:3 null_fmt
+
+let hunt_equal (a : Experiments.hunt_result) (b : Experiments.hunt_result) =
+  Q.equal a.best_ratio b.best_ratio
+  && a.best_trial = b.best_trial && a.best_v = b.best_v
+  && a.trials_done = b.trials_done && a.failed_trials = b.failed_trials
+
+let test_hunt_under_injection () =
+  let baseline = run_hunt () in
+  with_spec "budget.tick=error@200" (fun () ->
+      let faulted = run_hunt () in
+      Alcotest.(check bool)
+        "hunt either matches the baseline or isolated the faulted trial"
+        true
+        (hunt_equal faulted baseline
+        || faulted.failed_trials > 0
+        || Result.is_error faulted.hunt_status));
+  Alcotest.(check bool) "hunt recovers to baseline after clear" true
+    (hunt_equal (run_hunt ()) baseline)
+
+(* ------------------------------------------------------------------ *)
+(* No-spec bit-identity: instrumentation is invisible when inactive    *)
+(* (values pinned against the pre-instrumentation CLI output)          *)
+(* ------------------------------------------------------------------ *)
+
+let check_attack name (a : Incentive.attack) v w1 utility honest ratio =
+  Alcotest.(check int) (name ^ " v") v a.v;
+  Alcotest.(check string) (name ^ " w1") w1 (Q.to_string a.w1);
+  Alcotest.(check string) (name ^ " utility") utility (Q.to_string a.utility);
+  Alcotest.(check string) (name ^ " honest") honest (Q.to_string a.honest);
+  Alcotest.(check string) (name ^ " ratio") ratio (Q.to_string a.ratio)
+
+let test_no_spec_bit_identity () =
+  Alcotest.(check bool) "no spec active" false (Failpoint.active ());
+  check_attack "ring 3,1,2,5" (attack6 g4) 0 "5/6" "18/5" "18/5" "1";
+  check_attack "ring 7,2,9,4,3" (attack6 g5) 0 "14/3" "5" "63/16" "80/63";
+  let rows =
+    Engine.run_batch_r ~ctx:ctx6
+      ~f:(fun ictx g -> Incentive.best_attack ~ctx:ictx g)
+      [| g4; g5 |]
+  in
+  match (rows.(0), rows.(1)) with
+  | Ok a, Ok b ->
+      check_attack "batch row 0" a 0 "5/6" "18/5" "18/5" "1";
+      check_attack "batch row 1" b 0 "14/3" "5" "63/16" "80/63"
+  | _ -> Alcotest.fail "batch rows not Ok"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-sweep threshold: small fan-outs fall back to serial        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_threshold () =
+  let g8 = Instances.ring ~seed:1 ~n:8 (Weights.Uniform (1, 100)) in
+  let spawned () = counter ("parwork", "domains_spawned") in
+  (* grid 8, refine 1: (8+1)*(1+1) = 18 evals < parallel_evals_min, so
+     domains:2 must take the serial path — no domains spawned, result
+     bit-identical (the BENCH_ringshare.json regression this fixes) *)
+  let before = spawned () in
+  let par =
+    Incentive.best_attack ~ctx:(Ctx.make ~grid:8 ~refine:1 ~domains:2 ()) g8
+  in
+  Alcotest.(check int) "small sweep stays serial" before (spawned ());
+  let ser = Incentive.best_attack ~ctx:(Ctx.make ~grid:8 ~refine:1 ()) g8 in
+  Alcotest.(check bool) "serial fallback is bit-identical" true
+    (attack_equal par ser);
+  (* the default grid/refine is over the threshold: domains spawn *)
+  let big = Incentive.best_attack ~ctx:(Ctx.make ~domains:2 ()) g8 in
+  Alcotest.(check bool) "default-resolution sweep parallelises" true
+    (spawned () > before);
+  Alcotest.(check bool) "parallel default sweep bit-identical" true
+    (attack_equal big (Incentive.best_attack ~ctx:(Ctx.make ()) g8))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "enumeration" `Quick test_registry_enumeration;
+          Alcotest.test_case "spec_parser" `Quick test_spec_parser;
+          Alcotest.test_case "nth_trigger" `Quick test_nth_trigger;
+          Alcotest.test_case "probability_trigger" `Quick
+            test_probability_trigger_deterministic;
+          Alcotest.test_case "skip_ignored_by_hit" `Quick
+            test_skip_ignored_by_hit_sites;
+          Alcotest.test_case "delay_invisible" `Quick test_delay_is_invisible;
+        ] );
+      ( "battery",
+        List.map
+          (fun (site, fn) -> Alcotest.test_case site `Quick fn)
+          scenarios );
+      ( "retry",
+        [
+          Alcotest.test_case "recovers_transient" `Quick
+            test_retry_recovers_transient;
+          Alcotest.test_case "gives_up" `Quick test_retry_gives_up;
+          Alcotest.test_case "skips_permanent" `Quick test_retry_skips_permanent;
+          Alcotest.test_case "backoff_budget" `Quick
+            test_retry_backoff_charged_to_budget;
+          Alcotest.test_case "batch_masks_transient" `Quick
+            test_batch_retry_masks_transient_fault;
+          Alcotest.test_case "batch_isolates_permanent" `Quick
+            test_batch_permanent_fault_is_isolated;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "batch_trip_midway" `Quick
+            test_batch_budget_trips_midway;
+          Alcotest.test_case "arm_deadline" `Quick test_arm_materialises_deadline;
+          Alcotest.test_case "deadline_bounds_items" `Quick
+            test_deadline_bounds_batch_items;
+        ] );
+      ("hunt", [ Alcotest.test_case "injection" `Quick test_hunt_under_injection ]);
+      ( "identity",
+        [
+          Alcotest.test_case "no_spec_bit_identity" `Quick
+            test_no_spec_bit_identity;
+          Alcotest.test_case "parallel_threshold" `Quick test_parallel_threshold;
+        ] );
+    ]

@@ -53,6 +53,15 @@ let test_bad_determinism () =
     [ ("determinism", 4); ("determinism", 6); ("determinism", 10);
       ("determinism", 14) ]
 
+let test_bad_nakedretry () =
+  check_findings "bad_nakedretry.ml"
+    [
+      ("no-naked-retry", 9);
+      ("exnswallow", 9);
+      ("no-naked-retry", 13);
+      ("exnswallow", 21);
+    ]
+
 let test_clean () = check_findings "clean.ml" []
 
 let test_exit_codes () =
@@ -128,9 +137,14 @@ let test_bad_rule_name_is_spec_error () =
 
 let test_scope_map () =
   let active rel = List.map F.rule_name (Lint_scope.rules_for rel) in
-  Alcotest.(check (list string)) "exact core gets all five"
-    [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift" ]
+  Alcotest.(check (list string)) "exact core gets all six"
+    [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift";
+      "no-naked-retry" ]
     (active "bigint/bigint.ml");
+  Alcotest.(check bool) "runtime owns Retry: no-naked-retry off there" false
+    (List.exists (String.equal "no-naked-retry") (active "runtime/retry.ml"));
+  Alcotest.(check bool) "no-naked-retry active in core" true
+    (List.exists (String.equal "no-naked-retry") (active "core/incentive.ml"));
   Alcotest.(check bool) "engine owns the knobs: config-drift off there" false
     (List.exists (String.equal "config-drift") (active "engine/engine.ml"));
   Alcotest.(check bool) "config-drift active in core" true
@@ -143,7 +157,8 @@ let test_scope_map () =
     (List.exists (String.equal "float") (active "dynamics/prd_exact.ml"));
   Alcotest.(check (list string))
     "obs is exact-core: float ban and determinism active"
-    [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift" ]
+    [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift";
+      "no-naked-retry" ]
     (active "obs/obs.ml");
   Alcotest.(check (list string)) "lint sources are skipped" []
     (active "lint/lint_check.ml")
@@ -158,6 +173,7 @@ let () =
           Alcotest.test_case "bad_exnswallow" `Quick test_bad_exnswallow;
           Alcotest.test_case "bad_determinism" `Quick test_bad_determinism;
           Alcotest.test_case "bad_configdrift" `Quick test_bad_configdrift;
+          Alcotest.test_case "bad_nakedretry" `Quick test_bad_nakedretry;
           Alcotest.test_case "clean" `Quick test_clean;
           Alcotest.test_case "exit_codes" `Quick test_exit_codes;
         ] );
