@@ -208,6 +208,97 @@ let benchmarks cases =
        groups)
 
 (* ------------------------------------------------------------------ *)
+(* Scaling ladder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fast-chain decomposition at n = 1k..1M.  Bechamel's quota-driven
+   looping is the wrong tool for multi-second runs, so the ladder is
+   hand-timed: best of [reps] wall-clock runs per size (best-of fights
+   scheduler noise on a loaded single-core box).  Rows land in
+   BENCH_ringshare.json as ns/run together with per-decade ratio rows
+   and a fitted scaling exponent — the machine-checkable linearity
+   claim: an O(n log n) driver keeps every decade ratio well under the
+   15x acceptance line.  Smoke mode runs a capped ladder (1k/10k) under
+   a deadline so `dune runtest` stays fast. *)
+
+let ladder_sizes full =
+  if full then [ 1_000; 10_000; 100_000; 1_000_000 ] else [ 1_000; 10_000 ]
+
+let ladder_rounds full = if full then 4 else 2
+let ladder_deadline_s = 180.0
+
+let run_ladder ~full =
+  let t_start = Unix.gettimeofday () in
+  let sizes = Array.of_list (ladder_sizes full) in
+  let graphs = Array.map ring sizes in
+  let best = Array.map (fun _ -> infinity) sizes in
+  let ctx = Engine.Ctx.make ~solver:Decompose.FastChain () in
+  (* Rounds are interleaved across sizes (1k, 10k, ..., 1M, then again)
+     rather than best-of-k per size: background load on a shared box
+     drifts on a timescale of seconds, so consecutive runs of one size
+     share the same load regime and their minimum is still biased.
+     Spreading each size's samples across the whole measurement window
+     decorrelates the per-size minima the decade ratios divide. *)
+  for _ = 1 to ladder_rounds full do
+    Array.iteri
+      (fun i g ->
+        if Unix.gettimeofday () -. t_start < ladder_deadline_s then begin
+          (* level the GC playing field: no rung inherits another's
+             major heap *)
+          Gc.compact ();
+          (* small rungs get extra inner repetitions against timer and
+             scheduler quantisation; they cost microseconds *)
+          let inner = if sizes.(i) <= 10_000 then 3 else 1 in
+          for _ = 1 to inner do
+            let t0 = Unix.gettimeofday () in
+            ignore (Decompose.compute ~ctx g);
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt < best.(i) then best.(i) <- dt
+          done;
+          Obs.record_gc ()
+        end)
+      graphs
+  done;
+  let timings =
+    Array.to_list (Array.map2 (fun n t -> (n, t)) sizes best)
+    |> List.filter (fun (_, t) -> t < infinity)
+  in
+  List.iter
+    (fun (n, t) ->
+      Format.printf "ladder fast-chain/n=%-8d %10.1f ms@." n (t *. 1e3))
+    timings;
+  let rows =
+    List.map
+      (fun (n, t) ->
+        (Printf.sprintf "ringshare/ladder/fast-chain/n=%d" n, t *. 1e9))
+      timings
+  in
+  let ratios =
+    let rec decades = function
+      | (n1, t1) :: ((n2, t2) :: _ as rest) ->
+          ( Printf.sprintf "ringshare/ladder/fast-chain/ratio/n=%d-over-n=%d"
+              n2 n1,
+            t2 /. t1 )
+          :: decades rest
+      | _ -> []
+    in
+    decades timings
+  in
+  let exponent =
+    match (timings, List.rev timings) with
+    | (n1, t1) :: _, (n2, t2) :: _ when n2 > n1 ->
+        let e =
+          log (t2 /. t1) /. log (float_of_int n2 /. float_of_int n1)
+        in
+        [ ("ringshare/ladder/fast-chain/scaling-exponent", e) ]
+    | _ -> []
+  in
+  List.iter
+    (fun (name, v) -> Format.printf "ladder %-52s %10.3f@." name v)
+    (ratios @ exponent);
+  rows @ ratios @ exponent
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -215,6 +306,9 @@ let json_file = "BENCH_ringshare.json"
 let metrics_file = "METRICS_ringshare.json"
 
 let write_metrics () =
+  (* final GC reading so the gc gauges reflect the whole run (the
+     ladder also records after each size, feeding top_heap_words) *)
+  Obs.record_gc ();
   Artifact.write ~path:metrics_file
     (Obs.to_json ~spans:true (Obs.snapshot ()));
   Format.printf "wrote %s@." metrics_file
@@ -242,7 +336,7 @@ let write_json rows =
   close_out oc;
   Format.printf "wrote %s (%d entries)@." json_file n
 
-let run_benchmarks () =
+let run_benchmarks ~extra_rows () =
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
@@ -271,7 +365,7 @@ let run_benchmarks () =
           | _ -> Format.printf "%-44s %14s@." test "n/a")
         rows)
     merged;
-  write_json (List.sort compare !json_rows)
+  write_json (List.sort compare (extra_rows @ !json_rows))
 
 let run_smoke () =
   (* Execute every benchmark closure exactly once.  No timing: the point
@@ -296,10 +390,14 @@ let () =
   Obs.set_spans true;
   if smoke then begin
     run_smoke ();
+    ignore (run_ladder ~full:false);
     write_metrics ()
   end
   else begin
     let fmt = Format.std_formatter in
+    (* the ladder runs first, on a cold heap: its decade ratios are the
+       linearity claim, so they must not inherit the battery's GC load *)
+    let ladder_rows = if no_bench then [] else run_ladder ~full:true in
     let failures =
       if bench_only then []
       else begin
@@ -324,7 +422,7 @@ let () =
         failures
       end
     in
-    if not no_bench then run_benchmarks ();
+    if not no_bench then run_benchmarks ~extra_rows:ladder_rows ();
     write_metrics ();
     if failures <> [] then exit 1
   end

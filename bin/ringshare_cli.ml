@@ -538,6 +538,8 @@ let obs_wrap metrics spans obs_only failpoints body =
         (match metrics with
         | None -> ()
         | Some path ->
+            (* final GC reading so the gc gauges cover the whole run *)
+            Obs.record_gc ();
             let snap = Obs.snapshot () in
             let snap =
               match only with

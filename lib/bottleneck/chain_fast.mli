@@ -14,6 +14,18 @@
     Produces bit-identical results to {!Chain_solver} (property-tested);
     the ablation benchmark quantifies the speedup. *)
 
+val solve_path : Graph.t -> alpha:Rational.t -> int array -> Rational.t * int list
+(** One DP evaluation over a path component given as its vertex sequence:
+    [(h_comp(α), members)] where [members] are the vertex ids of the
+    component's maximal minimiser at [α].  Mask-independent — weights are
+    read straight off the graph — so the per-component decomposition
+    driver ({!Chain_decompose}) reuses it as the exact-rational fallback
+    when weights do not admit a small common denominator. *)
+
+val solve_cycle : Graph.t -> alpha:Rational.t -> int array -> Rational.t * int list
+(** As {!solve_path} for a cycle component ([verts] in ring order,
+    length ≥ 3). *)
+
 val h_and_argmax :
   ?budget:Budget.t -> Graph.t -> mask:Vset.t -> alpha:Rational.t ->
   Rational.t * Vset.t

@@ -57,8 +57,10 @@ let note_auto solver (module S : Engine.SOLVER) =
       else if String.equal S.name "flow" then Obs.Counter.incr c_auto_flow
   | _ -> ()
 
-let compute_backend ~ctx (module S : Engine.SOLVER) g =
-  Obs.Counter.incr c_computes;
+(* The generic extraction loop: one whole-mask maximal-bottleneck solve
+   per pair.  Works for every backend; fast-chain on chain graphs is
+   instead routed to the O(n log n) per-component driver below. *)
+let generic_loop ~ctx (module S : Engine.SOLVER) g =
   let budget = ctx.Engine.Ctx.budget in
   let rec go mask acc =
     if Vset.is_empty mask then List.rev acc
@@ -78,8 +80,37 @@ let compute_backend ~ctx (module S : Engine.SOLVER) g =
   in
   go (Graph.full_mask g) []
 
+let compute_backend ~ctx (module S : Engine.SOLVER) g =
+  Obs.Counter.incr c_computes;
+  if String.equal S.name "fast-chain" && Graph.is_chain_graph g then begin
+    (* Per-component driver: same pairs, without re-solving untouched
+       components each round (see Chain_decompose).  [on_pair] mirrors
+       the generic loop's per-pair budget tick. *)
+    let budget = ctx.Engine.Ctx.budget in
+    let on_pair () = Option.iter (fun b -> Budget.tick b) budget in
+    (* the driver supplies α from its scaled integer sums — the same
+       canonical rational pair_alpha would recompute by re-summing
+       rational weights over every vertex *)
+    Chain_decompose.compute ~ctx ~on_pair g
+    |> List.map (fun (b, c, alpha) ->
+           Obs.Counter.incr c_pairs;
+           { b; c; alpha })
+  end
+  else generic_loop ~ctx (module S) g
+
+(* Cache keys digest the serial line stream directly: no [to_string]
+   payload and no adjacency rehydration for implicit ring/path
+   backends. *)
 let cache_key (module S : Engine.SOLVER) g =
-  S.name ^ ":" ^ Digest.to_hex (Digest.string (Serial.to_string g))
+  S.name ^ ":" ^ Serial.digest g
+
+(* Early-exit scan instead of summing rational weights over the whole
+   vertex set: the guard only needs existence of a nonzero weight, and
+   the sum was the single biggest allocator at n = 10⁶. *)
+let all_weights_zero g =
+  let n = Graph.n g in
+  let rec go v = v >= n || (Q.is_zero (Graph.weight g v) && go (v + 1)) in
+  go 0
 
 let compute ?ctx ?budget g =
   Obs.Span.with_ "decompose" @@ fun () ->
@@ -90,7 +121,7 @@ let compute ?ctx ?budget g =
       | Some b -> Engine.Ctx.with_budget b ctx
       | None -> ctx)
   in
-  if Q.is_zero (Graph.weight_of_set g (Graph.full_mask g)) then
+  if all_weights_zero g then
     invalid_arg "Decompose.compute: all weights are zero";
   let solver = ctx.Engine.Ctx.solver in
   let backend = resolve g solver in
@@ -236,6 +267,14 @@ let validate g d =
   in
   let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
   check_partition () >>= check_alphas >>= check_structure >>= check_cross_edges
+
+module For_testing = struct
+  let compute_generic ?ctx g =
+    let ctx = Engine.Ctx.arm (Engine.Ctx.get ctx) in
+    if all_weights_zero g then
+      invalid_arg "Decompose.compute: all weights are zero";
+    generic_loop ~ctx (resolve g ctx.Engine.Ctx.solver) g
+end
 
 let pp fmt d =
   Format.fprintf fmt "@[<v>";

@@ -88,3 +88,11 @@ val validate : Graph.t -> t -> (unit, string) result
     zero-weight neighbourhood. *)
 
 val pp : Format.formatter -> t -> unit
+
+module For_testing : sig
+  val compute_generic : ?ctx:Engine.Ctx.t -> Graph.t -> t
+  (** The generic whole-mask extraction loop with the context's resolved
+      backend, bypassing the {!Chain_decompose} routing (and any cache).
+      The differential battery pins [compute] against this on chain
+      graphs; production callers use {!compute}. *)
+end

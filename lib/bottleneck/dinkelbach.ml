@@ -7,7 +7,11 @@ let c_iters =
 
 let fp_iter = Failpoint.register "solver.dinkelbach.iter"
 
-let solve ?(budget = Budget.unlimited) ~oracle ~alpha_of init =
+(* Polymorphic in the minimiser-set representation: the Vset instance
+   below serves the classic whole-mask solvers, while the chain driver
+   runs the same iteration (same counters, failpoint, fuel and budget
+   discipline) over flat member arrays per component. *)
+let solve_poly ?(budget = Budget.unlimited) ~oracle ~alpha_of init =
   Obs.Counter.incr c_solves;
   let fail m = Ringshare_error.(error (Oracle_inconsistent m)) in
   let rec iterate alpha guard =
@@ -29,6 +33,9 @@ let solve ?(budget = Budget.unlimited) ~oracle ~alpha_of init =
      sequences through that set are finite, but guard against oracle bugs
      with a generous fuel bound. *)
   iterate init 100_000
+
+let solve ?budget ~oracle ~alpha_of init =
+  solve_poly ?budget ~oracle ~alpha_of init
 
 let solve_r ?budget ~oracle ~alpha_of init =
   Ringshare_error.capture (fun () -> solve ?budget ~oracle ~alpha_of init)

@@ -7,6 +7,19 @@
     step strictly decreases α through the finite set of achievable ratios,
     so the iteration terminates. *)
 
+val solve_poly :
+  ?budget:Budget.t ->
+  oracle:(alpha:Rational.t -> Rational.t * 'set) ->
+  alpha_of:('set -> Rational.t) ->
+  Rational.t ->
+  'set * Rational.t
+(** The iteration, polymorphic in the minimiser-set representation so
+    allocation-lean callers (the chain decomposition driver) can carry
+    flat member arrays instead of [Vset.t].  Counters, the
+    [solver.dinkelbach.iter] failpoint, the fuel guard and budget
+    ticking are identical to {!solve}, which is this function at
+    [Vset.t]. *)
+
 val solve :
   ?budget:Budget.t ->
   oracle:(alpha:Rational.t -> Rational.t * Vset.t) ->

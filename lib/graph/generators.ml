@@ -3,16 +3,14 @@ module Q = Rational
 let ring weights =
   let n = Array.length weights in
   if n < 3 then invalid_arg "Generators.ring: need at least 3 vertices";
-  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
-  Graph.create ~weights ~edges
+  Graph.ring ~weights
 
 let ring_of_ints w = ring (Array.map Q.of_int w)
 
 let path weights =
   let n = Array.length weights in
   if n < 2 then invalid_arg "Generators.path: need at least 2 vertices";
-  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
-  Graph.create ~weights ~edges
+  Graph.path ~weights
 
 let path_of_ints w = path (Array.map Q.of_int w)
 

@@ -17,6 +17,49 @@ val create : weights:Rational.t array -> edges:(int * int) list -> t
 
 val of_int_weights : weights:int array -> edges:(int * int) list -> t
 
+val ring : weights:Rational.t array -> t
+(** The canonical cycle [0 - 1 - ... - n-1 - 0] on an implicit adjacency
+    backend: no [int array array] is materialised, [neighbors]/[mem_edge]
+    are O(1) in both time and resident memory.  Requires [n >= 3].
+    @raise Invalid_argument on negative weights or [n < 3]. *)
+
+val path : weights:Rational.t array -> t
+(** The canonical path [0 - 1 - ... - n-1] on an implicit adjacency
+    backend.  Requires [n >= 1].
+    @raise Invalid_argument on negative weights or [n < 1]. *)
+
+val materialise : t -> t
+(** The same abstract graph on the explicit adjacency-array backend
+    (identity on already-explicit graphs).  Used by differential tests to
+    pin implicit-backend equivalence. *)
+
+val repr : t -> [ `Lists | `Ring | `Path ]
+(** Which adjacency backend carries the graph (observability/testing;
+    never affects results). *)
+
+(** Incremental construction for streaming readers: feed weights and
+    edges one directive at a time, with no intermediate edge list.
+    [finish] applies the same validation (and raises the same
+    [Invalid_argument] messages) as {!create}, and selects an implicit
+    backend when the edge set is exactly the canonical ring or path. *)
+module Builder : sig
+  type b
+
+  val create : n:int -> b
+  (** All weights start at zero. *)
+
+  val set_weight : b -> int -> Rational.t -> unit
+  (** Overwrites the weight of one vertex (last write wins; negativity is
+      reported by [finish], matching {!create}'s eof-attributed error). *)
+
+  val add_edge : b -> int -> int -> unit
+  (** @raise Invalid_argument on out-of-range endpoints or self-loops
+      (duplicate detection is deferred to [finish]). *)
+
+  val finish : b -> t
+  (** @raise Invalid_argument on duplicate edges or negative weights. *)
+end
+
 val with_weight : t -> int -> Rational.t -> t
 (** Functional update of one vertex weight. *)
 
@@ -35,9 +78,20 @@ val degree : t -> int -> int
 val neighbors : t -> int -> int array
 (** Sorted, without duplicates.  Do not mutate. *)
 
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbour of [v] in
+    strictly increasing order.  Allocation-free on every backend — the
+    traversal primitive for hot loops. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
 val mem_edge : t -> int -> int -> bool
 val edges : t -> (int * int) list
 (** Each undirected edge once, as [(u, v)] with [u < v]. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] applies [f u v] to each edge once ([u < v]), in the
+    same order as {!edges}, without building the list. *)
 
 val max_degree : t -> int
 val is_ring : t -> bool

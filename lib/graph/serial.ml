@@ -5,99 +5,168 @@ let fp_rename = Failpoint.register "serial.rename"
 let fp_read = Failpoint.register "serial.read"
 let fp_parse = Failpoint.register "serial.parse"
 
-let to_string g =
-  let buf = Buffer.create 256 in
+(* One pass over the v1 lines (no trailing newline on [emit]ted lines):
+   the single source of truth for [to_string], the streaming [save] and
+   the cache [digest], none of which need the whole serialisation in
+   memory at once.  Edges stream via [Graph.iter_edges], so implicit
+   ring/path backends serialise without rehydrating adjacency arrays. *)
+let iter_lines g emit =
+  emit header;
   let directives = ref 0 in
   let add fmt =
     Printf.ksprintf
       (fun s ->
         incr directives;
-        Buffer.add_string buf (s ^ "\n"))
+        emit s)
       fmt
   in
-  Buffer.add_string buf (header ^ "\n");
   add "n %d" (Graph.n g);
   for v = 0 to Graph.n g - 1 do
     add "w %d %s" v (Rational.to_string (Graph.weight g v))
   done;
-  List.iter (fun (u, v) -> add "e %d %d" u v) (Graph.edges g);
-  Buffer.add_string buf (Printf.sprintf "end %d\n" !directives);
+  Graph.iter_edges g (fun u v -> add "e %d %d" u v);
+  emit (Printf.sprintf "end %d" !directives)
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  iter_lines g (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n');
   Buffer.contents buf
 
-(* Structured parser.  [strict] additionally demands the [end] footer that
-   [to_string] emits, so a file truncated at a line boundary is detected;
-   hand-written strings without a footer stay accepted in lax mode. *)
-let parse ?file ~strict s =
+(* Stable content digest for cache keys.  MD5 over the serial line
+   stream, folded in bounded chunks (digest-of-chunk-digests) so neither
+   the serialisation nor any adjacency materialisation is ever resident —
+   a million-vertex ring digests in O(chunk) memory.  Equal serialised
+   content yields equal digests whichever backend carries the graph. *)
+let digest g =
+  let chunk = Buffer.create 65536 in
+  let folded = Buffer.create 256 in
+  let flush_chunk () =
+    if Buffer.length chunk > 0 then begin
+      Buffer.add_string folded (Digest.string (Buffer.contents chunk));
+      Buffer.clear chunk
+    end
+  in
+  iter_lines g (fun line ->
+      Buffer.add_string chunk line;
+      Buffer.add_char chunk '\n';
+      if Buffer.length chunk >= 65536 then flush_chunk ());
+  flush_chunk ();
+  Digest.to_hex (Digest.string (Buffer.contents folded))
+
+(* Structured parser over a pull-based line source, building through
+   [Graph.Builder] — no intermediate edge list, so streaming a
+   million-vertex file allocates only the graph itself.  [strict]
+   additionally demands the [end] footer that [to_string] emits, so a
+   file truncated at a line boundary is detected; hand-written strings
+   without a footer stay accepted in lax mode. *)
+let parse_source ?file ~strict next =
   Failpoint.hit fp_parse;
   let fail line fmt =
     Printf.ksprintf
       (fun msg -> Ringshare_error.(error (Parse_error { file; line; msg })))
       fmt
   in
-  let lines = String.split_on_char '\n' s in
-  let n = ref (-1) in
-  let weights = ref [||] in
-  let edges = ref [] in
+  let builder = ref None in
+  let bn = ref (-1) in
   let saw_header = ref false in
   let directives = ref 0 in
   let footer = ref None in
-  List.iteri
-    (fun i raw ->
-      let line = i + 1 in
-      let text =
-        match String.index_opt raw '#' with
-        | Some j -> String.sub raw 0 j
-        | None -> raw
-      in
-      match
-        String.split_on_char ' ' (String.trim text)
-        |> List.filter (fun t -> t <> "")
-      with
-      | [] -> ()
-      | toks when !footer <> None ->
-          fail line "content after end marker: %S" (String.concat " " toks)
-      | toks when not !saw_header ->
-          if String.trim text = header then saw_header := true
-          else fail line "expected header %S, got %S" header (String.concat " " toks)
-      | [ "n"; count ] -> (
-          incr directives;
-          match int_of_string_opt count with
-          | Some c when c >= 0 ->
-              n := c;
-              weights := Array.make c Rational.zero
-          | _ -> fail line "bad vertex count %S" count)
-      | [ "w"; v; q ] -> (
-          incr directives;
-          if !n < 0 then fail line "w before n";
-          match int_of_string_opt v with
-          | Some v when v >= 0 && v < !n -> (
-              match Rational.of_string q with
-              | q -> !weights.(v) <- q
-              | exception _ -> fail line "bad weight %S" q)
-          | _ -> fail line "bad vertex id %S" v)
-      | [ "e"; u; v ] -> (
-          incr directives;
-          if !n < 0 then fail line "e before n";
-          match (int_of_string_opt u, int_of_string_opt v) with
-          | Some u, Some v -> edges := (u, v) :: !edges
-          | _ -> fail line "bad edge %S %S" u v)
-      | [ "end" ] -> footer := Some line
-      | [ "end"; count ] -> (
-          match int_of_string_opt count with
-          | Some c when c = !directives -> footer := Some line
-          | Some c ->
-              fail line "end count %d does not match %d directives (truncated?)"
-                c !directives
-          | None -> fail line "bad end count %S" count)
-      | toks -> fail line "unrecognised directive %S" (String.concat " " toks))
-    lines;
-  let eof = List.length lines in
+  let lineno = ref 0 in
+  let process raw =
+    let line = !lineno in
+    let text =
+      match String.index_opt raw '#' with
+      | Some j -> String.sub raw 0 j
+      | None -> raw
+    in
+    match
+      String.split_on_char ' ' (String.trim text)
+      |> List.filter (fun t -> not (String.equal t ""))
+    with
+    | [] -> ()
+    | toks when !footer <> None ->
+        fail line "content after end marker: %S" (String.concat " " toks)
+    | toks when not !saw_header ->
+        if String.equal (String.trim text) header then saw_header := true
+        else
+          fail line "expected header %S, got %S" header (String.concat " " toks)
+    | [ "n"; count ] -> (
+        incr directives;
+        if !bn >= 0 then fail line "duplicate n directive";
+        match int_of_string_opt count with
+        | Some c when c >= 0 ->
+            bn := c;
+            builder := Some (Graph.Builder.create ~n:c)
+        | _ -> fail line "bad vertex count %S" count)
+    | [ "w"; v; q ] -> (
+        incr directives;
+        match !builder with
+        | None -> fail line "w before n"
+        | Some b -> (
+            match int_of_string_opt v with
+            | Some v when v >= 0 && v < !bn -> (
+                match Rational.of_string q with
+                | q -> Graph.Builder.set_weight b v q
+                | exception _ -> fail line "bad weight %S" q)
+            | _ -> fail line "bad vertex id %S" v))
+    | [ "e"; u; v ] -> (
+        incr directives;
+        match !builder with
+        | None -> fail line "e before n"
+        | Some b -> (
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v -> (
+                try Graph.Builder.add_edge b u v
+                with Invalid_argument m -> fail line "%s" m)
+            | _ -> fail line "bad edge %S %S" u v))
+    | [ "end" ] -> footer := Some line
+    | [ "end"; count ] -> (
+        match int_of_string_opt count with
+        | Some c when c = !directives -> footer := Some line
+        | Some c ->
+            fail line "end count %d does not match %d directives (truncated?)" c
+              !directives
+        | None -> fail line "bad end count %S" count)
+    | toks -> fail line "unrecognised directive %S" (String.concat " " toks)
+  in
+  let rec drain () =
+    match next () with
+    | None -> ()
+    | Some raw ->
+        incr lineno;
+        process raw;
+        drain ()
+  in
+  drain ();
+  let eof = !lineno + 1 in
   if not !saw_header then fail eof "missing header";
-  if !n < 0 then fail eof "missing n directive";
-  if strict && !footer = None then
-    fail eof "missing end marker (file truncated?)";
-  try Graph.create ~weights:!weights ~edges:(List.rev !edges)
-  with Invalid_argument m -> fail eof "%s" m
+  match !builder with
+  | None -> fail eof "missing n directive"
+  | Some b ->
+      if strict && !footer = None then
+        fail eof "missing end marker (file truncated?)";
+      (try Graph.Builder.finish b
+       with Invalid_argument m -> fail eof "%s" m)
+
+(* String entry point: feed the split segments through the line source.
+   A trailing empty segment (text ending in '\n') is dropped so eof line
+   numbers match the historical whole-string parser. *)
+let parse ?file ~strict s =
+  let segs = String.split_on_char '\n' s in
+  let segs =
+    match List.rev segs with
+    | "" :: rest -> List.rev rest
+    | _ -> segs
+  in
+  let remaining = ref segs in
+  parse_source ?file ~strict (fun () ->
+      match !remaining with
+      | [] -> None
+      | x :: tl ->
+          remaining := tl;
+          Some x)
 
 let of_string_r s = Ringshare_error.capture (fun () -> parse ~strict:false s)
 
@@ -112,24 +181,31 @@ let of_string s =
 
 let save path g =
   (* write-to-temp + rename in the same directory: a crash mid-write can
-     tear only the temp file, never an existing instance file *)
-  Atomic_file.write ~write_fp:fp_write ~rename_fp:fp_rename ~path (to_string g)
-
-let read_all path =
-  Failpoint.hit fp_read;
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | s -> s
-  | exception Sys_error msg ->
-      Ringshare_error.(error (Io_error { file = path; msg }))
+     tear only the temp file, never an existing instance file.  Content
+     streams line-by-line; the serialisation is never resident. *)
+  Atomic_file.write_stream ~write_fp:fp_write ~rename_fp:fp_rename ~path
+    (fun oc ->
+      iter_lines g (fun line ->
+          output_string oc line;
+          output_char oc '\n'))
 
 let load_r path =
   Ringshare_error.capture (fun () ->
-      parse ~file:path ~strict:true (read_all path))
+      Failpoint.hit fp_read;
+      match open_in_bin path with
+      | exception Sys_error msg ->
+          Ringshare_error.(error (Io_error { file = path; msg }))
+      | ic -> (
+          match
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                parse_source ~file:path ~strict:true (fun () ->
+                    In_channel.input_line ic))
+          with
+          | g -> g
+          | exception Sys_error msg ->
+              Ringshare_error.(error (Io_error { file = path; msg }))))
 
 let load path =
   match load_r path with

@@ -20,6 +20,18 @@
 
 val to_string : Graph.t -> string
 
+val iter_lines : Graph.t -> (string -> unit) -> unit
+(** Streams the v1 serialisation one line at a time (no trailing
+    newline per call).  [to_string], {!save} and {!digest} are all this
+    pass; implicit ring/path backends stream without materialising
+    adjacency. *)
+
+val digest : Graph.t -> string
+(** Hex content digest of the serialised form, computed in O(1)-ish
+    memory (bounded chunks) without building {!to_string} or adjacency
+    arrays.  Equal serialisations give equal digests across backends.
+    Used for solver cache keys. *)
+
 val of_string : string -> Graph.t
 (** @raise Invalid_argument with a line-numbered message on parse or
     structural errors (historical contract; prefer {!of_string_r}). *)

@@ -62,7 +62,11 @@ let float_scope path =
   else if String.equal path "dynamics/prd_exact.ml" then true
   else mem (dir_of path) exact_core_dirs
 
-let poly_scope path = mem (dir_of path) ("dynamics" :: exact_core_dirs)
+(* graph/ joined the poly-compare scope when Graph.create dropped its
+   polymorphic sort/min/max and Hashtbl for Int.compare and typed
+   Tables; the family keeps it honest from here on. *)
+let poly_scope path =
+  mem (dir_of path) ("dynamics" :: "graph" :: exact_core_dirs)
 let exn_scope _path = true
 
 let det_scope path =

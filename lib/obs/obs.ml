@@ -165,6 +165,28 @@ module Span = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* GC gauges                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Registered at module initialisation like every other cell, so the
+   gauge schema is stable whether or not record_gc ever runs. *)
+let g_heap_words = Gauge.make ~subsystem:"gc" "heap_words"
+let g_top_heap_words = Gauge.make ~subsystem:"gc" "top_heap_words"
+let g_minor_collections = Gauge.make ~subsystem:"gc" "minor_collections"
+let g_major_collections = Gauge.make ~subsystem:"gc" "major_collections"
+let g_compactions = Gauge.make ~subsystem:"gc" "compactions"
+
+let record_gc () =
+  if config.metrics then begin
+    let s = Gc.quick_stat () in
+    Gauge.set g_heap_words s.Gc.heap_words;
+    Gauge.set_max g_top_heap_words s.Gc.top_heap_words;
+    Gauge.set g_minor_collections s.Gc.minor_collections;
+    Gauge.set g_major_collections s.Gc.major_collections;
+    Gauge.set g_compactions s.Gc.compactions
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -82,6 +82,15 @@ module Span : sig
   (** All aggregated spans, sorted by path. *)
 end
 
+val record_gc : unit -> unit
+(** Read [Gc.quick_stat] into the [gc] gauges: [heap_words],
+    [top_heap_words] (monotonic via {!Gauge.set_max}),
+    [minor_collections], [major_collections], [compactions] — the
+    exact-int fields only, so the float ban holds.  A no-op when
+    metrics are disabled.  The gauges are registered at module
+    initialisation, so they appear (as zeros) in every snapshot even
+    if this is never called. *)
+
 (** {1 Snapshots} *)
 
 type entry = { subsystem : string; name : string; value : int }

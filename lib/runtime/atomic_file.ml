@@ -3,7 +3,7 @@
    durable artifact (checkpoints, graphs, metrics) goes through one
    audited path — and one pair of failpoints per caller. *)
 
-let write ~write_fp ~rename_fp ~path contents =
+let write_stream ~write_fp ~rename_fp ~path produce =
   let tmp = path ^ ".tmp" in
   match
     (if Failpoint.fire write_fp then ()
@@ -12,7 +12,7 @@ let write ~write_fp ~rename_fp ~path contents =
        Fun.protect
          ~finally:(fun () -> close_out_noerr oc)
          (fun () ->
-           output_string oc contents;
+           produce oc;
            flush oc;
            Unix.fsync (Unix.descr_of_out_channel oc)));
     if Failpoint.fire rename_fp then () else Sys.rename tmp path
@@ -21,3 +21,6 @@ let write ~write_fp ~rename_fp ~path contents =
   | exception Sys_error m -> Ringshare_error.(error (Io_error { file = path; msg = m }))
   | exception Unix.Unix_error (e, _, _) ->
       Ringshare_error.(error (Io_error { file = path; msg = Unix.error_message e }))
+
+let write ~write_fp ~rename_fp ~path contents =
+  write_stream ~write_fp ~rename_fp ~path (fun oc -> output_string oc contents)

@@ -15,3 +15,14 @@
 
 val write :
   write_fp:Failpoint.t -> rename_fp:Failpoint.t -> path:string -> string -> unit
+
+val write_stream :
+  write_fp:Failpoint.t ->
+  rename_fp:Failpoint.t ->
+  path:string ->
+  (out_channel -> unit) ->
+  unit
+(** Same crash-safety discipline, but the caller streams content into the
+    temp file's channel instead of materialising the whole payload — the
+    million-vertex instance writer never holds its serialisation in
+    memory.  The producer must not retain the channel. *)

@@ -49,9 +49,55 @@ let check_all ~solvers g =
         d0 m);
   true
 
+(* Large seeded instances: the per-component driver (implicit backend)
+   against the same instance with materialised adjacency — the two code
+   paths share no adjacency representation, so agreement here pins the
+   whole implicit-backend + zero-copy-driver stack at sizes the
+   QCheck generators never reach. *)
+let test_large_backends () =
+  List.iter
+    (fun (seed, n, kind) ->
+      let family = Weights.Uniform (1, 100) in
+      let g =
+        match kind with
+        | `Ring -> Instances.ring ~seed ~n family
+        | `Chain -> Instances.path ~seed ~n family
+      in
+      let ctx = Engine.Ctx.make ~solver:Decompose.FastChain () in
+      let d_impl = Decompose.compute ~ctx g in
+      let d_mat = Decompose.compute ~ctx (Graph.materialise g) in
+      Alcotest.(check bool)
+        (Printf.sprintf "implicit = materialised (n=%d)" n)
+        true
+        (Decompose.equal d_impl d_mat))
+    [
+      (3, 1_000, `Ring);
+      (4, 1_000, `Chain);
+      (5, 10_000, `Ring);
+      (6, 10_000, `Chain);
+    ]
+
+(* The O(n log n) driver against the generic whole-mask loop at a size
+   where the quadratic loop is still tolerable: bit-identical pairs and
+   alphas (the driver's int-scaled alpha arithmetic included). *)
+let test_driver_vs_generic_large () =
+  let g = Instances.ring ~seed:7 ~n:512 (Weights.Uniform (1, 100)) in
+  let ctx = Engine.Ctx.make ~solver:Decompose.FastChain () in
+  let d = Decompose.compute ~ctx g in
+  let d_gen = Decompose.For_testing.compute_generic ~ctx g in
+  Alcotest.(check bool) "driver = generic loop (n=512)" true
+    (Decompose.equal d d_gen)
+
 let () =
   Alcotest.run "differential"
     [
+      ( "large instances",
+        [
+          Alcotest.test_case "implicit vs materialised backends" `Quick
+            test_large_backends;
+          Alcotest.test_case "driver vs generic loop" `Quick
+            test_driver_vs_generic_large;
+        ] );
       ( "solver agreement",
         [
           Helpers.qtest ~count:100

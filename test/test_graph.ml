@@ -137,6 +137,66 @@ let test_dot_and_csv () =
   Alcotest.(check bool) "csv line" true (contains ~affix:"1,2" csv)
 
 (* ------------------------------------------------------------------ *)
+(* Implicit backends                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Implicit Ring/Path adjacency must present the identical abstract
+   graph as its materialised counterpart. *)
+let test_implicit_matches_materialised () =
+  let check g =
+    let m = Graph.materialise g in
+    Alcotest.(check bool) "materialised repr" true (Graph.repr m = `Lists);
+    for v = 0 to Graph.n g - 1 do
+      Alcotest.(check int) "degree" (Graph.degree m v) (Graph.degree g v);
+      Alcotest.(check (array int)) "neighbors" (Graph.neighbors m v)
+        (Graph.neighbors g v);
+      let iterated = ref [] in
+      Graph.iter_neighbors g v (fun u -> iterated := u :: !iterated);
+      Alcotest.(check (list int)) "iter order"
+        (Array.to_list (Graph.neighbors m v))
+        (List.rev !iterated)
+    done;
+    Alcotest.(check bool) "edges" true (Graph.edges g = Graph.edges m)
+  in
+  List.iter
+    (fun n -> check (Generators.ring_of_ints (Array.init n (fun i -> i + 1))))
+    [ 3; 4; 7; 50 ];
+  List.iter
+    (fun n -> check (Generators.path_of_ints (Array.init n (fun i -> i + 1))))
+    [ 2; 3; 7; 50 ]
+
+(* Regression pin for the zero-copy weight updates: a [with_weight] on
+   a 10⁵-vertex graph must allocate the new weight array and nothing
+   else — in particular no adjacency copy (implicit backends have none;
+   materialised ones share theirs by record sharing).  The bound is 2x
+   the weight-array cost, far below what any adjacency copy would
+   add. *)
+let test_with_weight_allocation () =
+  let n = 100_000 in
+  let rounds = 20 in
+  let budget_bytes = float_of_int (2 * rounds * n * 8) in
+  let check name g =
+    Alcotest.(check bool)
+      (name ^ " repr preserved")
+      true
+      (Graph.repr (Graph.with_weight g 0 Q.one) = Graph.repr g);
+    let a0 = Gc.allocated_bytes () in
+    let h = ref g in
+    for i = 0 to rounds - 1 do
+      h := Graph.with_weight !h (i * 4096) (q (i + 1) 1)
+    done;
+    let used = Gc.allocated_bytes () -. a0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.1fMB within budget" name (used /. 1e6))
+      true
+      (used < budget_bytes);
+    check_q (name ^ " updated") (q rounds 1) (Graph.weight !h ((rounds - 1) * 4096))
+  in
+  let ring = Generators.ring_of_ints (Array.make n 1) in
+  check "implicit ring" ring;
+  check "materialised ring" (Graph.materialise ring)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -173,6 +233,10 @@ let () =
           Alcotest.test_case "weight_of_set" `Quick test_weight_of_set;
           Alcotest.test_case "generators" `Quick test_generators;
           Alcotest.test_case "dot/csv export" `Quick test_dot_and_csv;
+          Alcotest.test_case "implicit backends match materialised" `Quick
+            test_implicit_matches_materialised;
+          Alcotest.test_case "with_weight allocation pin" `Quick
+            test_with_weight_allocation;
         ] );
       ("properties", props);
     ]

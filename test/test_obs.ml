@@ -23,6 +23,16 @@ let with_obs ?(metrics = false) ?(spans = false) f =
 
 let count s sub name = Obs.counter_value s ~subsystem:sub name
 
+let gauge s sub name =
+  match
+    List.find_opt
+      (fun (e : Obs.entry) ->
+        String.equal e.subsystem sub && String.equal e.name name)
+      (Obs.gauges s)
+  with
+  | Some e -> e.value
+  | None -> 0
+
 (* --- zero-cost disabled path ------------------------------------- *)
 
 let test_disabled_zero () =
@@ -173,6 +183,50 @@ let test_json_schema () =
           "{ \"subsystem\": \"obs_test\", \"name\": \"events\", \"value\": 1 }";
         ])
 
+(* Schema pin for the GC gauges: the five exact-int cells exist in
+   every snapshot (registered at module init), carry plausible values
+   after [record_gc], serialise under subsystem "gc", and stay zero
+   when metrics are off. *)
+let gc_gauge_names =
+  [
+    "heap_words";
+    "top_heap_words";
+    "minor_collections";
+    "major_collections";
+    "compactions";
+  ]
+
+let test_record_gc () =
+  with_obs ~metrics:false (fun () ->
+      Obs.record_gc ();
+      List.iter
+        (fun name ->
+          Alcotest.(check int)
+            (name ^ " stays zero when disabled")
+            0
+            (gauge (Obs.snapshot ()) "gc" name))
+        gc_gauge_names);
+  with_obs ~metrics:true (fun () ->
+      let s0 = Obs.snapshot () in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) (name ^ " registered") true
+            (List.exists
+               (fun (e : Obs.entry) ->
+                 String.equal e.subsystem "gc" && String.equal e.name name)
+               (Obs.gauges s0)))
+        gc_gauge_names;
+      Obs.record_gc ();
+      let s = Obs.snapshot () in
+      Alcotest.(check bool) "heap_words > 0" true (gauge s "gc" "heap_words" > 0);
+      Alcotest.(check bool) "top_heap >= heap" true
+        (gauge s "gc" "top_heap_words" >= gauge s "gc" "heap_words");
+      Alcotest.(check bool) "minor_collections >= 0" true
+        (gauge s "gc" "minor_collections" >= 0);
+      let j = Obs.to_json (Obs.snapshot ()) in
+      if not (contains j "\"subsystem\": \"gc\", \"name\": \"heap_words\"")
+      then Alcotest.failf "JSON missing gc gauge in:@.%s" j)
+
 let test_filter_subsystems () =
   with_obs ~metrics:true (fun () ->
       Obs.Counter.incr c_test;
@@ -212,6 +266,7 @@ let () =
           Alcotest.test_case "snapshot diff semantics" `Quick
             test_diff_semantics;
           Alcotest.test_case "gauge set_max" `Quick test_gauge_max;
+          Alcotest.test_case "gc gauges" `Quick test_record_gc;
           Alcotest.test_case "JSON schema keys" `Quick test_json_schema;
           Alcotest.test_case "known_subsystems + filter" `Quick
             test_filter_subsystems;

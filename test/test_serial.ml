@@ -55,6 +55,33 @@ let test_file_io () =
   Sys.remove path;
   Alcotest.(check bool) "file roundtrip" true (roundtrip g')
 
+(* The streaming writer against the whole-string one: [iter_lines]
+   reassembled must equal [to_string] byte-for-byte, a file written by
+   [save] (which streams) must parse back to the same graph as the
+   in-memory string, and [digest] (streaming, chunked) must not depend
+   on the adjacency backend. *)
+let test_streaming_vs_whole () =
+  let g =
+    Generators.ring_of_ints (Array.init 500 (fun i -> 1 + ((i * 37) mod 100)))
+  in
+  let buf = Buffer.create 4096 in
+  Serial.iter_lines g (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n');
+  Alcotest.(check string) "iter_lines = to_string" (Serial.to_string g)
+    (Buffer.contents buf);
+  let path = Filename.temp_file "ringshare" ".graph" in
+  Serial.save path g;
+  let g_file = Serial.load path in
+  Sys.remove path;
+  let g_mem = Serial.of_string (Serial.to_string g) in
+  Alcotest.(check bool) "file parse = string parse" true
+    (Graph.n g_file = Graph.n g_mem
+    && Graph.edges g_file = Graph.edges g_mem
+    && Array.for_all2 Q.equal (Graph.weights g_file) (Graph.weights g_mem));
+  Alcotest.(check string) "digest is backend-independent" (Serial.digest g)
+    (Serial.digest (Graph.materialise g))
+
 let props =
   [
     Helpers.qtest ~count:60 "roundtrip on random graphs" (Helpers.graph_gen ())
@@ -72,6 +99,8 @@ let () =
           Alcotest.test_case "default weight" `Quick test_unlisted_weight_defaults_zero;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "streaming vs whole-file" `Quick
+            test_streaming_vs_whole;
         ] );
       ("properties", props);
     ]
