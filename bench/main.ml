@@ -151,6 +151,19 @@ let case_failpoint_inactive () =
         Failpoint.hit site
       done )
 
+let case_lint_full () =
+  (* the whole-library lint: parse every lib/ source once, run all rule
+     families, build the call graph and the interprocedural race pass.
+     Pinning this row keeps the "lint stays fast inside dune runtest"
+     promise machine-checkable (acceptance line: well under 5s).  The
+     timed battery runs from the repo root (lib/); the runtest smoke
+     hook runs from _build/default/bench, where the source_tree dep
+     materialises the library one level up (../lib). *)
+  let root = if Sys.file_exists "lib" then "lib" else "../lib" in
+  ( "lint",
+    "lint/lib-full-run",
+    fun () -> ignore (Lint_driver.run ~root ()) )
+
 let case_retry_passthrough n =
   (* Retry.with_retry around a first-try success: the envelope cost is
      one counter bump, nothing else *)
@@ -188,6 +201,7 @@ let cases () =
     case_rational_sum 256;
     case_failpoint_inactive ();
     case_retry_passthrough 32;
+    case_lint_full ();
   ]
 
 let benchmarks cases =

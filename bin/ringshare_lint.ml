@@ -1,22 +1,42 @@
 (* ringshare-lint — AST-level invariant checker for the solver core.
 
    Usage:
-     ringshare-lint [--root DIR] [--json FILE] [--all-rules] [--quiet]
-                    [FILE.ml ...]
+     ringshare-lint [--root DIR] [--json FILE] [--sarif[=FILE]]
+                    [--all-rules] [--quiet] [FILE.ml ...]
 
    With no positional arguments, scans every .ml under --root
    (default: lib) with the per-directory rule scopes from
    Lint_scope.  Explicit FILE.ml arguments are linted with every rule
    family active (used for the fixture tests).
 
+   [--sarif] additionally writes a SARIF 2.1.0 report (default file
+   LINT_ringshare.sarif, or the given FILE); it is handled before
+   Arg.parse because the stdlib Arg has no optional-value flags.
+
    Exit codes (PR 1 taxonomy): 0 clean, 2 findings, 4 spec error. *)
 
 let () =
   let root = ref "lib" in
   let json = ref "LINT_ringshare.json" in
+  let sarif = ref None in
   let all_rules = ref false in
   let quiet = ref false in
   let files = ref [] in
+  let argv =
+    Array.of_list
+      (List.filter
+         (fun a ->
+           if String.equal a "--sarif" then begin
+             sarif := Some "LINT_ringshare.sarif";
+             false
+           end
+           else if String.starts_with ~prefix:"--sarif=" a then begin
+             sarif := Some (String.sub a 8 (String.length a - 8));
+             false
+           end
+           else true)
+         (Array.to_list Sys.argv))
+  in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR  directory to scan (default: lib)");
@@ -29,8 +49,17 @@ let () =
       ("--quiet", Arg.Set quiet, "  suppress the summary line");
     ]
   in
-  let usage = "ringshare-lint [--root DIR] [--json FILE] [FILE.ml ...]" in
-  Arg.parse spec (fun f -> files := f :: !files) usage;
+  let usage =
+    "ringshare-lint [--root DIR] [--json FILE] [--sarif[=FILE]] [FILE.ml ...]"
+  in
+  (match Arg.parse_argv ~current:(ref 0) argv spec (fun f -> files := f :: !files) usage with
+  | () -> ()
+  | exception Arg.Bad m ->
+      prerr_string m;
+      exit 4
+  | exception Arg.Help m ->
+      print_string m;
+      exit 0);
   match
     match List.rev !files with
     | [] -> Lint_driver.run ~force_all:!all_rules ~root:!root ()
@@ -38,6 +67,9 @@ let () =
   with
   | report ->
       Lint_driver.write_json ~path:!json report;
+      (match !sarif with
+      | Some path -> Lint_driver.write_sarif ~path report
+      | None -> ());
       Lint_driver.print_text ~quiet:!quiet report;
       exit (Lint_driver.exit_code report)
   | exception Lint_driver.Spec_error m ->

@@ -17,6 +17,20 @@ module F = Lint_finding
 
 exception Bad_attribute of { file : string; line : int; name : string }
 
+(* A suppression together with the source region (character offsets)
+   it covers.  The per-file walk silences findings via the attribute
+   stack; the interprocedural pass (lint_race) runs *after* all files
+   are walked and instead asks "does an allow region for this rule
+   contain this offset?" — the same attribute serves both, so hit
+   counts stay unified.  A module-floating [@@@lint.allow] covers the
+   rest of the file: [a_end = max_int]. *)
+type allow = {
+  a_rule : F.rule;
+  a_start : int;
+  a_end : int;
+  a_sup : F.suppression;
+}
+
 type ctx = {
   file : string;
   active : F.rule list;
@@ -24,6 +38,7 @@ type ctx = {
   mutable suppressed : F.t list;
   mutable stack : F.suppression list;
   mutable suppressions : F.suppression list;
+  mutable allows : allow list;
   (* Names let-bound anywhere in the file.  A module that defines its
      own [compare]/[equal] (bigint, rational) refers to the typed one
      with a bare identifier, which must not be flagged. *)
@@ -94,7 +109,14 @@ let push ctx ~scope (loc : Location.t) attrs =
           s_hits = 0 }
       in
       ctx.stack <- s :: ctx.stack;
-      ctx.suppressions <- s :: ctx.suppressions)
+      ctx.suppressions <- s :: ctx.suppressions;
+      let a_end =
+        if String.equal scope "module" then max_int
+        else loc.loc_end.pos_cnum
+      in
+      ctx.allows <-
+        { a_rule = r; a_start = loc.loc_start.pos_cnum; a_end; a_sup = s }
+        :: ctx.allows)
     rules;
   List.length rules
 
@@ -402,12 +424,13 @@ type result = {
   findings : F.t list;
   suppressed : F.t list;
   suppressions : F.suppression list;
+  allows : allow list;
 }
 
 let check ~file ~active str =
   let ctx =
     { file; active; findings = []; suppressed = []; stack = [];
-      suppressions = []; locals = Hashtbl.create 16; recs = [] }
+      suppressions = []; allows = []; locals = Hashtbl.create 16; recs = [] }
   in
   collect_locals ctx str;
   let super = Ast_iterator.default_iterator in
@@ -477,4 +500,5 @@ let check ~file ~active str =
     findings = List.sort F.compare_finding ctx.findings;
     suppressed = List.sort F.compare_finding ctx.suppressed;
     suppressions = List.rev ctx.suppressions;
+    allows = List.rev ctx.allows;
   }

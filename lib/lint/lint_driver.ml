@@ -6,10 +6,19 @@
      4  spec error — bad root, unparseable source, unknown rule name
         in a [@lint.allow] attribute
 
+   Each source file is parsed exactly once; the same tree feeds the
+   per-expression rule families (Lint_check) and the interprocedural
+   pass (Lint_callgraph / Lint_race), which runs after every file has
+   been walked because its call graph spans compilation units.
+   Interprocedural findings are filtered against the [@lint.allow]
+   *regions* collected during the per-file walk, bumping the very same
+   suppression records, so the JSON inventory of exemptions stays
+   unified.
+
    Besides the human-readable `file:line:col [rule] message` lines the
-   driver writes LINT_ringshare.json, which enumerates every finding
-   *and* every suppression (with hit counts), so exemptions are never
-   silent. *)
+   driver writes LINT_ringshare.json (findings, suppressions with hit
+   counts, and call-graph stats) and optionally a SARIF 2.1.0 report
+   for CI and editor consumption. *)
 
 module F = Lint_finding
 
@@ -21,6 +30,7 @@ type report = {
   findings : F.t list; (* unsuppressed, sorted *)
   suppressed : F.t list; (* silenced by a [@lint.allow] *)
   suppressions : F.suppression list;
+  stats : Lint_callgraph.stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -57,55 +67,127 @@ let rec walk root rel acc =
       else acc)
     acc entries
 
-let lint_one ~force_all ~root rel =
-  let active =
-    if force_all then F.all_rules else Lint_scope.rules_for rel
+(* One parsed + per-file-checked source, input to the global pass. *)
+type entry = {
+  e_display : string;
+  e_rel : string;
+  e_str : Parsetree.structure;
+  e_active : F.rule list;
+  e_result : Lint_check.result;
+}
+
+let finalize ~root entries =
+  let sources =
+    List.map
+      (fun e ->
+        {
+          Lint_callgraph.src_display = e.e_display;
+          src_rel = e.e_rel;
+          src_structure = e.e_str;
+          src_allows = e.e_result.Lint_check.allows;
+        })
+      entries
   in
-  let display = Filename.concat root rel in
-  if match active with [] -> true | _ -> false then None
-  else
-    let str = parse_file (Filename.concat root rel) in
-    Some (display, Lint_check.check ~file:display ~active str)
+  let g = Lint_callgraph.build sources in
+  let actives = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace actives e.e_rel e.e_active) entries;
+  let active_for rel =
+    Option.value ~default:[] (Hashtbl.find_opt actives rel)
+  in
+  let raws = Lint_race.check g ~active_for in
+  let allows_by_file = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace allows_by_file e.e_display e.e_result.Lint_check.allows)
+    entries;
+  let inter_findings, inter_suppressed =
+    List.fold_left
+      (fun (fs, sups) (raw : Lint_race.raw) ->
+        let line, col = Lint_check.line_col raw.raw_loc in
+        let f =
+          { F.file = raw.raw_file; line; col; rule = raw.raw_rule;
+            message = raw.raw_msg }
+        in
+        let silence (s : F.suppression) =
+          s.F.s_hits <- s.F.s_hits + 1;
+          (fs, f :: sups)
+        in
+        match raw.raw_presup with
+        | Some s -> silence s
+        | None -> (
+            let c = raw.raw_loc.loc_start.pos_cnum in
+            let allows =
+              Option.value ~default:[]
+                (Hashtbl.find_opt allows_by_file raw.raw_file)
+            in
+            match
+              List.find_opt
+                (fun (a : Lint_check.allow) ->
+                  F.rule_equal a.a_rule raw.raw_rule
+                  && a.a_start <= c && c <= a.a_end)
+                allows
+            with
+            | Some a -> silence a.a_sup
+            | None -> (f :: fs, sups)))
+      ([], []) raws
+  in
+  {
+    root;
+    files = List.map (fun e -> e.e_display) entries;
+    findings =
+      List.sort F.compare_finding
+        (inter_findings
+        @ List.concat_map
+            (fun e -> e.e_result.Lint_check.findings)
+            entries);
+    suppressed =
+      List.sort F.compare_finding
+        (inter_suppressed
+        @ List.concat_map
+            (fun e -> e.e_result.Lint_check.suppressed)
+            entries);
+    suppressions =
+      List.concat_map (fun e -> e.e_result.Lint_check.suppressions) entries;
+    stats = Lint_callgraph.stats g;
+  }
 
 let run ?(force_all = false) ~root () =
   if not (Sys.file_exists root && Sys.is_directory root) then
     raise (Spec_error (Printf.sprintf "root %s is not a directory" root));
   let rels = List.rev (walk root "" []) in
-  let results = List.filter_map (lint_one ~force_all ~root) rels in
-  {
-    root;
-    files = List.map fst results;
-    findings =
-      List.sort F.compare_finding
-        (List.concat_map (fun (_, r) -> r.Lint_check.findings) results);
-    suppressed =
-      List.sort F.compare_finding
-        (List.concat_map (fun (_, r) -> r.Lint_check.suppressed) results);
-    suppressions = List.concat_map (fun (_, r) -> r.Lint_check.suppressions) results;
-  }
+  let entries =
+    List.filter_map
+      (fun rel ->
+        let active =
+          if force_all then F.all_rules else Lint_scope.rules_for rel
+        in
+        match active with
+        | [] -> None
+        | _ ->
+            let display = Filename.concat root rel in
+            let str = parse_file (Filename.concat root rel) in
+            Some
+              { e_display = display; e_rel = rel; e_str = str;
+                e_active = active;
+                e_result = Lint_check.check ~file:display ~active str })
+      rels
+  in
+  finalize ~root entries
 
 (* Explicit file list (fixtures): every rule family is active. *)
 let run_files paths =
-  let results =
+  let entries =
     List.map
       (fun path ->
         if not (Sys.file_exists path) then
           raise (Spec_error (Printf.sprintf "no such file: %s" path));
         let str = parse_file path in
-        (path, Lint_check.check ~file:path ~active:F.all_rules str))
+        { e_display = path; e_rel = path; e_str = str;
+          e_active = F.all_rules;
+          e_result = Lint_check.check ~file:path ~active:F.all_rules str })
       paths
   in
-  {
-    root = ".";
-    files = List.map fst results;
-    findings =
-      List.sort F.compare_finding
-        (List.concat_map (fun (_, r) -> r.Lint_check.findings) results);
-    suppressed =
-      List.sort F.compare_finding
-        (List.concat_map (fun (_, r) -> r.Lint_check.suppressed) results);
-    suppressions = List.concat_map (fun (_, r) -> r.Lint_check.suppressions) results;
-  }
+  finalize ~root:"." entries
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -120,6 +202,12 @@ let write_json ~path report =
   Printf.fprintf oc "  \"files_scanned\": %d,\n" (List.length report.files);
   Printf.fprintf oc "  \"clean\": %b,\n"
     (match report.findings with [] -> true | _ -> false);
+  Printf.fprintf oc
+    "  \"callgraph\": { \"nodes\": %d, \"edges\": %d, \"roots\": %d, \
+     \"cells\": %d },\n"
+    report.stats.Lint_callgraph.nodes report.stats.Lint_callgraph.edges
+    report.stats.Lint_callgraph.root_count
+    report.stats.Lint_callgraph.cell_count;
   Printf.fprintf oc "  \"findings\": [";
   List.iteri
     (fun i (f : F.t) ->
@@ -138,6 +226,42 @@ let write_json ~path report =
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
 
+(* SARIF 2.1.0 subset: tool + rules, one result per finding with a
+   physical location; suppressed findings are emitted too, marked with
+   an inSource suppression, so editors can grey them out rather than
+   lose them.  Columns are 1-based in SARIF, 0-based internally. *)
+let write_sarif ~path report =
+  let oc = open_out path in
+  let esc = F.json_escape in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc
+    "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Printf.fprintf oc "  \"version\": \"2.1.0\",\n";
+  Printf.fprintf oc "  \"runs\": [\n    {\n";
+  Printf.fprintf oc
+    "      \"tool\": { \"driver\": { \"name\": \"ringshare-lint\", \
+     \"rules\": [";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "%s{ \"id\": \"%s\" }"
+        (if i = 0 then "" else ", ")
+        (F.rule_name r))
+    F.all_rules;
+  Printf.fprintf oc "] } },\n";
+  Printf.fprintf oc "      \"results\": [";
+  let emit i (f : F.t) ~suppressed =
+    Printf.fprintf oc "%s\n        { \"ruleId\": \"%s\", \"level\": \"error\", \"message\": { \"text\": \"%s\" }, \"locations\": [ { \"physicalLocation\": { \"artifactLocation\": { \"uri\": \"%s\" }, \"region\": { \"startLine\": %d, \"startColumn\": %d } } } ]%s }"
+      (if i = 0 then "" else ",")
+      (F.rule_name f.rule) (esc f.message) (esc f.file) f.line (f.col + 1)
+      (if suppressed then ", \"suppressions\": [ { \"kind\": \"inSource\" } ]"
+       else "")
+  in
+  List.iteri (fun i f -> emit i f ~suppressed:false) report.findings;
+  let n = List.length report.findings in
+  List.iteri (fun i f -> emit (n + i) f ~suppressed:true) report.suppressed;
+  Printf.fprintf oc "\n      ]\n    }\n  ]\n}\n";
+  close_out oc
+
 let print_text ?(quiet = false) report =
   List.iter (fun f -> print_endline (F.to_string f)) report.findings;
   if not quiet then begin
@@ -146,11 +270,14 @@ let print_text ?(quiet = false) report =
     in
     Printf.printf
       "ringshare-lint: %d file(s) scanned, %d finding(s), %d suppression(s) \
-       silencing %d\n"
+       silencing %d; callgraph %d nodes / %d edges / %d roots / %d cells\n"
       (List.length report.files)
       (List.length report.findings)
       (List.length report.suppressions)
-      silenced
+      silenced report.stats.Lint_callgraph.nodes
+      report.stats.Lint_callgraph.edges
+      report.stats.Lint_callgraph.root_count
+      report.stats.Lint_callgraph.cell_count
   end
 
 let exit_code report =

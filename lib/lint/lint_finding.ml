@@ -24,7 +24,14 @@
                                      (lib/runtime): a hand-rolled
                                      recursive retry is unbounded,
                                      charges no budget, and retries
-                                     non-transient errors. *)
+                                     non-transient errors;
+   - [Race]          "race"        — interprocedural (lint_callgraph /
+                                     lint_race): no top-level mutable
+                                     cell may be reachable from a
+                                     domain-crossing closure unless it
+                                     is Atomic.t, Domain.DLS, or only
+                                     touched under a recognized
+                                     mutex-guard idiom. *)
 
 type rule =
   | Float_ban
@@ -33,10 +40,11 @@ type rule =
   | Determinism
   | Config_drift
   | No_naked_retry
+  | Race
 
 let all_rules =
   [ Float_ban; Poly_compare; Exn_swallow; Determinism; Config_drift;
-    No_naked_retry ]
+    No_naked_retry; Race ]
 
 let rule_name = function
   | Float_ban -> "float"
@@ -45,6 +53,7 @@ let rule_name = function
   | Determinism -> "determinism"
   | Config_drift -> "config-drift"
   | No_naked_retry -> "no-naked-retry"
+  | Race -> "race"
 
 let rule_of_name = function
   | "float" -> Some Float_ban
@@ -53,6 +62,7 @@ let rule_of_name = function
   | "determinism" -> Some Determinism
   | "config-drift" -> Some Config_drift
   | "no-naked-retry" -> Some No_naked_retry
+  | "race" -> Some Race
   | _ -> None
 
 let rule_equal (a : rule) (b : rule) =
@@ -62,7 +72,8 @@ let rule_equal (a : rule) (b : rule) =
   | Exn_swallow, Exn_swallow
   | Determinism, Determinism
   | Config_drift, Config_drift
-  | No_naked_retry, No_naked_retry ->
+  | No_naked_retry, No_naked_retry
+  | Race, Race ->
       true
   | _ -> false
 

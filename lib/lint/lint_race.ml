@@ -1,0 +1,224 @@
+(* Interprocedural rule families over the Lint_callgraph index.
+
+   Two analyses, both reported as raw findings that the driver then
+   runs through the [@lint.allow] region filter:
+
+   1. race — for every domain-crossing root (a call site of the spawn
+      vocabulary), breadth-first search everything the enclosing
+      binding reaches.  An access to a top-level [Mutable] cell on an
+      unguarded path is a finding at the root; [Atomic]/[Dls]/[Lock]
+      cells and accesses under a recognized mutex guard are safe.
+      Treating the whole enclosing binding as crossing domains is
+      deliberately coarse (the closure argument is not isolated), which
+      buys soundness against closures built by local helpers; the cost
+      is that a cell touched by the spawning function *outside* the
+      closure is flagged too — acceptable, since such a cell is shared
+      with the domains anyway the moment the closure captures anything
+      near it.  Functor-generated modules referenced in spawn arguments
+      are conservatively flagged: their bodies do not exist in the
+      index.
+
+   2. transitive float / determinism — a fixpoint marks every binding
+      that reaches a banned primitive through calls; the finding lands
+      at the call site inside a file where the rule is active, unless
+      the callee's file is a taint *barrier* (a sanctioned owner of the
+      primitive, Lint_scope.taint_barrier).  Barrier files neither
+      propagate taint out nor produce call-site findings, so audited
+      boundaries like [let[@lint.allow "float"] now_ns] stay silent
+      while an unscoped float helper lights up every scoped caller. *)
+
+module F = Lint_finding
+module G = Lint_callgraph
+
+type raw = {
+  raw_file : string;
+  raw_loc : Location.t;
+  raw_rule : F.rule;
+  raw_msg : string;
+  (* pre-matched suppression (a race-allow on the cell definition);
+     the driver bumps it instead of region-matching the finding site *)
+  raw_presup : F.suppression option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Race                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mutable_desc = function G.Mutable d -> Some d | _ -> None
+
+(* findings land in the file holding the root's enclosing binding *)
+let fn_file_of (g : G.t) (root : G.root) =
+  match Hashtbl.find_opt g.G.fns root.G.root_fn with
+  | Some fn -> fn.G.fn_file
+  | None -> root.G.root_rel
+
+let race_for_root (g : G.t) (root : G.root) =
+  let out = ref [] in
+  let found = Hashtbl.create 8 in
+  (* visited at guard level: an unguarded visit supersedes a guarded
+     one (it can only add findings), never the other way round *)
+  let seen_guarded = Hashtbl.create 64 in
+  let seen_unguarded = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Queue.add (root.G.root_fn, false, []) q;
+  while not (Queue.is_empty q) do
+    let name, guarded, path = Queue.pop q in
+    let skip =
+      Hashtbl.mem seen_unguarded name
+      || (guarded && Hashtbl.mem seen_guarded name)
+    in
+    if not skip then begin
+      Hashtbl.replace (if guarded then seen_guarded else seen_unguarded) name ();
+      match Hashtbl.find_opt g.G.fns name with
+      | None -> ()
+      | Some fn ->
+          List.iter
+            (fun (a : G.access) ->
+              match Hashtbl.find_opt g.G.cells a.G.acc_cell with
+              | Some cell -> (
+                  match mutable_desc cell.G.cell_kind with
+                  | Some desc
+                    when (not (guarded || a.G.acc_guarded))
+                         && not (Hashtbl.mem found cell.G.cell_name) ->
+                      Hashtbl.add found cell.G.cell_name ();
+                      let where =
+                        match path with
+                        | [] -> ""
+                        | _ ->
+                            Printf.sprintf " via %s"
+                              (String.concat " -> " (List.rev path))
+                      in
+                      let msg =
+                        Printf.sprintf
+                          "closure crossing domains through `%s` reaches \
+                           mutable %s `%s` (%s:%d) without synchronization%s; \
+                           use Atomic.t, Domain.DLS or a mutex guard, or \
+                           audit with [@lint.allow \"race\"] on the cell"
+                          root.G.root_via desc cell.G.cell_name
+                          cell.G.cell_file cell.G.cell_line where
+                      in
+                      out :=
+                        {
+                          raw_file = fn_file_of g root;
+                          raw_loc = root.G.root_loc;
+                          raw_rule = F.Race;
+                          raw_msg = msg;
+                          raw_presup = cell.G.cell_allow;
+                        }
+                        :: !out
+                  | _ -> ())
+              | None -> ())
+            fn.G.fn_accesses;
+          List.iter
+            (fun (c : G.call) ->
+              Queue.add
+                (c.G.callee, guarded || c.G.call_guarded, c.G.callee :: path)
+                q)
+            fn.G.fn_calls
+    end
+  done;
+  let opaque =
+    List.map
+      (fun m ->
+        {
+          raw_file = fn_file_of g root;
+          raw_loc = root.G.root_loc;
+          raw_rule = F.Race;
+          raw_msg =
+            Printf.sprintf
+              "closure crossing domains through `%s` references \
+               functor-generated module `%s`, whose body the call-graph \
+               analysis cannot see; audit the instantiation and add \
+               [@lint.allow \"race\"] here if it is domain-safe"
+              root.G.root_via m;
+          raw_presup = None;
+        })
+      root.G.root_opaques
+  in
+  List.rev !out @ opaque
+
+let race_findings (g : G.t) ~active_for =
+  List.concat_map
+    (fun (root : G.root) ->
+      if List.exists (F.rule_equal F.Race) (active_for root.G.root_rel) then
+        race_for_root g root
+      else [])
+    g.G.roots
+
+(* ------------------------------------------------------------------ *)
+(* Transitive float / determinism                                      *)
+(* ------------------------------------------------------------------ *)
+
+let taint (g : G.t) ~direct ~barrier =
+  let tainted = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name fn -> if direct fn then Hashtbl.replace tainted name ())
+    g.G.fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name (fn : G.fn) ->
+        if not (Hashtbl.mem tainted name) then
+          let from_callee (c : G.call) =
+            match Hashtbl.find_opt g.G.fns c.G.callee with
+            | Some callee ->
+                Hashtbl.mem tainted c.G.callee
+                && not (barrier callee.G.fn_rel)
+            | None -> false
+          in
+          if List.exists from_callee fn.G.fn_calls then begin
+            Hashtbl.replace tainted name ();
+            changed := true
+          end)
+      g.G.fns
+  done;
+  tainted
+
+let transitive_findings (g : G.t) ~active_for ~rule ~direct ~what ~advice =
+  let barrier rel = Lint_scope.taint_barrier rule rel in
+  let tainted = taint g ~direct ~barrier in
+  Hashtbl.fold
+    (fun _ (fn : G.fn) acc ->
+      if List.exists (F.rule_equal rule) (active_for fn.G.fn_rel) then
+        List.fold_left
+          (fun acc (c : G.call) ->
+            match Hashtbl.find_opt g.G.fns c.G.callee with
+            | Some callee
+              when Hashtbl.mem tainted c.G.callee
+                   && not (barrier callee.G.fn_rel) ->
+                {
+                  raw_file = fn.G.fn_file;
+                  raw_loc = c.G.call_loc;
+                  raw_rule = rule;
+                  raw_msg =
+                    Printf.sprintf
+                      "call to `%s` (%s) transitively reaches %s; %s"
+                      c.G.callee callee.G.fn_file what advice;
+                  raw_presup = None;
+                }
+                :: acc
+            | _ -> acc)
+          acc fn.G.fn_calls
+      else acc)
+    g.G.fns []
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check (g : G.t) ~active_for : raw list =
+  race_findings g ~active_for
+  @ transitive_findings g ~active_for ~rule:F.Float_ban
+      ~direct:(fun fn -> fn.G.fn_float)
+      ~what:"float operations"
+      ~advice:
+        "the exact core must stay float-free through helpers; move the \
+         float use behind an audited boundary or allow it explicitly"
+  @ transitive_findings g ~active_for ~rule:F.Determinism
+      ~direct:(fun fn -> fn.G.fn_det)
+      ~what:"nondeterminism (ambient randomness, wall clock or hash-order \
+             iteration)"
+      ~advice:
+        "thread a Workload.Prng state / sort before consuming, or route \
+         through the sanctioned runtime owners"

@@ -41,7 +41,14 @@
    - no-naked-retry: everywhere except runtime/, which owns
      [Retry.with_retry].  A catch-all handler that re-invokes its
      enclosing [let rec] is a hand-rolled retry loop — unbounded,
-     charging no budget, and blind to whether the error is transient. *)
+     charging no budget, and blind to whether the error is transient.
+
+   - race: everywhere.  The interprocedural pass (lint_callgraph /
+     lint_race) flags any top-level mutable cell reachable from a
+     domain-crossing closure unless it is Atomic.t, Domain.DLS, or
+     only touched under a recognized mutex-guard idiom; domain fan-out
+     can originate from any dir (core/incentive, bottleneck, engine,
+     experiments all spawn), so no dir is exempt. *)
 
 let exact_core_dirs =
   [ "bigint"; "rational"; "bottleneck"; "core"; "flow"; "mechanism"; "obs";
@@ -77,6 +84,8 @@ let config_scope path = not (String.equal (dir_of path) "engine")
 (* runtime/ owns Retry.with_retry, the one sanctioned retry loop. *)
 let retry_scope path = not (String.equal (dir_of path) "runtime")
 
+let race_scope _path = true
+
 let rules_for path : Lint_finding.rule list =
   if skipped path then []
   else
@@ -88,5 +97,52 @@ let rules_for path : Lint_finding.rule list =
         | Exn_swallow -> exn_scope path
         | Determinism -> det_scope path
         | Config_drift -> config_scope path
-        | No_naked_retry -> retry_scope path)
+        | No_naked_retry -> retry_scope path
+        | Race -> race_scope path)
       Lint_finding.all_rules
+
+(* ------------------------------------------------------------------ *)
+(* Taint barriers for the transitive rule families                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The transitive float/determinism checks (lint_race) propagate
+   "this function reaches a banned primitive" up the call graph and
+   report at the call site.  A *barrier* file is a sanctioned owner of
+   the primitive: taint does not propagate out of it, and calls into
+   it are never findings.  Barriers are explicit path predicates, not
+   "the rule is inactive there" — fixture runs force every rule active
+   on files outside lib/, and those must still see transitive findings.
+
+   - float: any file already under the intraprocedural float ban is a
+     barrier (its own uses are either findings or audited allows), as
+     are the dirs sanctioned to hold floats on purpose: runtime/
+     (wall-clock budgets), workload/ (PRNG and generators),
+     experiments/ (timing reports), engine/ (Ctx deadlines), dynamics/
+     (the float PRD is this dir's reason to exist), core/trace.ml (the
+     reporting boundary) and lint/ itself.  What remains taintable is
+     the genuinely float-free middle: graph/, parallel/, poly/ glue —
+     exactly where an accidental float helper could hide.
+
+   - determinism: every lib dir is a barrier (scoped dirs are checked
+     intraprocedurally; workload/runtime/experiments own the sanctioned
+     nondeterminism), so in-tree the transitive check only fires if a
+     scoped file calls across into code outside lib/ — which cannot
+     happen — or, in fixture runs, between functions of an unscoped
+     file. *)
+
+let float_barrier_dirs =
+  [ "runtime"; "workload"; "experiments"; "engine"; "dynamics"; "lint" ]
+
+let lib_dirs =
+  [ "bigint"; "bottleneck"; "core"; "dynamics"; "engine"; "experiments";
+    "flow"; "graph"; "lint"; "mechanism"; "obs"; "parallel"; "poly";
+    "rational"; "runtime"; "workload" ]
+
+let taint_barrier (r : Lint_finding.rule) path =
+  match r with
+  | Float_ban ->
+      float_scope path
+      || mem (dir_of path) float_barrier_dirs
+      || String.equal path "core/trace.ml"
+  | Determinism -> mem (dir_of path) lib_dirs
+  | _ -> true

@@ -14,8 +14,10 @@ type config = { mutable metrics : bool; mutable spans : bool }
 
 (* Set once at process start, read on every recording call.  Not an
    Atomic: a torn read could at worst skip or record one event around
-   the flip, and the flip happens before solvers run. *)
-let config = { metrics = false; spans = false }
+   the flip, and the flip happens before solvers run.  Race-lint
+   audit: worker domains only ever *read* these booleans, and the CLI
+   flips them before the first Parwork fan-out. *)
+let[@lint.allow "race"] config = { metrics = false; spans = false }
 
 let set_metrics b = config.metrics <- b
 let set_spans b = config.spans <- b
@@ -28,7 +30,11 @@ let by_subsystem_name sa na sb nb =
 module Counter = struct
   type t = { subsystem : string; name : string; cell : int Atomic.t }
 
-  let registry : t list ref = ref []
+  (* Race-lint audit: mutated only by [make], which runs at module
+     initialisation on the single startup domain; workers touch the
+     Atomic cells, never the list.  [snapshot]/[reset] run after the
+     domains have joined. *)
+  let[@lint.allow "race"] registry : t list ref = ref []
 
   let make ~subsystem name =
     match
@@ -59,7 +65,9 @@ end
 module Gauge = struct
   type t = { subsystem : string; name : string; cell : int Atomic.t }
 
-  let registry : t list ref = ref []
+  (* Race-lint audit: same single-domain init discipline as
+     [Counter.registry]. *)
+  let[@lint.allow "race"] registry : t list ref = ref []
 
   let make ~subsystem name =
     match

@@ -19,12 +19,18 @@ type t = {
 exception Fault of { site : string; transient : bool }
 
 let default_raiser ~site ~transient = Fault { site; transient }
-let raiser = ref default_raiser
-let set_raiser f = raiser := f
 
-(* [enabled] short-circuits every site at once: a single shared ref
+(* Atomic, not a plain ref: [fire] runs on worker domains while
+   [set_raiser] (module init of Ringshare_error) and
+   [configure]/[clear] run on the main domain, and a plain ref read
+   concurrent with a write is undefined under the multicore memory
+   model.  The race lint enforces this. *)
+let raiser = Atomic.make default_raiser
+let set_raiser f = Atomic.set raiser f
+
+(* [enabled] short-circuits every site at once: a single shared cell
    beats scanning per-site specs when no spec is installed. *)
-let enabled = ref false
+let enabled = Atomic.make false
 let registry : t list ref = ref []
 let registry_mutex = Mutex.create ()
 
@@ -44,7 +50,7 @@ let register name =
 let names () =
   List.sort String.compare (List.map (fun s -> s.name) !registry)
 
-let active () = !enabled
+let active () = Atomic.get enabled
 
 let c_hits = Obs.Counter.make ~subsystem:"failpoint" "hits"
 let c_fires = Obs.Counter.make ~subsystem:"failpoint" "fires"
@@ -77,7 +83,7 @@ let draw state =
 let delay_seconds = 0.001
 
 let fire site =
-  if not !enabled then false
+  if not (Atomic.get enabled) then false
   else
     match site.spec with
     | None -> false
@@ -94,8 +100,10 @@ let fire site =
         else begin
           Obs.Counter.incr c_fires;
           match s.action with
-          | Raise_transient -> raise (!raiser ~site:site.name ~transient:true)
-          | Raise_permanent -> raise (!raiser ~site:site.name ~transient:false)
+          | Raise_transient ->
+              raise ((Atomic.get raiser) ~site:site.name ~transient:true)
+          | Raise_permanent ->
+              raise ((Atomic.get raiser) ~site:site.name ~transient:false)
           | Delay ->
               Unix.sleepf delay_seconds;
               false
@@ -195,7 +203,7 @@ let parse_entry entry =
                   { action; trigger; rng = Atomic.make (Int64.of_int seed) } )))
 
 let clear () =
-  enabled := false;
+  Atomic.set enabled false;
   List.iter
     (fun s ->
       s.spec <- None;
@@ -218,5 +226,5 @@ let configure spec_string =
     | Ok pairs ->
         clear ();
         List.iter (fun (site, spec) -> site.spec <- Some spec) pairs;
-        enabled := true;
+        Atomic.set enabled true;
         Ok ()

@@ -10,6 +10,7 @@
 #   $2  ringshare-lint executable        (optional; skips lint checks)
 #   $3  source root the lint must pass   (lib)
 #   $4  a known-bad fixture the lint must flag
+#   $5  a fixture with an interprocedural race the lint must flag
 set -u
 
 cli="$1"
@@ -19,6 +20,7 @@ case "$cli" in /*) ;; *) cli="$PWD/$cli" ;; esac
 lint="${2:-}"
 lint_root="${3:-}"
 lint_bad="${4:-}"
+lint_race="${5:-}"
 fails=0
 
 expect() {
@@ -227,6 +229,9 @@ if [ -n "$lint" ]; then
     echo "FAIL: lint JSON brackets unbalanced ($bopen vs $bclose)" >&2
     fails=$((fails + 1)); }
 
+  grep -q '"callgraph": {' "$tmpdir/lint.json" || {
+    echo "FAIL: lint JSON missing callgraph stats" >&2; fails=$((fails + 1)); }
+
   # 8. a known-bad fixture: exit 2, findings listed in text and JSON
   "$lint" --json "$tmpdir/lint_bad.json" "$lint_bad" > "$tmpdir/out" 2>&1
   expect "lint $lint_bad" 2 $?
@@ -237,6 +242,60 @@ if [ -n "$lint" ]; then
     echo "FAIL: bad-fixture JSON claims clean" >&2; fails=$((fails + 1)); }
   grep -q '"rule": "' "$tmpdir/lint_bad.json" || {
     echo "FAIL: bad-fixture JSON lists no finding" >&2; fails=$((fails + 1)); }
+
+  # 20. the interprocedural race pass: a fixture whose unguarded cell is
+  #     only reachable through a helper must still be flagged, with the
+  #     reaching path in the message
+  if [ -n "$lint_race" ]; then
+    "$lint" --json "$tmpdir/lint_race.json" "$lint_race" \
+      > "$tmpdir/out" 2>&1
+    expect "lint $lint_race" 2 $?
+    grep -q '\[race\]' "$tmpdir/out" || {
+      echo "FAIL: race fixture produced no [race] finding" >&2
+      cat "$tmpdir/out" >&2; fails=$((fails + 1)); }
+    grep -q 'without synchronization via' "$tmpdir/out" || {
+      echo "FAIL: race finding does not show the reaching path" >&2
+      fails=$((fails + 1)); }
+    grep -q '"rule": "race"' "$tmpdir/lint_race.json" || {
+      echo "FAIL: race finding missing from JSON" >&2; fails=$((fails + 1)); }
+  fi
+
+  # 21. --sarif: a well-formed SARIF 2.1.0 log alongside the JSON, for
+  #     both the clean tree and a flagged fixture
+  "$lint" --root "$lint_root" --json "$tmpdir/lint2.json" \
+    --sarif="$tmpdir/lint.sarif" > /dev/null 2>&1
+  expect "lint --sarif on $lint_root" 0 $?
+  [ -f "$tmpdir/lint.sarif" ] || {
+    echo "FAIL: --sarif wrote no file" >&2; fails=$((fails + 1)); }
+  grep -q '"version": "2.1.0"' "$tmpdir/lint.sarif" || {
+    echo "FAIL: SARIF log missing version 2.1.0" >&2; fails=$((fails + 1)); }
+  grep -q '"name": "ringshare-lint"' "$tmpdir/lint.sarif" || {
+    echo "FAIL: SARIF log missing the driver name" >&2; fails=$((fails + 1)); }
+  grep -q '"id": "race"' "$tmpdir/lint.sarif" || {
+    echo "FAIL: SARIF log missing the race rule descriptor" >&2
+    fails=$((fails + 1)); }
+  if [ -n "$lint_race" ]; then
+    "$lint" --json "$tmpdir/race2.json" --sarif="$tmpdir/race.sarif" \
+      "$lint_race" > /dev/null 2>&1
+    expect "lint --sarif on $lint_race" 2 $?
+    grep -q '"ruleId": "race"' "$tmpdir/race.sarif" || {
+      echo "FAIL: SARIF log carries no race result" >&2; fails=$((fails + 1)); }
+    grep -q '"startLine"' "$tmpdir/race.sarif" || {
+      echo "FAIL: SARIF result has no region" >&2; fails=$((fails + 1)); }
+  fi
+  for sarif in "$tmpdir/lint.sarif" "$tmpdir/race.sarif"; do
+    [ -f "$sarif" ] || continue
+    nopen=$(tr -cd '{' < "$sarif" | wc -c)
+    nclose=$(tr -cd '}' < "$sarif" | wc -c)
+    [ "$nopen" -eq "$nclose" ] || {
+      echo "FAIL: SARIF braces unbalanced in $sarif ($nopen vs $nclose)" >&2
+      fails=$((fails + 1)); }
+    bopen=$(tr -cd '[' < "$sarif" | wc -c)
+    bclose=$(tr -cd ']' < "$sarif" | wc -c)
+    [ "$bopen" -eq "$bclose" ] || {
+      echo "FAIL: SARIF brackets unbalanced in $sarif ($bopen vs $bclose)" >&2
+      fails=$((fails + 1)); }
+  done
 fi
 
 if [ "$fails" -ne 0 ]; then

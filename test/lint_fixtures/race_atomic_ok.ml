@@ -1,0 +1,7 @@
+(* Fixture: Atomic.t cells are domain-safe by construction. *)
+
+let sightings = Atomic.make 0
+
+let bump () = Atomic.incr sightings
+
+let fan_out xs = Parwork.map (fun x -> bump (); x) xs

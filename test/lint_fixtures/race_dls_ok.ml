@@ -1,0 +1,10 @@
+(* Fixture: Domain.DLS keys are per-domain state — safe to reach from
+   a fan-out even though the payload (a Buffer) is mutable. *)
+
+let scratch = Domain.DLS.new_key (fun () -> Buffer.create 64)
+
+let log_line s =
+  let b = Domain.DLS.get scratch in
+  Buffer.add_string b s
+
+let fan_out xs = Parwork.map (fun x -> log_line x; x) xs

@@ -1,0 +1,17 @@
+(* Fixture: the closure handed to Domain.spawn comes out of a functor
+   instantiation; the analysis has no body for it and must flag the
+   spawn site conservatively. *)
+
+module Counter (X : sig
+  val start : int
+end) =
+struct
+  let state = ref X.start
+  let work () = state := !state + 1
+end
+
+module W = Counter (struct
+  let start = 0
+end)
+
+let spawn_worker () = Domain.spawn W.work

@@ -1,0 +1,14 @@
+(* Fixture: top-level ref only ever touched under a with_-style mutex
+   wrapper — the recognized guard idiom must clear it. *)
+
+let total = ref 0
+
+let lock = Mutex.create ()
+
+let with_tally f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let add n = with_tally (fun () -> total := !total + n)
+
+let fan_out xs = Parwork.map add xs

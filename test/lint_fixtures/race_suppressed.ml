@@ -1,0 +1,15 @@
+(* Fixture: both suppression flavours for the race family — on the
+   cell definition (a pre-audited cell silences every root that
+   reaches it) and on the spawning binding itself. *)
+
+let[@lint.allow "race"] approved = ref 0
+
+let poke n = approved := !approved + n
+
+let fan_push xs = Parwork.map poke xs
+
+let unaudited = ref 0
+
+let touch n = unaudited := !unaudited + n
+
+let[@lint.allow "race"] fan_audited xs = Parwork.map touch xs

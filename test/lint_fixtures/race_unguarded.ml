@@ -1,0 +1,12 @@
+(* Fixture: unguarded top-level ref reached through a helper chain
+   from a Parwork fan-out.  The mutation site ([record]) is two calls
+   away from the domain-crossing root ([fan_out]), so only the
+   interprocedural pass can see it. *)
+
+let hits = ref 0
+
+let record n = hits := !hits + n
+
+let tally xs = List.iter record xs
+
+let fan_out batches = Parwork.map (fun xs -> tally xs; List.length xs) batches

@@ -1,0 +1,6 @@
+(* Fixture: transitive determinism — [play] reaches ambient
+   randomness through [roll]; the finding lands at the call site. *)
+
+let roll () = Random.int 6
+
+let play n = n + roll ()

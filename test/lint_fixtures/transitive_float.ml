@@ -1,0 +1,12 @@
+(* Fixture: transitive float ban — [boundary] contains no float token
+   itself yet reaches one through [scale]; the finding lands at the
+   call site.  A float use behind an audited [@lint.allow "float"]
+   must NOT taint its callers. *)
+
+let scale x = float_of_int x *. 2.0
+
+let boundary x = scale (x + 1)
+
+let[@lint.allow "float"] audited x = float_of_int x
+
+let uses_audited x = audited x

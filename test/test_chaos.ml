@@ -308,6 +308,37 @@ let test_probability_trigger_deterministic () =
   Alcotest.(check bool) "fires sometimes" true (List.mem true p1);
   Alcotest.(check bool) "not always" true (List.mem false p1)
 
+(* ------------------------------------------------------------------ *)
+(* Domain safety: the [enabled] / [raiser] cells are Atomic.t (the
+   race lint flagged the original plain refs), so a worker domain must
+   observe both the activation flip and the taxonomy raiser installed
+   by Ringshare_error's module init.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_enabled_published_to_domains () =
+  with_spec "budget.tick=error@1" (fun () ->
+      Alcotest.(check bool) "spawned domain sees the activation" true
+        (Domain.join (Domain.spawn (fun () -> Failpoint.active ()))));
+  Alcotest.(check bool) "spawned domain sees the clear" false
+    (Domain.join (Domain.spawn (fun () -> Failpoint.active ())))
+
+let test_raiser_published_to_domains () =
+  with_spec "budget.tick=error@1" (fun () ->
+      let fired_taxonomy =
+        Domain.join
+          (Domain.spawn (fun () ->
+               match Budget.tick Budget.unlimited with
+               | () -> false
+               | exception
+                   E.Error (E.Injected { site = "budget.tick"; transient = true })
+                 ->
+                   true
+               | exception _ -> false))
+      in
+      Alcotest.(check bool)
+        "fire on a worker domain raises through the installed raiser" true
+        fired_taxonomy)
+
 let test_skip_ignored_by_hit_sites () =
   (* budget.tick calls [hit], which must ignore a [skip] action: the
      budget still meters *)
@@ -602,6 +633,13 @@ let () =
           Alcotest.test_case "arm_deadline" `Quick test_arm_materialises_deadline;
           Alcotest.test_case "deadline_bounds_items" `Quick
             test_deadline_bounds_batch_items;
+        ] );
+      ( "domain_safety",
+        [
+          Alcotest.test_case "enabled_published" `Quick
+            test_enabled_published_to_domains;
+          Alcotest.test_case "raiser_published" `Quick
+            test_raiser_published_to_domains;
         ] );
       ("hunt", [ Alcotest.test_case "injection" `Quick test_hunt_under_injection ]);
       ( "identity",

@@ -21,11 +21,16 @@ let check_findings name expected =
     name expected (findings_of name)
 
 let test_bad_float () =
+  (* line 8 now carries five findings: +. /. and the literal from the
+     per-expression family, plus two transitive findings — one per
+     call into the float-tainted [as_float] helper *)
   check_findings "bad_float.ml"
     [
       ("float", 4);
       ("float", 6);
       ("float", 6);
+      ("float", 8);
+      ("float", 8);
       ("float", 8);
       ("float", 8);
       ("float", 8);
@@ -63,6 +68,57 @@ let test_bad_nakedretry () =
     ]
 
 let test_clean () = check_findings "clean.ml" []
+
+(* ---- interprocedural race family --------------------------------- *)
+
+(* The mutation site ([record]) sits two calls away from the fan-out,
+   so this pin fails if the analysis ever loses its call graph. *)
+let test_race_unguarded () =
+  check_findings "race_unguarded.ml" [ ("race", 12) ]
+
+let test_race_mutex_ok () = check_findings "race_mutex_ok.ml" []
+let test_race_atomic_ok () = check_findings "race_atomic_ok.ml" []
+let test_race_dls_ok () = check_findings "race_dls_ok.ml" []
+
+let test_race_functor_conservative () =
+  check_findings "race_functor.ml" [ ("race", 17) ]
+
+let test_race_suppressed () =
+  let r = Lint_driver.run_files [ fixture "race_suppressed.ml" ] in
+  Alcotest.(check (list (pair string int))) "no unsuppressed findings" []
+    (List.map (fun (f : F.t) -> (F.rule_name f.rule, f.line)) r.findings);
+  let recorded =
+    List.map
+      (fun (s : F.suppression) ->
+        Printf.sprintf "%s:%d:%s:%d" (F.rule_name s.s_rule) s.s_line
+          s.s_scope s.s_hits)
+      r.suppressions
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "cell-level and root-level race allows both hit"
+    [ "race:15:item:1"; "race:5:item:1" ]
+    recorded;
+  Alcotest.(check int) "silenced race findings retained" 2
+    (List.length r.suppressed)
+
+(* ---- transitive float / determinism ------------------------------ *)
+
+let test_transitive_float () =
+  check_findings "transitive_float.ml"
+    [ ("float", 6); ("float", 6); ("float", 6); ("float", 8) ]
+
+let test_transitive_det () =
+  check_findings "transitive_det.ml"
+    [ ("determinism", 4); ("determinism", 6) ]
+
+let test_callgraph_stats () =
+  let r = Lint_driver.run_files [ fixture "race_unguarded.ml" ] in
+  let s = r.Lint_driver.stats in
+  Alcotest.(check int) "nodes" 3 s.Lint_callgraph.nodes;
+  Alcotest.(check int) "edges" 2 s.Lint_callgraph.edges;
+  Alcotest.(check int) "roots" 1 s.Lint_callgraph.root_count;
+  Alcotest.(check int) "cells" 1 s.Lint_callgraph.cell_count
 
 let test_exit_codes () =
   let bad = Lint_driver.run_files [ fixture "bad_float.ml" ] in
@@ -122,6 +178,45 @@ let test_json_report () =
   Alcotest.(check int) "balanced braces" (count '{') (count '}');
   Alcotest.(check int) "balanced brackets" (count '[') (count ']')
 
+let test_sarif_report () =
+  let r =
+    Lint_driver.run_files
+      [ fixture "race_unguarded.ml"; fixture "race_suppressed.ml" ]
+  in
+  let path = Filename.temp_file "lint" ".sarif" in
+  Lint_driver.write_sarif ~path r;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  let contains needle =
+    let nl = String.length needle and bl = String.length body in
+    let rec go i =
+      i + nl <= bl && (String.equal (String.sub body i nl) needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "sarif has %S" needle) true
+        (contains needle))
+    [
+      "\"version\": \"2.1.0\"";
+      "\"name\": \"ringshare-lint\"";
+      "{ \"id\": \"race\" }";
+      "\"ruleId\": \"race\"";
+      "\"level\": \"error\"";
+      "\"startLine\": 12";
+      (* 0-based internal column 22 -> 1-based SARIF column 23 *)
+      "\"startColumn\": 23";
+      (* the two silenced race findings are emitted, marked inSource *)
+      "\"suppressions\": [ { \"kind\": \"inSource\" } ]";
+    ];
+  let count c = String.fold_left (fun a c' -> if c' = c then a + 1 else a) 0 body in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced brackets" (count '[') (count ']')
+
 let test_bad_rule_name_is_spec_error () =
   let path = Filename.temp_file "lint_bad_attr" ".ml" in
   let oc = open_out path in
@@ -137,9 +232,9 @@ let test_bad_rule_name_is_spec_error () =
 
 let test_scope_map () =
   let active rel = List.map F.rule_name (Lint_scope.rules_for rel) in
-  Alcotest.(check (list string)) "exact core gets all six"
+  Alcotest.(check (list string)) "exact core gets all seven"
     [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift";
-      "no-naked-retry" ]
+      "no-naked-retry"; "race" ]
     (active "bigint/bigint.ml");
   Alcotest.(check bool) "runtime owns Retry: no-naked-retry off there" false
     (List.exists (String.equal "no-naked-retry") (active "runtime/retry.ml"));
@@ -158,10 +253,25 @@ let test_scope_map () =
   Alcotest.(check (list string))
     "obs is exact-core: float ban and determinism active"
     [ "float"; "polycompare"; "exnswallow"; "determinism"; "config-drift";
-      "no-naked-retry" ]
+      "no-naked-retry"; "race" ]
     (active "obs/obs.ml");
+  Alcotest.(check bool) "race is active even in runtime (det-exempt dir)"
+    true
+    (List.exists (String.equal "race") (active "runtime/failpoint.ml"));
   Alcotest.(check (list string)) "lint sources are skipped" []
-    (active "lint/lint_check.ml")
+    (active "lint/lint_check.ml");
+  (* taint barriers are path predicates, independent of active sets:
+     fixture files (outside lib/) must never be barriers *)
+  Alcotest.(check bool) "fixtures are not float barriers" false
+    (Lint_scope.taint_barrier F.Float_ban "test/lint_fixtures/x.ml");
+  Alcotest.(check bool) "scoped core files are float barriers" true
+    (Lint_scope.taint_barrier F.Float_ban "bigint/bigint.ml");
+  Alcotest.(check bool) "sanctioned runtime is a float barrier" true
+    (Lint_scope.taint_barrier F.Float_ban "runtime/budget.ml");
+  Alcotest.(check bool) "parallel is float-taintable" false
+    (Lint_scope.taint_barrier F.Float_ban "parallel/parwork.ml");
+  Alcotest.(check bool) "every lib dir is a determinism barrier" true
+    (Lint_scope.taint_barrier F.Determinism "graph/graph.ml")
 
 let () =
   Alcotest.run "lint"
@@ -177,10 +287,28 @@ let () =
           Alcotest.test_case "clean" `Quick test_clean;
           Alcotest.test_case "exit_codes" `Quick test_exit_codes;
         ] );
+      ( "race",
+        [
+          Alcotest.test_case "unguarded_via_helpers" `Quick
+            test_race_unguarded;
+          Alcotest.test_case "mutex_wrapper_ok" `Quick test_race_mutex_ok;
+          Alcotest.test_case "atomic_ok" `Quick test_race_atomic_ok;
+          Alcotest.test_case "dls_ok" `Quick test_race_dls_ok;
+          Alcotest.test_case "functor_conservative" `Quick
+            test_race_functor_conservative;
+          Alcotest.test_case "suppressed" `Quick test_race_suppressed;
+        ] );
+      ( "transitive",
+        [
+          Alcotest.test_case "float" `Quick test_transitive_float;
+          Alcotest.test_case "determinism" `Quick test_transitive_det;
+          Alcotest.test_case "callgraph_stats" `Quick test_callgraph_stats;
+        ] );
       ( "suppression",
         [
           Alcotest.test_case "suppressed" `Quick test_suppressed;
           Alcotest.test_case "json_report" `Quick test_json_report;
+          Alcotest.test_case "sarif_report" `Quick test_sarif_report;
           Alcotest.test_case "bad_rule_name" `Quick
             test_bad_rule_name_is_spec_error;
         ] );
