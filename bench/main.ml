@@ -85,6 +85,16 @@ let case_attack_search_parallel n domains =
     Printf.sprintf "sybil/best-attack/n=%d/domains=%d" n domains,
     fun () -> ignore (Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~domains ()) g) )
 
+let case_attack_exact n =
+  (* the event-driven sweep: no grid/refine knobs, the row buys a
+     certified optimum instead of a sampled one *)
+  let g = ring n in
+  ( "attack",
+    Printf.sprintf "sybil/best-attack-exact/n=%d" n,
+    fun () ->
+      ignore
+        (Incentive.best_attack_exact ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ()) g) )
+
 let case_attack_cache n =
   (* the engine cache's headline win: the identical search against a
      warm shared cache vs a fresh cache per run (the cold row pays the
@@ -191,6 +201,7 @@ let cases () =
     case_attack_search 6;
     case_attack_search_parallel 8 1;
     case_attack_search_parallel 8 2;
+    case_attack_exact 8;
     case_symbolic_verify 5;
   ]
   @ case_attack_cache 8
@@ -312,6 +323,44 @@ let run_ladder ~full =
     (ratios @ exponent);
   rows @ ratios @ exponent
 
+(* Exact-sweep attack rows at sizes Bechamel's quota-driven looping
+   cannot carry (n = 32 is seconds, n = 128 is minutes): hand-timed
+   best-of-reps per size, same reasoning as the fast-chain ladder.
+   Smoke mode runs n = 32 once under the deadline so `dune runtest`
+   exercises a multi-component exact sweep without paying for 128. *)
+
+let exact_sizes full = if full then [ 32; 128 ] else [ 32 ]
+let exact_deadline_s = 420.0
+
+let run_exact_ladder ~full =
+  let t_start = Unix.gettimeofday () in
+  let ctx = Engine.Ctx.make ~sweep:Engine.Exact () in
+  let rows =
+    List.filter_map
+      (fun n ->
+        if Unix.gettimeofday () -. t_start >= exact_deadline_s then None
+        else begin
+          Gc.compact ();
+          let reps = if full && n < 128 then 2 else 1 in
+          let g = ring n in
+          let best = ref infinity in
+          for _ = 1 to reps do
+            let t0 = Unix.gettimeofday () in
+            ignore (Incentive.best_attack_exact ~ctx g);
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt < !best then best := dt
+          done;
+          Format.printf "exact  best-attack-exact/n=%-6d %10.1f ms@." n
+            (!best *. 1e3);
+          Some
+            ( Printf.sprintf "ringshare/attack/sybil/best-attack-exact/n=%d" n,
+              !best *. 1e9 )
+        end)
+      (exact_sizes full)
+  in
+  Obs.record_gc ();
+  rows
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output                                             *)
 (* ------------------------------------------------------------------ *)
@@ -381,6 +430,30 @@ let run_benchmarks ~extra_rows () =
     merged;
   write_json (List.sort compare (extra_rows @ !json_rows))
 
+let smoke_exact_dominance () =
+  (* the accounting claim behind the exact sweep, machine-checked on
+     every runtest: certifying the true optimum takes fewer utility
+     evaluations than the default grid spends approximating it *)
+  let g = ring 8 in
+  let base = Obs.snapshot () in
+  ignore (Incentive.best_attack ~ctx:(Engine.Ctx.make ~obs:true ()) g);
+  let mid = Obs.snapshot () in
+  ignore
+    (Incentive.best_attack_exact
+       ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ~obs:true ()) g);
+  let fin = Obs.snapshot () in
+  let c older newer name =
+    Obs.counter_value (Obs.diff newer older) ~subsystem:"incentive" name
+  in
+  let grid_pts = c base mid "sweep_points" in
+  let exact_evals = c mid fin "exact_evals" in
+  Format.printf "smoke exact-vs-grid evaluations: exact_evals=%d sweep_points=%d@."
+    exact_evals grid_pts;
+  if exact_evals <= 0 || grid_pts <= 0 then
+    failwith "exact/grid sweep counters did not tick";
+  if exact_evals > grid_pts then
+    failwith "exact sweep evaluated more points than the grid it replaces"
+
 let run_smoke () =
   (* Execute every benchmark closure exactly once.  No timing: the point
      is that the closures still build and run, so the bench binary (and
@@ -391,6 +464,7 @@ let run_smoke () =
       fn ();
       Format.printf "smoke %-44s ok@." name)
     cs;
+  smoke_exact_dominance ();
   Format.printf "bench smoke: %d closures ran@." (List.length cs)
 
 (* ------------------------------------------------------------------ *)
@@ -405,6 +479,7 @@ let () =
   if smoke then begin
     run_smoke ();
     ignore (run_ladder ~full:false);
+    ignore (run_exact_ladder ~full:false);
     write_metrics ()
   end
   else begin
@@ -412,6 +487,8 @@ let () =
     (* the ladder runs first, on a cold heap: its decade ratios are the
        linearity claim, so they must not inherit the battery's GC load *)
     let ladder_rows = if no_bench then [] else run_ladder ~full:true in
+    let exact_rows = if no_bench then [] else run_exact_ladder ~full:true in
+    let ladder_rows = ladder_rows @ exact_rows in
     let failures =
       if bench_only then []
       else begin

@@ -115,6 +115,11 @@ let refine_arg =
        & info [ "refine" ] ~docv:"N"
          ~doc:"Zoom refinement rounds (default 3; hunt uses 2).")
 
+let sweep_arg =
+  Arg.(value & opt string "grid"
+       & info [ "sweep" ] ~docv:"SWEEP"
+         ~doc:"Attack-search sweep policy: $(b,grid) (historical                grid-with-zoom approximation, honours --grid/--refine) or                $(b,exact) (event-driven breakpoint walk returning the                certified optimum; no resolution knobs).  An unknown name                is a spec error (exit 4).")
+
 let domains_arg =
   Arg.(value & opt int 1
        & info [ "domains" ] ~docv:"N"
@@ -155,11 +160,21 @@ let solver_of_flag s =
         (String.concat ", " (Engine.Registry.names ()));
       exit 4
 
+let sweep_of_flag s =
+  match Engine.sweep_of_name (String.lowercase_ascii s) with
+  | Some sweep -> sweep
+  | None ->
+      Format.eprintf "ringshare: unknown sweep %S (known: %s)@." s
+        (String.concat ", " (Engine.sweep_names ()));
+      exit 4
+
 (* [grid_default]/[refine_default] let a subcommand keep a historical
    resolution (hunt: 12/2) while still honouring explicit flags *)
 let ctx_term_with ?grid_default ?refine_default () =
-  let make solver grid refine domains cache time_budget step_budget deadline =
+  let make solver sweep grid refine domains cache time_budget step_budget
+      deadline =
     let solver = solver_of_flag solver in
+    let sweep = sweep_of_flag sweep in
     let grid =
       match grid with
       | Some g -> g
@@ -174,13 +189,14 @@ let ctx_term_with ?grid_default ?refine_default () =
       if cache <= 0 then None else Some (Engine.Cache.create ~capacity:cache ())
     in
     let ctx =
-      Engine.Ctx.make ~solver ~grid ~refine ?deadline ~domains ?cache ()
+      Engine.Ctx.make ~solver ~sweep ~grid ~refine ?deadline ~domains ?cache ()
     in
     let budget = budget_of ~time_budget ~step_budget in
     if Budget.is_limited budget then Engine.Ctx.with_budget budget ctx else ctx
   in
-  Term.(const make $ solver_arg $ grid_arg $ refine_arg $ domains_arg
-        $ cache_arg $ time_budget_arg $ step_budget_arg $ deadline_arg)
+  Term.(const make $ solver_arg $ sweep_arg $ grid_arg $ refine_arg
+        $ domains_arg $ cache_arg $ time_budget_arg $ step_budget_arg
+        $ deadline_arg)
 
 let ctx_term = ctx_term_with ()
 
@@ -254,15 +270,31 @@ let sybil g ctx v_opt checkpoint resume () =
       (Q.to_string a.w1) (Q.to_string a.utility) (Q.to_string a.honest)
       (Q.to_string a.ratio) (Q.to_float a.ratio)
   in
-  (match v_opt with
-  | Some v -> report (Incentive.best_split ~ctx g ~v)
-  | None when Budget.is_limited budget || checkpoint <> None || resume ->
+  (* the exact sweep reports its rational witness in the historical
+     format, then the certified optimum as quadratic surds *)
+  let report_exact (e : Incentive.exact_attack) =
+    report e.Incentive.witness;
+    Format.printf
+      "exact: w1=%s  utility=%s  ratio=%s (%.5f)  pieces=%d  events=%d@."
+      (Qx.to_string e.Incentive.w1_exact)
+      (Qx.to_string e.Incentive.utility_exact)
+      (Qx.to_string e.Incentive.ratio_exact)
+      (Qx.to_float e.Incentive.ratio_exact)
+      e.Incentive.pieces e.Incentive.events
+  in
+  (match (v_opt, ctx.Engine.Ctx.sweep) with
+  | Some v, Engine.Exact ->
+      report_exact (Incentive.best_split_exact ~ctx g ~v)
+  | Some v, Engine.Grid -> report (Incentive.best_split ~ctx g ~v)
+  | None, _ when Budget.is_limited budget || checkpoint <> None || resume ->
       (* fault-tolerant path: sequential scan, snapshot per vertex,
          partial best on budget exhaustion *)
       let p = Incentive.best_attack_within ~ctx ?checkpoint ~resume g in
       Format.printf "searched %d/%d vertices@." p.Incentive.completed
         p.Incentive.total;
-      Option.iter report p.Incentive.best;
+      (match p.Incentive.best_exact with
+      | Some e -> report_exact e
+      | None -> Option.iter report p.Incentive.best);
       (match p.Incentive.status with
       | Ok () -> ()
       | Error e ->
@@ -271,7 +303,8 @@ let sybil g ctx v_opt checkpoint resume () =
             Format.printf "stopped early (checkpoint saved; rerun with --resume)@."
           else Format.printf "stopped early@.";
           Ringshare_error.error e)
-  | None -> report (Incentive.best_attack ~ctx g));
+  | None, Engine.Exact -> report_exact (Incentive.best_attack_exact ~ctx g)
+  | None, Engine.Grid -> report (Incentive.best_attack ~ctx g));
   Format.printf "Theorem 8 bound: 2@."
 
 let curve g ctx v samples () =

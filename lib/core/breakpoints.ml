@@ -70,6 +70,448 @@ let scan_split ?ctx ?tolerance g ~v =
     in
     scan_fn ~grid:ctx.Engine.Ctx.grid ~tolerance ~span:w decomp
 
+(* ------------------------------------------------------------------ *)
+(* Exact split-parameter pieces and events (DESIGN §16)                *)
+(* ------------------------------------------------------------------ *)
+
+type exact_piece = {
+  xlo : Qx.t;
+  xhi : Qx.t;
+  sample : Q.t;
+  structure : Decompose.t;
+}
+
+type exact_event = { at : Qx.t; left : Decompose.t; right : Decompose.t }
+
+(* Weight of [set] in the split path as an affine function [const +
+   slope*x] of the split parameter x = w(v1): every vertex other than
+   the two identities keeps its weight, v1 carries x and v2 carries
+   total - x. *)
+let affine_of_set path ~v1 ~v2 ~total set =
+  let const =
+    List.fold_left
+      (fun acc u ->
+        if u = v1 || u = v2 then acc else Q.add acc (Graph.weight path u))
+      (if Vset.mem v2 set then total else Q.zero)
+      (Vset.elements set)
+  in
+  let slope =
+    (if Vset.mem v1 set then 1 else 0) - if Vset.mem v2 set then 1 else 0
+  in
+  (const, slope)
+
+(* Degree-<=2 polynomials in x, as coefficient triples (a, b, c) for
+   a*x^2 + b*x + c. *)
+let sub3 (a1, b1, c1) (a2, b2, c2) =
+  (Q.sub a1 a2, Q.sub b1 b2, Q.sub c1 c2)
+
+let lin (c, s) = (Q.zero, Q.of_int s, c)
+
+(* Product of two affine functions. *)
+let amul (c1, s1) (c2, s2) =
+  ( Q.of_int (s1 * s2),
+    Q.add (Q.mul_int c1 s2) (Q.mul_int c2 s1),
+    Q.mul c1 c2 )
+
+(* Minimum stage cost over one masked path component, with every partial
+   cost carried as a quadratic in x.  This mirrors [Chain_solver.path_min]
+   (state: previous vertex's S-membership and whether its Γ-charge has
+   been paid), except that costs are multiplied through by wb_i so the
+   stage charge −α_i·w_u becomes the polynomial −wc_i·w_u.  Comparisons
+   are resolved by exact evaluation at the rational sample [p] (ties keep
+   the earlier branch) and every comparison difference is passed to
+   [record].
+
+   The forced-vertex maximality probes (min cost with s_u = true, for
+   every position u) would cost O(k) DP runs of O(k) steps each; instead
+   a forward table F and a backward table B are built once — F.(i).(st)
+   is the best prefix cost ending in state st = (s_i, counted_i), B.(i).(st)
+   the best suffix cost of transitions i+1..k−1 given that state — and
+   each probe is the O(1) combine  min over c of F.(u).(true,c) + B.(u).(true,c).
+   The suffix cost depends on the prefix only through the state, so the
+   combine equals the restricted DP exactly.
+
+   The DP runs in the scaled parameter y = D·x (D a common denominator
+   of the weights, the total and the sample), so every coefficient and
+   every evaluation is a [Bigint] — no rational normalisation on the
+   hot path. *)
+module B = Bigint
+
+let bzero3 = (B.zero, B.zero, B.zero)
+let bis_zero3 (a, b, c) = B.is_zero a && B.is_zero b && B.is_zero c
+let badd3 (a1, b1, c1) (a2, b2, c2) = (B.add a1 a2, B.add b1 b2, B.add c1 c2)
+let bsub3 (a1, b1, c1) (a2, b2, c2) = (B.sub a1 a2, B.sub b1 b2, B.sub c1 c2)
+let bneg3 (a, b, c) = (B.neg a, B.neg b, B.neg c)
+
+(* Hash table over integer quadratic-coefficient triples, used to
+   dedupe recorded DP comparison differences at record time. *)
+module BTriple = Hashtbl.Make (struct
+  type t = B.t * B.t * B.t
+
+  let equal (a1, b1, c1) (a2, b2, c2) =
+    B.equal a1 a2 && B.equal b1 b2 && B.equal c1 c2
+
+  let hash (a, b, c) = (((B.hash a * 31) + B.hash b) * 31) + B.hash c
+end)
+let beval3 (a, b, c) py = B.add (B.mul (B.add (B.mul a py) b) py) c
+
+(* Product of two affine functions of y with Bigint consts. *)
+let bamul (c1, s1) (c2, s2) =
+  ( B.of_int (s1 * s2),
+    B.add (B.mul_int c1 s2) (B.mul_int c2 s1),
+    B.mul c1 c2 )
+
+let parametric_stage_mins ~record ~gam ~sch ~py k =
+  let better a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some ((qa, va) as xa), Some ((qb, vb) as xb) ->
+        record (bsub3 qa qb);
+        if B.compare va vb <= 0 then Some xa else Some xb
+  in
+  let cell q = Some (q, beval3 q py) in
+  let state s counted = (if s then 2 else 0) + if counted then 1 else 0 in
+  (* forward: F.(i) after assigning s_0..s_i; counted_i = s_{i-1} *)
+  let f = Array.make_matrix k 4 None in
+  f.(0).(state false false) <- cell bzero3;
+  f.(0).(state true false) <- cell (bneg3 (sch 0));
+  for i = 1 to k - 1 do
+    Array.iteri
+      (fun st cost ->
+        match cost with
+        | None -> ()
+        | Some (q, _) ->
+            let s_prev = st >= 2 and counted_prev = st land 1 = 1 in
+            List.iter
+              (fun s ->
+                let q = ref q in
+                if s && not counted_prev then q := badd3 !q (gam (i - 1));
+                if s_prev then q := badd3 !q (gam i);
+                if s then q := bsub3 !q (sch i);
+                f.(i).(state s s_prev) <-
+                  better f.(i).(state s s_prev) (cell !q))
+              [ false; true ])
+      f.(i - 1)
+  done;
+  (* backward: B.(i).(st) = best cost of transitions i+1..k-1 entering
+     them in state st; the transition into position i+1 charges
+     gam(i) when s_{i+1} picks up an uncounted neighbour, gam(i+1)
+     when s_i was selected, and -sch(i+1) when s_{i+1} is selected. *)
+  let b = Array.make_matrix k 4 None in
+  for st = 0 to 3 do
+    b.(k - 1).(st) <- cell bzero3
+  done;
+  for i = k - 2 downto 0 do
+    for st = 0 to 3 do
+      let s_i = st >= 2 and counted_i = st land 1 = 1 in
+      List.iter
+        (fun s_next ->
+          match b.(i + 1).(state s_next s_i) with
+          | None -> ()
+          | Some (q, _) ->
+              let q = ref q in
+              if s_next && not counted_i then q := badd3 !q (gam i);
+              if s_i then q := badd3 !q (gam (i + 1));
+              if s_next then q := bsub3 !q (sch (i + 1));
+              b.(i).(st) <- better b.(i).(st) (cell !q))
+        [ false; true ]
+    done
+  done;
+  let unforced = Array.fold_left better None f.(k - 1) in
+  let forced u =
+    let combine c =
+      match (f.(u).(state true c), b.(u).(state true c)) with
+      | Some (fq, _), Some (bq, _) -> cell (badd3 fq bq)
+      | _ -> None
+    in
+    better (combine false) (combine true)
+  in
+  (unforced, forced)
+
+(* Sensitivity analysis of one greedy stage.  The stage-i solve finds the
+   maximal minimiser of w(Γ(S)) − α_i·w(S) over the masked subgraph — one
+   4-state DP plus one forced-vertex probe per position, per component
+   ([Chain_solver]).  While none of the comparison differences those DPs
+   resolve changes sign, and none of the per-component minima or
+   forced-vs-free gaps (which decide maximal-minimiser membership)
+   crosses zero, every stage re-derives exactly the same pair, so the
+   decomposition is constant.  The recorded roots are therefore a
+   complete superset of the structure's event boundaries: basic shape
+   conditions alone would miss a pair splitting when some proper subset's
+   ratio crosses α_i, which only these DP gaps can see. *)
+let stage_dp_candidates ~record ~scale ~py path ~v1 ~v2 ~total ~mask
+    (pair : Decompose.pair) =
+  (* scaled affine view: value·D = (const·D) + slope·y with y = D·x;
+     [scale q] is the (integer) numerator of q·D *)
+  let aff set =
+    let c, s = affine_of_set path ~v1 ~v2 ~total set in
+    (scale c, s)
+  in
+  let awb = aff pair.Decompose.b and awc = aff pair.Decompose.c in
+  let affv u =
+    if u = v1 then (B.zero, 1)
+    else if u = v2 then (scale total, -1)
+    else (scale (Graph.weight path u), 0)
+  in
+  List.iter
+    (fun (comp : Chain_solver.component) ->
+      (* split graphs are paths, so masked components cannot be cycles *)
+      assert (not comp.Chain_solver.cycle);
+      let verts = comp.Chain_solver.verts in
+      let k = Array.length verts in
+      let gam = Array.init k (fun i -> bamul (affv verts.(i)) awb)
+      and sch = Array.init k (fun i -> bamul (affv verts.(i)) awc) in
+      let gam i = gam.(i) and sch i = sch.(i) in
+      let unforced, forced = parametric_stage_mins ~record ~gam ~sch ~py k in
+      match unforced with
+      | None -> assert false
+      | Some (mq, _) ->
+          (* the component minimum crossing zero changes which components
+             achieve the stage ratio *)
+          record mq;
+          for idx = 0 to k - 1 do
+            match forced idx with
+            | None -> ()
+            | Some (fq, _) -> record (bsub3 fq mq)
+          done)
+    (Chain_solver.components path ~mask)
+
+(* Candidate boundary polynomials of a structure's validity interval
+   around the rational sample [p]: the decomposition is [structure]
+   exactly while
+     - wb_i = 0, wc_i = 0        (pair weight degenerating),
+     - wc_i - wb_i = 0           (alpha_i reaching 1),
+     - wc_i*wb_{i+1} - wc_{i+1}*wb_i = 0   (adjacent alphas crossing)
+   all keep their sign, together with the stage-DP differences from
+   [stage_dp_candidates] (which make the family complete — see there). *)
+let exact_candidates path ~v1 ~v2 ~total ~p (structure : Decompose.t) =
+  let aff = affine_of_set path ~v1 ~v2 ~total in
+  let pairs =
+    List.map
+      (fun (p : Decompose.pair) -> (aff p.Decompose.b, aff p.Decompose.c))
+      structure
+  in
+  let per_pair =
+    List.concat_map
+      (fun (b, c) -> [ lin b; lin c; sub3 (lin c) (lin b) ])
+      pairs
+  in
+  let rec adjacent = function
+    | (b1, c1) :: ((b2, c2) :: _ as rest) ->
+        sub3 (amul c1 b2) (amul c2 b1) :: adjacent rest
+    | _ -> []
+  in
+  (* the common denominator D putting the stage DP in integer
+     coordinates y = D·x: weights, total and the sample all become
+     integers under y *)
+  let d =
+    let lcm a b = B.mul (B.div a (B.gcd a b)) b in
+    let acc = ref (lcm (Q.den total) (Q.den p)) in
+    Array.iter (fun w -> acc := lcm !acc (Q.den w)) (Graph.weights path);
+    !acc
+  in
+  let dq = Q.of_bigint d in
+  let scale q =
+    let s = Q.mul q dq in
+    assert (B.equal (Q.den s) B.one);
+    Q.num s
+  in
+  let py = scale p in
+  (* The DP records one difference per comparison — hundreds of
+     thousands on big paths, with heavy duplication (the same gap is
+     re-compared along the path).  Dedupe at record time, in the
+     integer domain, before any of them reaches the rational root
+     machinery: sign-normalise and key by the printed triple. *)
+  let dp_cands = ref [] in
+  let seen = BTriple.create 512 in
+  let record q =
+    if not (bis_zero3 q) then begin
+      let a, b, c = q in
+      let flip =
+        match B.sign a with 0 -> ( match B.sign b with 0 -> B.sign c | s -> s) | s -> s
+      in
+      let q = if flip < 0 then bneg3 q else q in
+      if not (BTriple.mem seen q) then begin
+        BTriple.add seen q ();
+        dp_cands := q :: !dp_cands
+      end
+    end
+  in
+  let mask = ref (Graph.full_mask path) in
+  List.iter
+    (fun (pr : Decompose.pair) ->
+      stage_dp_candidates ~record ~scale ~py path ~v1 ~v2 ~total ~mask:!mask
+        pr;
+      mask := Vset.diff !mask (Vset.union pr.Decompose.b pr.Decompose.c))
+    structure;
+  (* back to x-coordinates: q'(y) = A·y² + B·y + C with y = D·x is
+     A·D²·x² + B·D·x + C *)
+  let d2 = B.mul d d in
+  let dp_cands =
+    List.rev_map
+      (fun (a, b, c) ->
+        (Q.of_bigint (B.mul a d2), Q.of_bigint (B.mul b d), Q.of_bigint c))
+      !dp_cands
+  in
+  per_pair @ adjacent pairs @ dp_cands
+
+(* All real roots of the candidates that fall strictly inside (0, w);
+   identically-zero candidates (a pair with B = C has wc - wb == 0)
+   impose no boundary.  The DP records arrive with heavy duplication
+   (the same gap shows up once per probe), so the candidates are
+   normalised — leading coefficient scaled to ±1, roots unchanged — and
+   deduplicated before the surd extraction. *)
+let candidate_roots ~w cands =
+  let normalise (a, b, c) =
+    if not (Q.is_zero a) then (Q.one, Q.div b a, Q.div c a)
+    else if not (Q.is_zero b) then (Q.zero, Q.one, Q.div c b)
+    else (Q.zero, Q.zero, if Q.is_zero c then Q.zero else Q.one)
+  in
+  let cmp3 (a1, b1, c1) (a2, b2, c2) =
+    match Q.compare a1 a2 with
+    | 0 -> ( match Q.compare b1 b2 with 0 -> Q.compare c1 c2 | n -> n)
+    | n -> n
+  in
+  let cands = List.sort_uniq cmp3 (List.map normalise cands) in
+  List.concat_map
+    (fun (a, b, c) ->
+      if Q.is_zero a && Q.is_zero b && Q.is_zero c then []
+      else
+        List.filter
+          (fun r -> Qx.compare_q r Q.zero > 0 && Qx.compare_q r w < 0)
+          (Qx.roots2 ~a ~b ~c))
+    cands
+
+(* The maximal interval around the rational sample [p] on which the
+   decomposition keeps the structure observed at [p]. *)
+let exact_piece_at ~dctx g ~v ~w p =
+  let s = Sybil.split_free g ~v ~w1:p ~w2:(Q.sub w p) in
+  let structure = Decompose.compute ~ctx:dctx s.Sybil.path in
+  let cands =
+    exact_candidates s.Sybil.path ~v1:s.Sybil.v1 ~v2:s.Sybil.v2 ~total:w ~p
+      structure
+  in
+  let roots = candidate_roots ~w cands in
+  if List.exists (fun r -> Qx.compare_q r p = 0) roots then
+    (* the sample itself sits on a boundary: a degenerate point piece *)
+    { xlo = Qx.of_q p; xhi = Qx.of_q p; sample = p; structure }
+  else
+    let xlo =
+      List.fold_left
+        (fun acc r ->
+          if Qx.compare_q r p < 0 && Qx.compare acc r < 0 then r else acc)
+        (Qx.of_q Q.zero) roots
+    and xhi =
+      List.fold_left
+        (fun acc r ->
+          if Qx.compare_q r p > 0 && Qx.compare acc r > 0 then r else acc)
+        (Qx.of_q w) roots
+    in
+    { xlo; xhi; sample = p; structure }
+
+let exact_split_pieces ?ctx g ~v =
+  let ctx = Engine.Ctx.arm (Engine.Ctx.get ctx) in
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  let dctx = Engine.Ctx.without_budget ctx in
+  let w = Graph.weight g v in
+  if Q.sign w <= 0 then []
+  else begin
+    let n = Graph.n g in
+    (* Recursive cover of (a, b): sample once, carve out the sampled
+       structure's full validity interval, recurse on what remains.
+       Every recursion step discovers one piece (or a boundary point),
+       so the work is proportional to the number of events, not to any
+       grid resolution. *)
+    let rec cover a b =
+      if Qx.compare a b >= 0 then []
+      else begin
+        Budget.tick ~cost:(1 + n) budget;
+        let p = Qx.rational_between a b in
+        let piece = exact_piece_at ~dctx g ~v ~w p in
+        let piece =
+          { piece with xlo = Qx.max piece.xlo a; xhi = Qx.min piece.xhi b }
+        in
+        cover a piece.xlo @ (piece :: cover piece.xhi b)
+      end
+    in
+    let pieces = cover (Qx.of_q Q.zero) (Qx.of_q w) in
+    (* Merge touch points: a candidate root where the structure does not
+       actually change (a double root grazing zero) splits the interval
+       without an event; stitch such neighbours back together. *)
+    let rec merge = function
+      | a :: b :: rest
+        when Qx.equal a.xhi b.xlo
+             && Decompose.same_structure a.structure b.structure ->
+          (* keep an interior sample: a degenerate piece absorbed into a
+             wider neighbour must not leave the sample on the boundary *)
+          let sample =
+            if Qx.equal a.xlo a.xhi then b.sample else a.sample
+          in
+          merge ({ a with xhi = b.xhi; sample } :: rest)
+      | a :: rest -> a :: merge rest
+      | [] -> []
+    in
+    let pieces = merge pieces in
+    (* The decomposition exactly at a rational boundary can differ from
+       both open sides (a merge event's merged pair lives only at the
+       point); materialise those as degenerate point pieces.  Irrational
+       boundaries cannot be sampled in Q — by the same token no rational
+       scan can ever observe their at-point structure, so they stay
+       implicit. *)
+    let structure_at x =
+      Budget.tick ~cost:(1 + n) budget;
+      let s = Sybil.split_free g ~v ~w1:x ~w2:(Q.sub w x) in
+      Decompose.compute ~ctx:dctx s.Sybil.path
+    in
+    let point_piece t tq =
+      let d = structure_at tq in
+      { xlo = t; xhi = t; sample = tq; structure = d }
+    in
+    let rec interior = function
+      | a :: (b :: _ as rest) ->
+          let t = a.xhi in
+          if Qx.is_rational t then begin
+            let pt = point_piece t (Qx.to_q_exn t) in
+            if
+              Decompose.same_structure pt.structure a.structure
+              || Decompose.same_structure pt.structure b.structure
+            then a :: interior rest
+            else a :: pt :: interior rest
+          end
+          else a :: interior rest
+      | rest -> rest
+    in
+    let pieces = interior pieces in
+    let pieces =
+      match pieces with
+      | first :: _ ->
+          let p0 = point_piece (Qx.of_q Q.zero) Q.zero in
+          if Decompose.same_structure p0.structure first.structure then pieces
+          else p0 :: pieces
+      | [] -> []
+    in
+    let rec with_last = function
+      | [ last ] ->
+          let pw = point_piece (Qx.of_q w) w in
+          if Decompose.same_structure pw.structure last.structure then [ last ]
+          else [ last; pw ]
+      | a :: rest -> a :: with_last rest
+      | [] -> []
+    in
+    with_last pieces
+  end
+
+let exact_split_events ?ctx g ~v =
+  let pieces = exact_split_pieces ?ctx g ~v in
+  let rec events = function
+    | a :: (b :: _ as rest) ->
+        if Decompose.same_structure a.structure b.structure then events rest
+        else { at = a.xhi; left = a.structure; right = b.structure }
+            :: events rest
+    | _ -> []
+  in
+  events pieces
+
 let classify_event ev ~v =
   let pair_members d =
     let p = Decompose.pair_of d v in

@@ -35,6 +35,57 @@ val scan_split :
     [[0, w_v]].  Vertex ids in the events follow {!Sybil.split}
     ([v¹ = v], [v² = n]). *)
 
+(** {1 Exact split-parameter events}
+
+    The split path's decomposition is piecewise constant in [w1], and on
+    each piece every pair weight is {e affine} in [w1] (DESIGN §16).  A
+    structure observed at a rational sample therefore stays the
+    decomposition exactly while finitely many degree-≤2 polynomials keep
+    their sign: the structure's own shape conditions (pair weights,
+    [α_i = 1], adjacent-α crossings) {e plus} the comparison differences
+    of the greedy stage solves themselves — each stage's 4-state cost DP
+    and its forced-vertex maximality probes ([Chain_solver]) replayed
+    with costs as quadratics in [w1].  While none of those differences
+    changes sign every stage re-derives the same pair, which makes the
+    family complete: shape conditions alone would miss a pair splitting
+    when a proper subset's ratio crosses [α_i].  Piece boundaries are
+    roots of the candidates — quadratic irrationals, representable
+    exactly as {!Qx.t}.  Unlike {!scan_split}, this enumeration has no
+    grid: a cell hiding an even number of cancelling changes cannot fool
+    it, and the work is proportional to the number of events. *)
+
+type exact_piece = {
+  xlo : Qx.t;  (** piece lower boundary (exact) *)
+  xhi : Qx.t;  (** piece upper boundary (exact) *)
+  sample : Rational.t;  (** rational witness with [xlo ≤ sample ≤ xhi] *)
+  structure : Decompose.t;  (** the decomposition throughout the piece *)
+}
+
+type exact_event = {
+  at : Qx.t;  (** exact event location *)
+  left : Decompose.t;  (** structure just below [at] *)
+  right : Decompose.t;  (** structure just above [at] *)
+}
+
+val exact_split_pieces :
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> exact_piece list
+(** Maximal structure-constant pieces of the split parameter over
+    [[0, w_v]], in increasing order, tiling the interval.  A
+    non-degenerate piece's structure holds on its open interior and at
+    its [sample]; a {e rational} boundary point (including [0] and
+    [w_v]) whose decomposition differs from its neighbours appears as a
+    degenerate piece with [xlo = xhi].  (At an irrational boundary the
+    at-point decomposition is not materialised: it cannot be sampled in
+    ℚ — and, by the same token, no rational scan can observe it.)
+    Budget is ticked once per sampled point (cost [1 + n]);
+    decompositions use [ctx]'s solver and cache.  Empty when
+    [w_v = 0]. *)
+
+val exact_split_events :
+  ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> exact_event list
+(** Boundaries between consecutive pieces of {!exact_split_pieces} whose
+    structures differ, in increasing order of location. *)
+
 val classify_event : event -> v:int -> [ `Merge | `Split | `Other ]
 (** Proposition 12 view of an event, relative to the pair containing [v]:
     [`Split] — [v]'s pair at [lo] breaks in two at [hi];

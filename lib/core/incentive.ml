@@ -8,9 +8,23 @@ type attack = {
   ratio : Q.t;
 }
 
+type exact_attack = {
+  witness : attack;
+  w1_exact : Qx.t;
+  utility_exact : Qx.t;
+  ratio_exact : Qx.t;
+  pieces : int;
+  events : int;
+}
+
 let ratio_value ~utility ~honest =
   if Q.is_zero honest then if Q.is_zero utility then Q.one else Q.inf
   else Q.div utility honest
+
+let ratio_value_qx ~utility ~honest =
+  if Q.is_zero honest then
+    if Qx.sign utility = 0 then Qx.of_q Q.one else Qx.of_q Q.inf
+  else Qx.div_q utility honest
 
 let clamp lo hi x = Q.max lo (Q.min hi x)
 
@@ -35,6 +49,14 @@ let c_sweep_deduped =
 let c_attack_calls = Obs.Counter.make ~subsystem:"incentive" "best_attack_calls"
 let c_honest_shared = Obs.Counter.make ~subsystem:"incentive" "honest_shared"
 let g_cache = Obs.Gauge.make ~subsystem:"incentive" "max_cache_size"
+let c_exact_calls = Obs.Counter.make ~subsystem:"incentive" "exact_sweep_calls"
+let c_exact_events = Obs.Counter.make ~subsystem:"incentive" "exact_events"
+let c_exact_pieces = Obs.Counter.make ~subsystem:"incentive" "exact_pieces"
+
+let c_exact_criticals =
+  Obs.Counter.make ~subsystem:"incentive" "exact_criticals"
+
+let c_exact_evals = Obs.Counter.make ~subsystem:"incentive" "exact_evals"
 
 (* Explicit [?budget] wins over the context's. *)
 let with_budget_arg budget ctx =
@@ -53,7 +75,7 @@ let with_budget_arg budget ctx =
 let parallel_points_min = 16
 let parallel_evals_min = 32
 
-let best_split ?ctx ?budget ?honest g ~v =
+let best_split_grid ?ctx ?budget ?honest g ~v =
   let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
   let { Engine.Ctx.grid; refine; domains; _ } = ctx in
   if grid < 2 then invalid_arg "Incentive.best_split: grid too small";
@@ -147,9 +169,223 @@ let best_split ?ctx ?budget ?honest g ~v =
     Obs.Gauge.set_max g_cache (QTbl.length cache);
   { v; w1 = bw; utility = bu; honest; ratio = ratio_value ~utility:bu ~honest }
 
+(* ------------------------------------------------------------------ *)
+(* Exact event-driven sweep (DESIGN §16)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Horner evaluation in the quadratic-surd field; [Poly.coeffs] is
+   ascending. *)
+let poly_eval_qx p x =
+  List.fold_right
+    (fun c acc -> Qx.add_q (Qx.mul acc x) c)
+    (Poly.coeffs p) (Qx.of_q Q.zero)
+
+(* Denominator of the dyadic rational witness reported when the
+   certified optimum is irrational. *)
+let witness_denom = 1 lsl 40
+
+let best_split_exact ?ctx ?budget ?honest g ~v =
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
+  (* a local decomposition cache when the caller shares none: the piece
+     walk revisits boundary splits (samples plus point probes) *)
+  let ctx =
+    match ctx.Engine.Ctx.cache with
+    | Some _ -> ctx
+    | None -> Engine.Ctx.with_cache (Engine.Cache.create ~capacity:128 ()) ctx
+  in
+  Obs.Span.with_ "best_split_exact" @@ fun () ->
+  Obs.Counter.incr c_exact_calls;
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  let dctx = Engine.Ctx.without_budget ctx in
+  let w = Graph.weight g v in
+  let cost = 1 + Graph.n g in
+  let honest =
+    match honest with
+    | Some u -> u
+    | None -> Sybil.honest_utility ~ctx:dctx g ~v
+  in
+  let mech w1 =
+    Budget.tick ~cost budget;
+    Sybil.split_utility ~ctx:dctx g ~v ~w1
+  in
+  if Q.is_zero w then begin
+    let u = mech Q.zero in
+    let witness =
+      { v; w1 = Q.zero; utility = u; honest;
+        ratio = ratio_value ~utility:u ~honest }
+    in
+    {
+      witness;
+      w1_exact = Qx.of_q Q.zero;
+      utility_exact = Qx.of_q u;
+      ratio_exact = ratio_value_qx ~utility:(Qx.of_q u) ~honest;
+      pieces = 0;
+      events = 0;
+    }
+  end
+  else begin
+    let pieces = Breakpoints.exact_split_pieces ~ctx g ~v in
+    let events =
+      let rec count = function
+        | (a : Breakpoints.exact_piece) :: (b :: _ as rest) ->
+            (if
+               Decompose.same_structure a.Breakpoints.structure
+                 b.Breakpoints.structure
+             then 0
+             else 1)
+            + count rest
+        | _ -> 0
+      in
+      count pieces
+    in
+    let evals = ref 0 and criticals = ref 0 in
+    let best = ref None in
+    (* strict improvement only: the first candidate of a utility tie —
+       walking the pieces left to right — is the reported optimum *)
+    let consider x u =
+      incr evals;
+      match !best with
+      | Some (_, bu) when Qx.compare u bu <= 0 -> ()
+      | _ -> best := Some (x, u)
+    in
+    List.iter
+      (fun (p : Breakpoints.exact_piece) ->
+        Budget.tick ~cost budget;
+        if Qx.equal p.Breakpoints.xlo p.Breakpoints.xhi then
+          (* point piece: its structure lives at one rational point, so
+             evaluate the mechanism there directly *)
+          consider (Qx.of_q p.sample) (Qx.of_q (mech p.sample))
+        else begin
+          let num, den =
+            Symbolic.utility_function g ~v ~structure:p.structure
+              ~v2:(Graph.n g)
+          in
+          let consider_form x =
+            let de = poly_eval_qx den x in
+            if Qx.sign de <> 0 then consider x (Qx.div (poly_eval_qx num x) de)
+          in
+          (* the closed form extends continuously to the piece boundary
+             (Theorem 10), so closed-endpoint evaluation is sound even
+             where the at-point structure differs *)
+          consider_form p.xlo;
+          (* interior critical points: roots of N'·D − N·D', which the
+             degree-≤2 derivative theorem (DESIGN §16) trims to a
+             quadratic *)
+          let e =
+            Poly.sub
+              (Poly.mul (Poly.derive num) den)
+              (Poly.mul num (Poly.derive den))
+          in
+          if Poly.degree e > 2 then
+            invalid_arg
+              "Incentive.best_split_exact: derivative numerator exceeds \
+               degree 2";
+          if not (Poly.is_zero e) then
+            List.iter
+              (fun r ->
+                if Qx.compare p.xlo r < 0 && Qx.compare r p.xhi < 0 then begin
+                  incr criticals;
+                  consider_form r
+                end)
+              (Qx.roots2 ~a:(Poly.coeff e 2) ~b:(Poly.coeff e 1)
+                 ~c:(Poly.coeff e 0));
+          consider_form p.xhi;
+          (* anchor: the sampled interior point, by rational evaluation *)
+          consider (Qx.of_q p.sample)
+            (Qx.of_q
+               (Q.div (Poly.eval num p.sample) (Poly.eval den p.sample)))
+        end)
+      pieces;
+    let w1x, ux = match !best with Some b -> b | None -> assert false in
+    let witness =
+      if Qx.is_rational w1x then begin
+        let w1 = Qx.to_q_exn w1x in
+        let u = mech w1 in
+        (* the certified closed form and the mechanism must agree at any
+           rational optimum *)
+        assert (Qx.compare_q ux u = 0);
+        { v; w1; utility = u; honest; ratio = ratio_value ~utility:u ~honest }
+      end
+      else begin
+        (* irrational optimum: report the better of the two dyadic
+           rationals bracketing it at denominator 2^40 — the utility is
+           continuous, so the witness sits within vanishing distance of
+           the certified supremum *)
+        let scaled = Qx.mul_q w1x (Q.of_int witness_denom) in
+        let lo = Q.make (Qx.floor scaled) (Bigint.of_int witness_denom) in
+        let hi = Q.add lo (Q.of_ints 1 witness_denom) in
+        let cands =
+          List.sort_uniq Q.compare [ clamp Q.zero w lo; clamp Q.zero w hi ]
+        in
+        let vals = List.map (fun w1 -> (w1, mech w1)) cands in
+        let bw, bu =
+          List.fold_left
+            (fun (bw, bu) (w1, u) ->
+              if Q.compare u bu > 0 then (w1, u) else (bw, bu))
+            (List.hd vals) (List.tl vals)
+        in
+        { v; w1 = bw; utility = bu; honest;
+          ratio = ratio_value ~utility:bu ~honest }
+      end
+    in
+    if Engine.Ctx.obs_enabled ctx then begin
+      Obs.Counter.add c_exact_pieces (List.length pieces);
+      Obs.Counter.add c_exact_events events;
+      Obs.Counter.add c_exact_criticals !criticals;
+      Obs.Counter.add c_exact_evals !evals
+    end;
+    {
+      witness;
+      w1_exact = w1x;
+      utility_exact = ux;
+      ratio_exact = ratio_value_qx ~utility:ux ~honest;
+      pieces = List.length pieces;
+      events;
+    }
+  end
+
+(* [best_split] routes on the context's sweep policy: [Grid] keeps the
+   historical grid-with-zoom search bit-identical, [Exact] returns the
+   certified optimum's rational witness. *)
+let best_split ?ctx ?budget ?honest g ~v =
+  let ctx = Engine.Ctx.get ctx in
+  match ctx.Engine.Ctx.sweep with
+  | Engine.Grid -> best_split_grid ~ctx ?budget ?honest g ~v
+  | Engine.Exact -> (best_split_exact ~ctx ?budget ?honest g ~v).witness
+
 let better a b = if Q.compare a.ratio b.ratio > 0 then a else b
 
-let best_attack ?ctx ?budget g =
+(* First argument wins ties, so folding left to right keeps the earliest
+   vertex of a ratio tie — matching the grid search's tie rule. *)
+let better_exact earlier later =
+  if Qx.compare later.ratio_exact earlier.ratio_exact > 0 then later
+  else earlier
+
+let best_attack_exact ?ctx ?budget g =
+  if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
+  Obs.Span.with_ "best_attack_exact" @@ fun () ->
+  Obs.Counter.incr c_attack_calls;
+  (* shared honest decomposition, exactly as in the grid search *)
+  let d = Decompose.compute ~ctx:(Engine.Ctx.without_budget ctx) g in
+  Obs.Counter.add c_honest_shared (Graph.n g);
+  let split_ctx = Engine.Ctx.with_domains 1 ctx in
+  let attacks =
+    (* per-vertex searches are independent; the shared budget counter is
+       atomic, so one budget meters all domains *)
+    Parwork.map ~domains:ctx.Engine.Ctx.domains
+      (fun v ->
+        best_split_exact ~ctx:split_ctx ~honest:(Utility.of_vertex g d v) g
+          ~v)
+      (Array.init (Graph.n g) Fun.id)
+  in
+  Array.fold_left
+    (fun best a ->
+      match best with None -> Some a | Some b -> Some (better_exact b a))
+    None attacks
+  |> Option.get
+
+let best_attack_grid ?ctx ?budget g =
   if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
   let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
   Obs.Span.with_ "best_attack" @@ fun () ->
@@ -185,8 +421,18 @@ let best_attack ?ctx ?budget g =
     None attacks
   |> Option.get
 
+(* [best_attack] routes on the sweep policy.  Under [Exact] the winner
+   is selected by the certified exact ratio — two vertices whose grid
+   estimates tie can rank differently once resolved exactly. *)
+let best_attack ?ctx ?budget g =
+  let ctx = Engine.Ctx.get ctx in
+  match ctx.Engine.Ctx.sweep with
+  | Engine.Grid -> best_attack_grid ~ctx ?budget g
+  | Engine.Exact -> (best_attack_exact ~ctx ?budget g).witness
+
 type progress = {
   best : attack option;
+  best_exact : exact_attack option;
   completed : int;
   total : int;
   status : (unit, Ringshare_error.t) result;
@@ -220,6 +466,34 @@ let attack_of_fields fields =
       Ringshare_error.(
         error (Invalid_input (Printf.sprintf "checkpoint: bad best marker %S" s)))
 
+(* Exact-sweep checkpoint extension: the certified optimum rides along
+   as Qx strings next to its rational witness (serialised by
+   [attack_fields]), so a killed exact scan resumes bit-identically. *)
+let exact_fields = function
+  | None -> []
+  | Some e ->
+      [
+        ("exact_w1", Qx.to_string e.w1_exact);
+        ("exact_utility", Qx.to_string e.utility_exact);
+        ("exact_ratio", Qx.to_string e.ratio_exact);
+        ("exact_pieces", string_of_int e.pieces);
+        ("exact_events", string_of_int e.events);
+      ]
+
+let exact_of_fields fields =
+  match attack_of_fields fields with
+  | None -> None
+  | Some witness ->
+      Some
+        {
+          witness;
+          w1_exact = Qx.of_string (Checkpoint.field fields "exact_w1");
+          utility_exact = Qx.of_string (Checkpoint.field fields "exact_utility");
+          ratio_exact = Qx.of_string (Checkpoint.field fields "exact_ratio");
+          pieces = Checkpoint.int_field fields "exact_pieces";
+          events = Checkpoint.int_field fields "exact_events";
+        }
+
 let ckpt_kind = "best-attack"
 
 let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
@@ -227,9 +501,10 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
   let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
   let budget = Engine.Ctx.budget_or_unlimited ctx in
   let total = Graph.n g in
+  let sweep = ctx.Engine.Ctx.sweep in
   let digest = Digest.to_hex (Digest.string (Serial.to_string g)) in
-  let start, best0 =
-    if not resume then (0, None)
+  let start, best0, best_exact0 =
+    if not resume then (0, None, None)
     else
       match checkpoint with
       | None ->
@@ -238,7 +513,7 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
               (Invalid_input
                  "Incentive.best_attack_within: resume requires a checkpoint \
                   path"))
-      | Some path when not (Sys.file_exists path) -> (0, None)
+      | Some path when not (Sys.file_exists path) -> (0, None, None)
       | Some path -> (
           match Checkpoint.load ~path ~kind:ckpt_kind with
           | Error e -> Ringshare_error.error e
@@ -249,10 +524,31 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
                   error
                     (Invalid_input
                        "checkpoint was written for a different graph"))
-              else
-                (Checkpoint.int_field fields "next", attack_of_fields fields))
+              else begin
+                (* pre-exact-sweep checkpoints carry no sweep marker and
+                   were necessarily written by the grid search *)
+                let ck_sweep =
+                  match List.assoc_opt "sweep" fields with
+                  | Some s -> s
+                  | None -> "grid"
+                in
+                if not (String.equal ck_sweep (Engine.sweep_name sweep)) then
+                  Ringshare_error.(
+                    error
+                      (Invalid_input
+                         (Printf.sprintf
+                            "checkpoint was written with sweep %s, resumed \
+                             with %s"
+                            ck_sweep
+                            (Engine.sweep_name sweep))));
+                ( Checkpoint.int_field fields "next",
+                  attack_of_fields fields,
+                  match sweep with
+                  | Engine.Grid -> None
+                  | Engine.Exact -> exact_of_fields fields )
+              end)
   in
-  let save_ckpt next best =
+  let save_ckpt next best best_exact =
     match checkpoint with
     | None -> ()
     | Some path ->
@@ -260,14 +556,16 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
           (("graph", digest)
           :: ("total", string_of_int total)
           :: ("next", string_of_int next)
-          :: attack_fields best)
+          :: ("sweep", Engine.sweep_name sweep)
+          :: (attack_fields best @ exact_fields best_exact))
   in
   let best = ref best0 in
+  let best_exact = ref best_exact0 in
   let completed = ref start in
   let status = ref (Ok ()) in
   (* snapshot up front so an interruption before the first vertex completes
      still leaves a resumable (graph-bound) checkpoint on disk *)
-  save_ckpt start best0;
+  save_ckpt start best0 best_exact0;
   (* honest utilities shared across vertices, as in best_attack; lazy so
      a fully-completed resume does no work and solver errors are still
      captured by the loop below *)
@@ -283,17 +581,33 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
   (try
      for v = start to total - 1 do
        Budget.check budget;
-       let a =
-         best_split ~ctx ~honest:(Utility.of_vertex g (Lazy.force d) v) g ~v
-       in
-       best := Some (match !best with None -> a | Some b -> better a b);
+       let honest = Utility.of_vertex g (Lazy.force d) v in
+       (match sweep with
+       | Engine.Grid ->
+           let a = best_split_grid ~ctx ~honest g ~v in
+           best := Some (match !best with None -> a | Some b -> better a b)
+       | Engine.Exact ->
+           let e = best_split_exact ~ctx ~honest g ~v in
+           let e =
+             match !best_exact with
+             | None -> e
+             | Some b -> better_exact b e
+           in
+           best_exact := Some e;
+           best := Some e.witness);
        incr completed;
-       save_ckpt !completed !best
+       save_ckpt !completed !best !best_exact
      done
    with
   | Budget.Exhausted { steps; elapsed } ->
       status := Error (Ringshare_error.Budget_exhausted { steps; elapsed })
   | Ringshare_error.Error e -> status := Error e);
-  { best = !best; completed = !completed; total; status = !status }
+  {
+    best = !best;
+    best_exact = !best_exact;
+    completed = !completed;
+    total;
+    status = !status;
+  }
 
 let ratio_of_attack a = Q.to_float a.ratio

@@ -3,10 +3,15 @@
 
     [ζ_v = max over splits of U'_v / U_v], and [ζ = max_v ζ_v].  The split
     utility is a piecewise algebraic function of [w_{v¹}] whose optimum may
-    be irrational, so the search is an exact-arithmetic grid sweep with
-    recursive zoom refinement around the best grid point: every reported
-    value is an exact {e certified lower bound} of the supremum, and
-    Theorem 8 promises the supremum itself never exceeds 2. *)
+    be irrational.  Two sweep policies live behind {!Engine.Ctx.t}'s
+    [sweep] field: the historical {e grid} search (exact-arithmetic grid
+    sweep with recursive zoom refinement — every reported value is an
+    exact {e certified lower bound} of the supremum), and the {e exact}
+    event-driven sweep ({!best_split_exact}), which walks the
+    decomposition's breakpoints ({!Breakpoints.exact_split_pieces}) and
+    maximises the closed-form utility of each piece, returning the
+    supremum itself as a quadratic surd ({!Qx.t}) with no resolution
+    knobs.  Theorem 8 promises the supremum never exceeds 2. *)
 
 type attack = {
   v : int;  (** the manipulative agent *)
@@ -14,6 +19,18 @@ type attack = {
   utility : Rational.t;  (** [U'_v] at that split *)
   honest : Rational.t;  (** [U_v] without deviation *)
   ratio : Rational.t;  (** [U'_v / U_v] *)
+}
+
+type exact_attack = {
+  witness : attack;
+      (** rational witness: the optimum itself when it is rational (then
+          [witness.utility] equals [utility_exact]), otherwise the better
+          of the two dyadic rationals (denominator 2⁴⁰) bracketing it *)
+  w1_exact : Qx.t;  (** certified optimal identity-1 weight *)
+  utility_exact : Qx.t;  (** the supremum [sup U'_v], exactly *)
+  ratio_exact : Qx.t;  (** [ζ_v], exactly *)
+  pieces : int;  (** structure-constant pieces of the split parameter *)
+  events : int;  (** decomposition-change events among them *)
 }
 
 val best_split :
@@ -37,7 +54,30 @@ val best_split :
     parallel over that many OCaml 5 domains; the result is identical to
     the sequential search.  [honest] supplies an externally computed
     honest utility [U_v] (e.g. shared across vertices by {!best_attack});
-    when absent it is computed from the graph. *)
+    when absent it is computed from the graph.
+
+    With [ctx.sweep = Exact] this delegates to {!best_split_exact} and
+    returns its rational witness; the grid/refine knobs are ignored. *)
+
+val best_split_exact :
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> ?honest:Rational.t -> Graph.t ->
+  v:int -> exact_attack
+(** The certified optimum of the split sweep: enumerate the
+    structure-constant pieces of [w_{v¹}] exactly
+    ({!Breakpoints.exact_split_pieces}), maximise each piece's
+    closed-form utility [N/D] ({!Symbolic.utility_function}) over its
+    closed interval — endpoints plus the roots of the degree-≤2
+    derivative numerator [N'·D − N·D'] — and return the best point.  The
+    result is the true supremum: [ratio_exact] is at least the [ratio]
+    of {!best_split} at {e any} grid/refine setting.  The first
+    candidate of a utility tie, walking pieces left to right, wins.
+
+    Budget is ticked per sampled piece and per mechanism evaluation (the
+    work is proportional to the number of events, not to a resolution);
+    when the context has no {!Engine.Cache} a request-local one is used
+    so the piece walk's repeated decompositions are shared.  Counters
+    (subsystem ["incentive"]): [exact_sweep_calls], [exact_pieces],
+    [exact_events], [exact_criticals], [exact_evals]. *)
 
 val best_attack :
   ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t -> attack
@@ -47,10 +87,23 @@ val best_attack :
     sequentially on its worker).  A shared budget meters all domains; its
     [Exhausted] is re-raised after they join.  The honest decomposition
     of the unmodified ring is computed once and shared by every
-    per-vertex search. *)
+    per-vertex search.
+
+    With [ctx.sweep = Exact] this delegates to {!best_attack_exact} and
+    returns its rational witness. *)
+
+val best_attack_exact :
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t -> exact_attack
+(** [ζ] exactly: {!best_split_exact} over all vertices, the winner
+    selected by [ratio_exact] (first vertex of a tie wins).  Shares the
+    honest decomposition and fans per-vertex searches over
+    [ctx.domains], exactly like the grid {!best_attack}. *)
 
 type progress = {
   best : attack option;  (** best attack over the vertices finished so far *)
+  best_exact : exact_attack option;
+      (** certified optimum so far under [ctx.sweep = Exact] (its
+          [witness] is [best]); [None] under [Grid] *)
   completed : int;  (** vertices fully searched *)
   total : int;
   status : (unit, Ringshare_error.t) result;
@@ -65,9 +118,13 @@ val best_attack_within :
     searched in order, the best-so-far is returned even when the budget
     trips mid-scan, and an optional [checkpoint] file is atomically
     rewritten after every vertex.  With [resume:true] the scan continues
-    from the snapshot (validated against a digest of the graph); a
-    missing checkpoint file means start from scratch.  Killing the
-    process and resuming reproduces the uninterrupted result exactly.
+    from the snapshot (validated against a digest of the graph {e and}
+    the sweep policy it was written under — pre-exact checkpoints count
+    as grid); a missing checkpoint file means start from scratch.
+    Killing the process and resuming reproduces the uninterrupted result
+    exactly — under [Exact] the certified optimum rides in the
+    checkpoint as {!Qx} strings, so the resumed [best_exact] is
+    bit-identical too.
     [ctx.domains > 1] parallelises each vertex's sweep {e inside}
     {!best_split} (bit-identical to the sequential sweep), so the
     checkpoint stream — one snapshot per vertex, in order — is unchanged

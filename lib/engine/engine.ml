@@ -10,6 +10,11 @@
 
 type solver = Chain | FastChain | Flow | Brute | Auto | Named of string
 
+type sweep = Grid | Exact
+(* Split-sweep policy for the incentive attack search: [Grid] is the
+   historical grid-with-zoom approximation, [Exact] the event-driven
+   breakpoint walk (DESIGN §16) that certifies the optimum. *)
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -143,6 +148,7 @@ end
 module Ctx = struct
   type t = {
     solver : solver;
+    sweep : sweep;
     grid : int;
     refine : int;
     budget : Budget.t option;
@@ -158,6 +164,7 @@ module Ctx = struct
   let default =
     {
       solver = Auto;
+      sweep = Grid;
       grid = default_grid;
       refine = default_refine;
       budget = None;
@@ -169,12 +176,13 @@ module Ctx = struct
 
   (* The one sanctioned home of the optional-argument spray; everywhere
      else in lib/ the config-drift lint rule forbids these labels. *)
-  let make ?(solver = default.solver) ?(grid = default.grid)
-      ?(refine = default.refine) ?budget ?deadline
+  let make ?(solver = default.solver) ?(sweep = default.sweep)
+      ?(grid = default.grid) ?(refine = default.refine) ?budget ?deadline
       ?(domains = default.domains) ?(obs = default.obs) ?cache () =
-    { solver; grid; refine; budget; deadline; domains; obs; cache }
+    { solver; sweep; grid; refine; budget; deadline; domains; obs; cache }
 
   let with_solver solver t = { t with solver }
+  let with_sweep sweep t = { t with sweep }
   let with_grid grid t = { t with grid }
   let with_refine refine t = { t with refine }
   let with_budget b t = { t with budget = Some b }
@@ -272,6 +280,15 @@ let solver_of_name = function
   | "brute" -> Some Brute
   | "auto" -> Some Auto
   | s -> ( match Registry.find s with Some _ -> Some (Named s) | None -> None)
+
+let sweep_name = function Grid -> "grid" | Exact -> "exact"
+
+let sweep_of_name = function
+  | "grid" -> Some Grid
+  | "exact" -> Some Exact
+  | _ -> None
+
+let sweep_names () = [ "exact"; "grid" ]
 
 (* ------------------------------------------------------------------ *)
 (* Batch execution                                                     *)

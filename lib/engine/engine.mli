@@ -33,6 +33,26 @@ val solver_of_name : string -> solver option
     string maps to [Named] only if a backend of that name is registered
     ([None] otherwise — the CLI turns that into a spec error). *)
 
+type sweep = Grid | Exact
+(** Split-sweep policy for the incentive attack search
+    ([Incentive.best_split] and everything above it).  [Grid] is the
+    historical grid-with-zoom approximation governed by [Ctx.grid] /
+    [Ctx.refine]; [Exact] walks the decomposition's event boundaries
+    exactly ([Breakpoints.exact_split_events], DESIGN §16) and maximises
+    each closed-form utility piece, returning a certified optimum with no
+    resolution knobs.  Grid stays registered as the differential oracle
+    for the exact path. *)
+
+val sweep_name : sweep -> string
+(** ["grid"] or ["exact"]. *)
+
+val sweep_of_name : string -> sweep option
+(** Inverse of {!sweep_name}; [None] on unknown names (the CLI turns
+    that into a spec error, mirroring {!solver_of_name}). *)
+
+val sweep_names : unit -> string list
+(** All selectable sweep names, sorted: [["exact"; "grid"]]. *)
+
 (** {1 Decomposition cache} *)
 
 module Cache : sig
@@ -81,6 +101,7 @@ end
 module Ctx : sig
   type t = {
     solver : solver;  (** decomposition backend ([Auto]) *)
+    sweep : sweep;  (** split-sweep policy for attack searches ([Grid]) *)
     grid : int;  (** sweep subdivision for attack searches (32) *)
     refine : int;  (** zoom refinement rounds (3) *)
     budget : Budget.t option;  (** cooperative compute budget (none) *)
@@ -106,15 +127,16 @@ module Ctx : sig
   (** 3 — pinned by [test_engine.ml] against the documented value. *)
 
   val make :
-    ?solver:solver -> ?grid:int -> ?refine:int -> ?budget:Budget.t ->
-    ?deadline:float -> ?domains:int -> ?obs:bool -> ?cache:Cache.t ->
-    unit -> t
+    ?solver:solver -> ?sweep:sweep -> ?grid:int -> ?refine:int ->
+    ?budget:Budget.t -> ?deadline:float -> ?domains:int -> ?obs:bool ->
+    ?cache:Cache.t -> unit -> t
   (** {!default} with the given fields overridden.  This is the one
       sanctioned home of the old optional-argument spray; the
       [config-drift] lint rule forbids re-declaring these optional
       arguments anywhere in [lib/] outside [lib/engine]. *)
 
   val with_solver : solver -> t -> t
+  val with_sweep : sweep -> t -> t
   val with_grid : int -> t -> t
   val with_refine : int -> t -> t
   val with_budget : Budget.t -> t -> t

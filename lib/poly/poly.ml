@@ -4,7 +4,11 @@ module Q = Rational
    polynomial is the empty array. *)
 type t = Q.t array
 
-let zero : t = [||]
+(* Race-lint audit: the array type makes this cell nominally mutable,
+   but the zero polynomial is the empty array — there is no element to
+   write, and no code path mutates a [t] after [normalize] returns it.
+   Worker domains reaching it through the exact sweep only read. *)
+let[@lint.allow "race"] zero : t = [||]
 let is_zero p = Array.length p = 0
 let degree p = Array.length p - 1
 

@@ -1,0 +1,119 @@
+(** Exact quadratic surds [q + r·√d] over {!Rational}.
+
+    The exact split sweep (DESIGN §16) maximises each closed-form utility
+    piece [N(x)/D(x)] whose critical points are roots of a quadratic with
+    rational coefficients — quadratic irrationals.  Certifying the optimum
+    therefore needs exact arithmetic and exact comparison in (possibly
+    different) real quadratic fields ℚ(√d); this module supplies it.
+
+    Representation is normalised: [d ≥ 0]; [r = 0] implies [d = 0]; and
+    [d] is never a perfect square (a square [d] is folded into the
+    rational part on construction).  The rational carrier [q] may be
+    {!Rational.inf} only when [r = 0] — a convenience so incentive ratios
+    with a zero honest baseline flow through comparisons; arithmetic on
+    such a value raises [Division_by_zero] like {!Rational} itself does
+    on indeterminate forms.
+
+    Comparison is total and exact across fields: [sign (s + b₁√d₁ −
+    b₂√d₂)] is decided by repeated squaring, never by floating point.
+    Binary arithmetic promotes a rational operand into the other
+    operand's field, and recognises compatible fields ([√8 = 2√2]); it
+    raises [Invalid_argument] when the two fields are genuinely distinct
+    (the sweep never mixes them — each piece lives in one field). *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_q : Rational.t -> t
+val of_int : int -> t
+
+val make : q:Rational.t -> r:Rational.t -> d:Bigint.t -> t
+(** [make ~q ~r ~d] is the normalised [q + r·√d].
+    @raise Invalid_argument when [d < 0], or when [q] or [r] is
+    {!Rational.inf} with [r ≠ 0]. *)
+
+val sqrt_q : Rational.t -> t
+(** Exact square root of a non-negative rational.
+    @raise Invalid_argument on negative or infinite input. *)
+
+val roots2 : a:Rational.t -> b:Rational.t -> c:Rational.t -> t list
+(** Real roots of [a·x² + b·x + c], sorted increasing ([]), one entry for
+    a double root.  Degenerate [a = 0] is handled as linear.
+    @raise Invalid_argument when all three coefficients are zero. *)
+
+(** {1 Destruction} *)
+
+val is_rational : t -> bool
+val to_q : t -> Rational.t option
+(** [Some] exactly when the value is rational (including [inf]). *)
+
+val to_q_exn : t -> Rational.t
+(** @raise Invalid_argument when the value is irrational. *)
+
+val rational_part : t -> Rational.t
+val surd_part : t -> Rational.t * Bigint.t
+(** [(r, d)] with [r = 0] and [d = 0] on rationals. *)
+
+val to_float : t -> float
+(** Nearest float, for reporting only. *)
+
+(** {1 Comparison} *)
+
+val sign : t -> int
+val compare : t -> t -> int
+(** Exact total order; [inf] carriers sort above all finite values. *)
+
+val equal : t -> t -> bool
+val compare_q : t -> Rational.t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val is_inf : t -> bool
+val hash : t -> int
+
+(** {1 Arithmetic}
+
+    Binary operations accept operands whose surd fields are compatible
+    (equal, one rational, or [d₁·d₂] a perfect square) and raise
+    [Invalid_argument "Qx: incompatible fields"] otherwise. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val add_q : t -> Rational.t -> t
+val mul_q : t -> Rational.t -> t
+val div_q : t -> Rational.t -> t
+
+(** {1 Rational approximation} *)
+
+val floor : t -> Bigint.t
+(** Exact floor, by integer square root plus exact binary search.
+    @raise Invalid_argument on an [inf] carrier. *)
+
+val rational_between : t -> t -> Rational.t
+(** [rational_between a b] is a rational strictly inside [(a, b)], the
+    first dyadic [j/2^k] found on the coarsest grid that separates them —
+    deterministic in [a] and [b].
+    @raise Invalid_argument unless [a < b] and both are finite. *)
+
+(** {1 Integer square root} *)
+
+val isqrt : Bigint.t -> Bigint.t
+(** Floor of the square root of a non-negative integer (Newton).
+    @raise Invalid_argument on negative input. *)
+
+(** {1 Printing and parsing} *)
+
+val to_string : t -> string
+(** ["q"] for rationals (as {!Rational.to_string}), ["q+r*sqrt(d)"] or
+    ["q-r*sqrt(d)"] otherwise; round-trips through {!of_string}. *)
+
+val of_string : string -> t
+(** Parses {!to_string} output and plain {!Rational} strings.
+    @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

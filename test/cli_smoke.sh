@@ -201,6 +201,44 @@ expect "delay injection" 0 $?
 cmp -s "$tmpdir/delay.out" "$tmpdir/nodelay.out" || {
   echo "FAIL: delay injection changed stdout" >&2; fails=$((fails + 1)); }
 
+# 22. sweep policies: --sweep grid is the default (bit-identical output),
+#     --sweep exact adds a certified line, unknown values are spec errors
+"$cli" sybil --ring 7,2,9,4,3 --grid 6 --refine 1 > "$tmpdir/sweep_default.out" 2> /dev/null
+expect "sybil default sweep" 0 $?
+"$cli" sybil --ring 7,2,9,4,3 --grid 6 --refine 1 --sweep grid \
+  > "$tmpdir/sweep_grid.out" 2> /dev/null
+expect "sybil --sweep grid" 0 $?
+cmp -s "$tmpdir/sweep_default.out" "$tmpdir/sweep_grid.out" || {
+  echo "FAIL: --sweep grid output differs from the default" >&2
+  fails=$((fails + 1)); }
+"$cli" sybil --ring 7,2,9,4,3 --sweep exact > "$tmpdir/sweep_exact.out" 2> /dev/null
+expect "sybil --sweep exact" 0 $?
+grep -q "^exact: w1=" "$tmpdir/sweep_exact.out" || {
+  echo "FAIL: --sweep exact printed no certified line" >&2
+  cat "$tmpdir/sweep_exact.out" >&2; fails=$((fails + 1)); }
+grep -q "pieces=" "$tmpdir/sweep_exact.out" && \
+  grep -q "events=" "$tmpdir/sweep_exact.out" || {
+  echo "FAIL: --sweep exact reports no piece/event accounting" >&2
+  fails=$((fails + 1)); }
+"$cli" sybil --ring 7,2,9,4,3 --sweep bogus > /dev/null 2> "$tmpdir/err"
+expect "unknown --sweep" 4 $?
+grep -q "unknown sweep" "$tmpdir/err" && grep -q "exact" "$tmpdir/err" || {
+  echo "FAIL: unknown --sweep error does not list the policies" >&2
+  cat "$tmpdir/err" >&2; fails=$((fails + 1)); }
+
+# 23. --sweep exact --metrics: the exact counters reach the artifact
+( cd "$tmpdir" && rm -f METRICS_ringshare.json && \
+  "$cli" sybil --ring 7,2,9,4,3 --sweep exact --metrics > /dev/null 2>&1 )
+expect "sybil --sweep exact --metrics" 0 $?
+grep '"name": "exact_events"' "$tmpdir/METRICS_ringshare.json" \
+  | grep -qv '"value": 0' || {
+  echo "FAIL: exact_events counter is zero under --sweep exact" >&2
+  fails=$((fails + 1)); }
+grep '"name": "exact_sweep_calls"' "$tmpdir/METRICS_ringshare.json" \
+  | grep -qv '"value": 0' || {
+  echo "FAIL: exact_sweep_calls counter is zero under --sweep exact" >&2
+  fails=$((fails + 1)); }
+
 # 10. an unknown --obs-only subsystem is a spec error: exit 4, one line
 "$cli" decompose --fig1 --obs-only bogus > /dev/null 2> "$tmpdir/err"
 expect "unknown --obs-only subsystem" 4 $?

@@ -154,6 +154,56 @@ let split_scan_prop =
           && Decompose.same_structure ev.after (d_at ev.hi))
         events)
 
+(* Regression for the documented even-event blindness of the grid scan:
+   on the ring (17, 17, 4) with v = 0, the split decomposition changes
+   at w1 = 17/2 ± √17/2 — a conjugate pair strictly inside the grid-3
+   cell (17/3, 34/3) whose endpoints share a structure.  The scan sees
+   equal endpoints and reports nothing there (1 event overall); the
+   exact enumeration must report both hidden events (4 overall). *)
+let test_exact_sees_hidden_even_events () =
+  let g = Generators.ring_of_ints [| 17; 17; 4 |] in
+  let v = 0 in
+  let lo = Q.make (Bigint.of_int 17) (Bigint.of_int 3) in
+  let hi = Q.make (Bigint.of_int 34) (Bigint.of_int 3) in
+  (* the cell endpoints really do share a structure *)
+  let d_at x =
+    let s = Sybil.split_free g ~v ~w1:x ~w2:(Q.sub (Graph.weight g v) x) in
+    Decompose.compute s.Sybil.path
+  in
+  Alcotest.(check bool) "cell endpoints agree" true
+    (Decompose.same_structure (d_at lo) (d_at hi));
+  (* the grid scan is blind inside that cell *)
+  let scan = Breakpoints.scan_split ~ctx:(Engine.Ctx.make ~grid:3 ()) g ~v in
+  Alcotest.(check int) "scan reports a single event" 1 (List.length scan);
+  List.iter
+    (fun (ev : Breakpoints.event) ->
+      Alcotest.(check bool) "scan bracket outside the blind cell" true
+        (Q.compare ev.hi lo <= 0 || Q.compare ev.lo hi >= 0))
+    scan;
+  (* the exact path reports both cancelling changes: 17/2 ± √17/2 *)
+  let events = Breakpoints.exact_split_events g ~v in
+  Alcotest.(check int) "exact reports every event" 4 (List.length events);
+  let hidden =
+    List.filter
+      (fun (e : Breakpoints.exact_event) ->
+        Qx.compare_q e.at lo > 0 && Qx.compare_q e.at hi < 0)
+      events
+  in
+  Alcotest.(check int) "both hidden events found" 2 (List.length hidden);
+  (* and their locations are the conjugate pair, bit-exactly *)
+  let half q = Q.make (Bigint.of_int q) (Bigint.of_int 2) in
+  (match hidden with
+  | [ a; b ] ->
+      Alcotest.(check bool) "left event is 17/2 - sqrt(17)/2" true
+        (Qx.compare a.Breakpoints.at
+           (Qx.make ~q:(half 17) ~r:(Q.neg (half 1)) ~d:(Bigint.of_int 17))
+        = 0);
+      Alcotest.(check bool) "right event is 17/2 + sqrt(17)/2" true
+        (Qx.compare b.Breakpoints.at
+           (Qx.make ~q:(half 17) ~r:(half 1) ~d:(Bigint.of_int 17))
+        = 0)
+  | _ -> Alcotest.fail "expected exactly two hidden events")
+
 let () =
   Alcotest.run "breakpoints"
     [
@@ -164,6 +214,8 @@ let () =
           Alcotest.test_case "uniform ring event" `Quick test_uniform_ring_has_event;
           Alcotest.test_case "events are real" `Quick test_events_are_real_changes;
           Alcotest.test_case "classification total" `Quick test_classify_merge_or_split;
+          Alcotest.test_case "exact path sees hidden even events" `Quick
+            test_exact_sees_hidden_even_events;
         ] );
       ("properties", continuity_prop :: split_scan_prop :: props);
     ]

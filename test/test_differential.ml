@@ -88,6 +88,60 @@ let test_driver_vs_generic_large () =
   Alcotest.(check bool) "driver = generic loop (n=512)" true
     (Decompose.equal d d_gen)
 
+(* Grid-vs-exact sweep differential: under every registered solver the
+   exact event-driven sweep must dominate the grid sweep (its ratio is
+   the certified supremum) while both sweeps agree on the honest
+   utility, and the exact results themselves must be bit-identical
+   across solvers (the sweep machinery only consumes decompositions,
+   which the solver-agreement battery pins). *)
+let check_sweeps g =
+  let v = 0 in
+  if Rational.sign (Graph.weight g v) = 0 then true
+  else begin
+    let exacts =
+      List.map
+        (fun (name, solver) ->
+          let ctx = Engine.Ctx.make ~solver ~sweep:Engine.Exact () in
+          (name, Incentive.best_split_exact ~ctx g ~v))
+        all_solvers
+    in
+    let _, e0 = List.hd exacts in
+    List.iter
+      (fun (name, e) ->
+        if
+          Qx.compare e0.Incentive.ratio_exact e.Incentive.ratio_exact <> 0
+          || Qx.compare e0.Incentive.w1_exact e.Incentive.w1_exact <> 0
+          || e0.Incentive.pieces <> e.Incentive.pieces
+          || e0.Incentive.events <> e.Incentive.events
+        then
+          QCheck2.Test.fail_reportf
+            "exact sweep under solver %s disagrees on@.%a@.ratio %s vs %s"
+            name Graph.pp g
+            (Qx.to_string e0.Incentive.ratio_exact)
+            (Qx.to_string e.Incentive.ratio_exact))
+      (List.tl exacts);
+    List.iter
+      (fun (name, solver) ->
+        let ctx = Engine.Ctx.make ~solver ~grid:12 ~refine:2 () in
+        let a = Incentive.best_split ~ctx g ~v in
+        if Qx.compare_q e0.Incentive.ratio_exact a.Incentive.ratio < 0 then
+          QCheck2.Test.fail_reportf
+            "grid sweep under solver %s beats the exact sweep on@.%a@.%s > %s"
+            name Graph.pp g
+            (Rational.to_string a.Incentive.ratio)
+            (Qx.to_string e0.Incentive.ratio_exact);
+        if
+          Rational.compare a.Incentive.honest
+            e0.Incentive.witness.Incentive.honest
+          <> 0
+        then
+          QCheck2.Test.fail_reportf
+            "sweeps disagree on the honest utility under solver %s on@.%a"
+            name Graph.pp g)
+      all_solvers;
+    true
+  end
+
 let () =
   Alcotest.run "differential"
     [
@@ -112,5 +166,12 @@ let () =
             "general graphs: flow = brute = auto + certificate"
             (Helpers.graph_gen ~nmax:7 ())
             (check_all ~solvers:general_solvers);
+        ] );
+      ( "sweep agreement",
+        [
+          Helpers.qtest ~count:25
+            "rings: exact sweep identical across solvers, dominates grid"
+            (Helpers.ring_gen ~nmax:7 ~wmax:20 ())
+            check_sweeps;
         ] );
     ]

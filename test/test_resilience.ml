@@ -306,6 +306,67 @@ let test_best_attack_within_resume () =
   | None -> Alcotest.fail "no best after resume");
   Sys.remove path
 
+let test_best_attack_within_exact_resume () =
+  (* kill-and-resume pin for the exact sweep: the certified optimum of
+     an interrupted-and-resumed scan is bit-identical (Qx fields
+     included) to the uninterrupted one *)
+  let g = attack_ring () in
+  let exact_ctx = Engine.Ctx.make ~sweep:Engine.Exact () in
+  let p_ref = Incentive.best_attack_within ~ctx:exact_ctx g in
+  Alcotest.(check bool) "reference complete" true
+    (p_ref.Incentive.status = Ok ());
+  let path = tmp ".ckpt" in
+  Sys.remove path;
+  let p1 =
+    Incentive.best_attack_within ~ctx:exact_ctx ~checkpoint:path
+      ~budget:(Budget.create ~steps:150 ()) g
+  in
+  Alcotest.(check bool) "interrupted" true
+    (p1.Incentive.completed < p1.Incentive.total);
+  Alcotest.(check bool) "snapshot exists" true (Sys.file_exists path);
+  let p2 =
+    Incentive.best_attack_within ~ctx:exact_ctx ~checkpoint:path ~resume:true g
+  in
+  Alcotest.(check bool) "complete" true (p2.Incentive.status = Ok ());
+  (match (p_ref.Incentive.best_exact, p2.Incentive.best_exact) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same vertex" a.Incentive.witness.Incentive.v
+        b.Incentive.witness.Incentive.v;
+      Helpers.check_q "same witness split" a.Incentive.witness.Incentive.w1
+        b.Incentive.witness.Incentive.w1;
+      Alcotest.(check bool) "same exact split" true
+        (Qx.compare a.Incentive.w1_exact b.Incentive.w1_exact = 0);
+      Alcotest.(check bool) "same exact utility" true
+        (Qx.compare a.Incentive.utility_exact b.Incentive.utility_exact = 0);
+      Alcotest.(check bool) "same exact ratio" true
+        (Qx.compare a.Incentive.ratio_exact b.Incentive.ratio_exact = 0);
+      Alcotest.(check int) "same pieces" a.Incentive.pieces b.Incentive.pieces;
+      Alcotest.(check int) "same events" a.Incentive.events b.Incentive.events
+  | _ -> Alcotest.fail "exact result missing before or after resume");
+  Sys.remove path
+
+let test_best_attack_within_rejects_sweep_mismatch () =
+  (* a checkpoint written under one sweep policy cannot seed the other *)
+  let g = attack_ring () in
+  let path = tmp ".ckpt" in
+  Sys.remove path;
+  let _ =
+    Incentive.best_attack_within
+      ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ())
+      ~checkpoint:path g
+  in
+  (match
+     E.capture (fun () ->
+         Incentive.best_attack_within
+           ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ())
+           ~checkpoint:path ~resume:true g)
+   with
+  | Error (E.Invalid_input m) ->
+      Alcotest.(check bool) "names both policies" true
+        (contains m "exact" && contains m "grid")
+  | _ -> Alcotest.fail "exact checkpoint accepted by grid resume");
+  Sys.remove path
+
 let test_best_attack_within_rejects_wrong_graph () =
   let path = tmp ".ckpt" in
   Sys.remove path;
@@ -480,6 +541,10 @@ let () =
             test_best_attack_within_budget_partial;
           Alcotest.test_case "interrupt + resume = uninterrupted" `Quick
             test_best_attack_within_resume;
+          Alcotest.test_case "exact sweep: interrupt + resume bit-identical"
+            `Quick test_best_attack_within_exact_resume;
+          Alcotest.test_case "sweep-mismatched checkpoint rejected" `Quick
+            test_best_attack_within_rejects_sweep_mismatch;
           Alcotest.test_case "wrong-graph checkpoint rejected" `Quick
             test_best_attack_within_rejects_wrong_graph;
         ] );
