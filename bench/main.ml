@@ -95,6 +95,19 @@ let case_attack_exact n =
       ignore
         (Incentive.best_attack_exact ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ()) g) )
 
+let case_attack_k3 n =
+  (* the k-way simplex sweep: one extra identity multiplies the search
+     space by a grid axis, so this row prices the (k-1)-simplex walk
+     against the 1-D rows above *)
+  let g = ring n in
+  ( "attack",
+    Printf.sprintf "sybil/best-attack-k3/n=%d" n,
+    fun () ->
+      ignore
+        (Incentive.best_attack_k
+           ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~identities:3 ())
+           g) )
+
 let case_attack_cache n =
   (* the engine cache's headline win: the identical search against a
      warm shared cache vs a fresh cache per run (the cold row pays the
@@ -202,6 +215,7 @@ let cases () =
     case_attack_search_parallel 8 1;
     case_attack_search_parallel 8 2;
     case_attack_exact 8;
+    case_attack_k3 6;
     case_symbolic_verify 5;
   ]
   @ case_attack_cache 8
@@ -454,6 +468,37 @@ let smoke_exact_dominance () =
   if exact_evals > grid_pts then
     failwith "exact sweep evaluated more points than the grid it replaces"
 
+let smoke_kway_bound () =
+  (* the k-way claims, machine-checked on every runtest: the 2-split
+     plane embeds in the 3-simplex so the k=3 sweep can only improve on
+     the k=2 one, the simplex counters actually tick, and on the record
+     ring the 3-way optimum clears Theorem 8's 2-identity bound *)
+  let g5 = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let base = Obs.snapshot () in
+  let a2 =
+    Incentive.best_attack ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~obs:true ()) g5
+  in
+  let a3 =
+    Incentive.best_attack_k
+      ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ~identities:3 ~obs:true ())
+      g5
+  in
+  let d = Obs.diff (Obs.snapshot ()) base in
+  let c name = Obs.counter_value d ~subsystem:"incentive" name in
+  Format.printf
+    "smoke k-way: k2 ratio %.5f, k3 ratio %.5f (points=%d lookups=%d)@."
+    (Rational.to_float a2.Incentive.ratio)
+    (Rational.to_float a3.Incentive.ratio)
+    (c "kway_points") (c "kway_memo_lookups");
+  if c "kway_points" <= 0 || c "kway_memo_lookups" <= 0 then
+    failwith "k-way sweep counters did not tick";
+  if c "kway_memo_lookups" <> c "kway_memo_hits" + c "kway_memo_misses" then
+    failwith "k-way memo identity broken";
+  if Rational.compare a3.Incentive.ratio a2.Incentive.ratio < 0 then
+    failwith "k=3 sweep lost to the embedded k=2 search";
+  if Rational.compare a3.Incentive.ratio Rational.two <= 0 then
+    failwith "k=3 sweep no longer clears Theorem 8's bound on the record ring"
+
 let run_smoke () =
   (* Execute every benchmark closure exactly once.  No timing: the point
      is that the closures still build and run, so the bench binary (and
@@ -465,6 +510,7 @@ let run_smoke () =
       Format.printf "smoke %-44s ok@." name)
     cs;
   smoke_exact_dominance ();
+  smoke_kway_bound ();
   Format.printf "bench smoke: %d closures ran@." (List.length cs)
 
 (* ------------------------------------------------------------------ *)

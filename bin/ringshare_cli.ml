@@ -120,6 +120,11 @@ let sweep_arg =
        & info [ "sweep" ] ~docv:"SWEEP"
          ~doc:"Attack-search sweep policy: $(b,grid) (historical                grid-with-zoom approximation, honours --grid/--refine) or                $(b,exact) (event-driven breakpoint walk returning the                certified optimum; no resolution knobs).  An unknown name                is a spec error (exit 4).")
 
+let identities_arg =
+  Arg.(value & opt int 2
+       & info [ "identities" ] ~docv:"K"
+         ~doc:"Number of identities the Sybil attacker splits into                (default 2, the paper's setting).  With $(docv) >= 3 the                attack search walks the (K-1)-simplex of weight vectors;                Theorem 8's bound of 2 no longer applies.  K < 2 is a spec                error (exit 4).")
+
 let domains_arg =
   Arg.(value & opt int 1
        & info [ "domains" ] ~docv:"N"
@@ -168,13 +173,23 @@ let sweep_of_flag s =
         (String.concat ", " (Engine.sweep_names ()));
       exit 4
 
+let identities_of_flag k =
+  if k < 2 then begin
+    Format.eprintf
+      "ringshare: --identities %d: a Sybil split needs at least 2 identities@."
+      k;
+    exit 4
+  end;
+  k
+
 (* [grid_default]/[refine_default] let a subcommand keep a historical
    resolution (hunt: 12/2) while still honouring explicit flags *)
 let ctx_term_with ?grid_default ?refine_default () =
-  let make solver sweep grid refine domains cache time_budget step_budget
-      deadline =
+  let make solver sweep identities grid refine domains cache time_budget
+      step_budget deadline =
     let solver = solver_of_flag solver in
     let sweep = sweep_of_flag sweep in
+    let identities = identities_of_flag identities in
     let grid =
       match grid with
       | Some g -> g
@@ -189,14 +204,15 @@ let ctx_term_with ?grid_default ?refine_default () =
       if cache <= 0 then None else Some (Engine.Cache.create ~capacity:cache ())
     in
     let ctx =
-      Engine.Ctx.make ~solver ~sweep ~grid ~refine ?deadline ~domains ?cache ()
+      Engine.Ctx.make ~solver ~sweep ~identities ~grid ~refine ?deadline
+        ~domains ?cache ()
     in
     let budget = budget_of ~time_budget ~step_budget in
     if Budget.is_limited budget then Engine.Ctx.with_budget budget ctx else ctx
   in
-  Term.(const make $ solver_arg $ sweep_arg $ grid_arg $ refine_arg
-        $ domains_arg $ cache_arg $ time_budget_arg $ step_budget_arg
-        $ deadline_arg)
+  Term.(const make $ solver_arg $ sweep_arg $ identities_arg $ grid_arg
+        $ refine_arg $ domains_arg $ cache_arg $ time_budget_arg
+        $ step_budget_arg $ deadline_arg)
 
 let ctx_term = ctx_term_with ()
 
@@ -282,30 +298,62 @@ let sybil g ctx v_opt checkpoint resume () =
       (Qx.to_float e.Incentive.ratio_exact)
       e.Incentive.pieces e.Incentive.events
   in
-  (match (v_opt, ctx.Engine.Ctx.sweep) with
-  | Some v, Engine.Exact ->
-      report_exact (Incentive.best_split_exact ~ctx g ~v)
-  | Some v, Engine.Grid -> report (Incentive.best_split ~ctx g ~v)
-  | None, _ when Budget.is_limited budget || checkpoint <> None || resume ->
-      (* fault-tolerant path: sequential scan, snapshot per vertex,
-         partial best on budget exhaustion *)
-      let p = Incentive.best_attack_within ~ctx ?checkpoint ~resume g in
-      Format.printf "searched %d/%d vertices@." p.Incentive.completed
-        p.Incentive.total;
-      (match p.Incentive.best_exact with
-      | Some e -> report_exact e
-      | None -> Option.iter report p.Incentive.best);
-      (match p.Incentive.status with
-      | Ok () -> ()
-      | Error e ->
-          (* partial results above; exit through the taxonomy (code 4/...) *)
-          if checkpoint <> None then
-            Format.printf "stopped early (checkpoint saved; rerun with --resume)@."
-          else Format.printf "stopped early@.";
-          Ringshare_error.error e)
-  | None, Engine.Exact -> report_exact (Incentive.best_attack_exact ~ctx g)
-  | None, Engine.Grid -> report (Incentive.best_attack ~ctx g));
-  Format.printf "Theorem 8 bound: 2@."
+  let report_k (a : Incentive.kattack) =
+    Format.printf
+      "v=%d  best weights=[%s]  attack utility=%s  honest=%s  ratio=%s (%.5f)@."
+      a.Incentive.v
+      (String.concat ";"
+         (Array.to_list (Array.map Q.to_string a.Incentive.weights)))
+      (Q.to_string a.Incentive.utility)
+      (Q.to_string a.Incentive.honest)
+      (Q.to_string a.Incentive.ratio)
+      (Q.to_float a.Incentive.ratio)
+  in
+  let stop_early e p_status_checkpoint =
+    (* partial results above; exit through the taxonomy (code 4/...) *)
+    if p_status_checkpoint then
+      Format.printf "stopped early (checkpoint saved; rerun with --resume)@."
+    else Format.printf "stopped early@.";
+    Ringshare_error.error e
+  in
+  let k = ctx.Engine.Ctx.identities in
+  (if k >= 3 then
+     (* k-way search: one report format for both sweeps (the exact sweep's
+        certified coordinate-descent point is itself rational) *)
+     match v_opt with
+     | Some v -> report_k (Incentive.best_splitk ~ctx g ~v)
+     | None when Budget.is_limited budget || checkpoint <> None || resume ->
+         let p = Incentive.best_attack_within ~ctx ?checkpoint ~resume g in
+         Format.printf "searched %d/%d vertices@." p.Incentive.completed
+           p.Incentive.total;
+         Option.iter report_k p.Incentive.best_k;
+         (match p.Incentive.status with
+         | Ok () -> ()
+         | Error e -> stop_early e (checkpoint <> None))
+     | None -> report_k (Incentive.best_attack_k ~ctx g)
+   else
+     match (v_opt, ctx.Engine.Ctx.sweep) with
+     | Some v, Engine.Exact ->
+         report_exact (Incentive.best_split_exact ~ctx g ~v)
+     | Some v, Engine.Grid -> report (Incentive.best_split ~ctx g ~v)
+     | None, _ when Budget.is_limited budget || checkpoint <> None || resume ->
+         (* fault-tolerant path: sequential scan, snapshot per vertex,
+            partial best on budget exhaustion *)
+         let p = Incentive.best_attack_within ~ctx ?checkpoint ~resume g in
+         Format.printf "searched %d/%d vertices@." p.Incentive.completed
+           p.Incentive.total;
+         (match p.Incentive.best_exact with
+         | Some e -> report_exact e
+         | None -> Option.iter report p.Incentive.best);
+         (match p.Incentive.status with
+         | Ok () -> ()
+         | Error e -> stop_early e (checkpoint <> None))
+     | None, Engine.Exact -> report_exact (Incentive.best_attack_exact ~ctx g)
+     | None, Engine.Grid -> report (Incentive.best_attack ~ctx g));
+  if k >= 3 then
+    Format.printf "Theorem 8 bound: 2 (for 2 identities; k=%d can exceed it)@."
+      k
+  else Format.printf "Theorem 8 bound: 2@."
 
 let curve g ctx v samples () =
   let pts = Misreport.curve ~ctx g ~v ~samples in
@@ -475,28 +523,57 @@ let batch files ctx () =
     | Some _ -> ctx
     | None -> Engine.Ctx.with_cache (Engine.Cache.create ~capacity:4096 ()) ctx
   in
-  let results =
-    Engine.run_batch_r ~ctx
-      ~f:(fun ctx file ->
-        match Serial.load_r file with
-        | Error e -> Ringshare_error.error e
-        | Ok g -> (Graph.n g, Incentive.best_attack ~ctx g))
-      (Array.of_list files)
-  in
   let failed = ref 0 in
-  Format.printf "%-32s %6s %6s %10s %10s@." "file" "n" "v" "w1" "ratio";
-  List.iteri
-    (fun i file ->
-      match results.(i) with
-      | Ok (n, (a : Incentive.attack)) ->
-          Format.printf "%-32s %6d %6d %10s %10.5f@." file n a.v
-            (Q.to_string a.w1) (Q.to_float a.ratio)
-      | Error e ->
-          incr failed;
-          Format.printf "%-32s FAILED: %s@." file (Ringshare_error.to_string e))
-    files;
-  Format.printf "batch: %d instances, %d failed (Theorem 8 bound: 2)@."
-    (List.length files) !failed;
+  (if ctx.Engine.Ctx.identities >= 3 then begin
+     let results =
+       Engine.run_batch_r ~ctx
+         ~f:(fun ctx file ->
+           match Serial.load_r file with
+           | Error e -> Ringshare_error.error e
+           | Ok g -> (Graph.n g, Incentive.best_attack_k ~ctx g))
+         (Array.of_list files)
+     in
+     Format.printf "%-32s %6s %6s %16s %10s@." "file" "n" "v" "weights" "ratio";
+     List.iteri
+       (fun i file ->
+         match results.(i) with
+         | Ok (n, (a : Incentive.kattack)) ->
+             Format.printf "%-32s %6d %6d %16s %10.5f@." file n a.Incentive.v
+               (String.concat ";"
+                  (Array.to_list (Array.map Q.to_string a.Incentive.weights)))
+               (Q.to_float a.Incentive.ratio)
+         | Error e ->
+             incr failed;
+             Format.printf "%-32s FAILED: %s@." file
+               (Ringshare_error.to_string e))
+       files;
+     Format.printf "batch: %d instances, %d failed (identities=%d)@."
+       (List.length files) !failed ctx.Engine.Ctx.identities
+   end
+   else begin
+     let results =
+       Engine.run_batch_r ~ctx
+         ~f:(fun ctx file ->
+           match Serial.load_r file with
+           | Error e -> Ringshare_error.error e
+           | Ok g -> (Graph.n g, Incentive.best_attack ~ctx g))
+         (Array.of_list files)
+     in
+     Format.printf "%-32s %6s %6s %10s %10s@." "file" "n" "v" "w1" "ratio";
+     List.iteri
+       (fun i file ->
+         match results.(i) with
+         | Ok (n, (a : Incentive.attack)) ->
+             Format.printf "%-32s %6d %6d %10s %10.5f@." file n a.v
+               (Q.to_string a.w1) (Q.to_float a.ratio)
+         | Error e ->
+             incr failed;
+             Format.printf "%-32s FAILED: %s@." file
+               (Ringshare_error.to_string e))
+       files;
+     Format.printf "batch: %d instances, %d failed (Theorem 8 bound: 2)@."
+       (List.length files) !failed
+   end);
   if !failed > 0 then exit 2
 
 (* ------------------------------------------------------------------ *)

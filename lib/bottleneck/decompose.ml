@@ -139,9 +139,6 @@ let compute ?ctx ?budget g =
           Engine.Cache.store cache key (Decomposition d);
           d)
 
-let[@lint.allow "config-drift"] compute_with ?solver ?budget g =
-  compute ~ctx:(Engine.Ctx.make ?solver ?budget ()) g
-
 let compute_r ?ctx ?budget g =
   Ringshare_error.capture (fun () -> compute ?ctx ?budget g)
 

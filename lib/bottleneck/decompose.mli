@@ -44,11 +44,6 @@ val compute : ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t -> t
     @raise Budget.Exhausted when the budget trips (it is threaded into
     the underlying solver's Dinkelbach iterations and DP sweeps). *)
 
-val compute_with : ?solver:solver -> ?budget:Budget.t -> Graph.t -> t
-[@@deprecated "use compute ?ctx — compute_with only pins old call sites"]
-(** Deprecated shim for pre-engine call sites:
-    [compute ~ctx:(Engine.Ctx.make ?solver ?budget ())]. *)
-
 val compute_r :
   ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t ->
   (t, Ringshare_error.t) result

@@ -383,14 +383,16 @@ let candidate_roots ~w cands =
     cands
 
 (* The maximal interval around the rational sample [p] on which the
-   decomposition keeps the structure observed at [p]. *)
-let exact_piece_at ~dctx g ~v ~w p =
-  let s = Sybil.split_free g ~v ~w1:p ~w2:(Q.sub w p) in
-  let structure = Decompose.compute ~ctx:dctx s.Sybil.path in
-  let cands =
-    exact_candidates s.Sybil.path ~v1:s.Sybil.v1 ~v2:s.Sybil.v2 ~total:w ~p
-      structure
-  in
+   decomposition of [path_at p] keeps the structure observed at [p].
+   [path_at x] is the degree-≤2 graph with [v1] at weight [x] and [v2]
+   at [total − x]; everything downstream ([exact_candidates], the stage
+   DPs) only reads the two varying ids, the total and the fixed
+   weights, so the same machinery serves both the Sybil split parameter
+   and a generic two-vertex weight slice. *)
+let exact_piece_at_core ~dctx ~path_at ~v1 ~v2 ~total:w p =
+  let path = path_at p in
+  let structure = Decompose.compute ~ctx:dctx path in
+  let cands = exact_candidates path ~v1 ~v2 ~total:w ~p structure in
   let roots = candidate_roots ~w cands in
   if List.exists (fun r -> Qx.compare_q r p = 0) roots then
     (* the sample itself sits on a boundary: a degenerate point piece *)
@@ -409,14 +411,12 @@ let exact_piece_at ~dctx g ~v ~w p =
     in
     { xlo; xhi; sample = p; structure }
 
-let exact_split_pieces ?ctx g ~v =
-  let ctx = Engine.Ctx.arm (Engine.Ctx.get ctx) in
-  let budget = Engine.Ctx.budget_or_unlimited ctx in
-  let dctx = Engine.Ctx.without_budget ctx in
-  let w = Graph.weight g v in
+(* The full piece enumeration over [0, total], generic in [path_at]
+   (same contract as [exact_piece_at_core]); [cost] is the budget charge
+   per sampled point. *)
+let exact_pieces_core ~budget ~dctx ~cost ~path_at ~v1 ~v2 ~total:w =
   if Q.sign w <= 0 then []
   else begin
-    let n = Graph.n g in
     (* Recursive cover of (a, b): sample once, carve out the sampled
        structure's full validity interval, recurse on what remains.
        Every recursion step discovers one piece (or a boundary point),
@@ -425,9 +425,9 @@ let exact_split_pieces ?ctx g ~v =
     let rec cover a b =
       if Qx.compare a b >= 0 then []
       else begin
-        Budget.tick ~cost:(1 + n) budget;
+        Budget.tick ~cost budget;
         let p = Qx.rational_between a b in
-        let piece = exact_piece_at ~dctx g ~v ~w p in
+        let piece = exact_piece_at_core ~dctx ~path_at ~v1 ~v2 ~total:w p in
         let piece =
           { piece with xlo = Qx.max piece.xlo a; xhi = Qx.min piece.xhi b }
         in
@@ -459,9 +459,8 @@ let exact_split_pieces ?ctx g ~v =
        scan can ever observe their at-point structure, so they stay
        implicit. *)
     let structure_at x =
-      Budget.tick ~cost:(1 + n) budget;
-      let s = Sybil.split_free g ~v ~w1:x ~w2:(Q.sub w x) in
-      Decompose.compute ~ctx:dctx s.Sybil.path
+      Budget.tick ~cost budget;
+      Decompose.compute ~ctx:dctx (path_at x)
     in
     let point_piece t tq =
       let d = structure_at tq in
@@ -500,6 +499,43 @@ let exact_split_pieces ?ctx g ~v =
     in
     with_last pieces
   end
+
+let exact_split_pieces ?ctx g ~v =
+  let ctx = Engine.Ctx.arm (Engine.Ctx.get ctx) in
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  let dctx = Engine.Ctx.without_budget ctx in
+  let w = Graph.weight g v in
+  if Q.sign w <= 0 then []
+  else begin
+    let n = Graph.n g in
+    let path_at x = (Sybil.split_free g ~v ~w1:x ~w2:(Q.sub w x)).Sybil.path in
+    exact_pieces_core ~budget ~dctx ~cost:(1 + n) ~path_at ~v1:v ~v2:n
+      ~total:w
+  end
+
+let exact_slice_pieces ?ctx base ~v1 ~v2 ~total =
+  let ctx = Engine.Ctx.arm (Engine.Ctx.get ctx) in
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  let dctx = Engine.Ctx.without_budget ctx in
+  let n = Graph.n base in
+  if v1 < 0 || v1 >= n || v2 < 0 || v2 >= n || v1 = v2 then
+    invalid_arg "Breakpoints.exact_slice_pieces: bad varying vertex ids";
+  if Q.sign total < 0 then
+    invalid_arg "Breakpoints.exact_slice_pieces: negative total";
+  if not (Graph.is_chain_graph base) then
+    invalid_arg "Breakpoints.exact_slice_pieces: max degree > 2";
+  if
+    List.exists
+      (fun (c : Chain_solver.component) -> c.Chain_solver.cycle)
+      (Chain_solver.components base ~mask:(Graph.full_mask base))
+  then
+    (* the parametric stage DP is the path DP; a cycle component would
+       need the cycle variant *)
+    invalid_arg "Breakpoints.exact_slice_pieces: graph has a cycle component";
+  let path_at x =
+    Graph.with_weight (Graph.with_weight base v1 x) v2 (Q.sub total x)
+  in
+  exact_pieces_core ~budget ~dctx ~cost:(1 + n) ~path_at ~v1 ~v2 ~total
 
 let exact_split_events ?ctx g ~v =
   let pieces = exact_split_pieces ?ctx g ~v in

@@ -81,6 +81,22 @@ val exact_split_pieces :
     decompositions use [ctx]'s solver and cache.  Empty when
     [w_v = 0]. *)
 
+val exact_slice_pieces :
+  ?ctx:Engine.Ctx.t -> Graph.t -> v1:int -> v2:int -> total:Rational.t ->
+  exact_piece list
+(** The same exact piece enumeration, but over a generic two-vertex
+    weight {e slice} of an arbitrary acyclic degree-≤2 graph: the
+    parameter [x ∈ [0, total]] sets [v1]'s weight to [x] and [v2]'s to
+    [total − x] while every other weight stays fixed.
+    [exact_split_pieces g ~v] is the instantiation where the graph is
+    the opened ring and [(v1, v2) = (v, n)]; the k-identity coordinate
+    descent ([Incentive.best_attack] with [ctx.identities ≥ 3]) uses
+    this directly on the materialised {!Sybil.ksplit} path, pairing one
+    free identity with the last.
+    @raise Invalid_argument when [v1]/[v2] are out of range or equal,
+    [total < 0], some vertex has degree > 2, or a component is a cycle
+    (the parametric stage DP is the path DP). *)
+
 val exact_split_events :
   ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> exact_event list
 (** Boundaries between consecutive pieces of {!exact_split_pieces} whose

@@ -430,9 +430,472 @@ let best_attack ?ctx ?budget g =
   | Engine.Grid -> best_attack_grid ~ctx ?budget g
   | Engine.Exact -> (best_attack_exact ~ctx ?budget g).witness
 
+(* ------------------------------------------------------------------ *)
+(* k-identity split vectors (ctx.identities ≥ 3)                       *)
+(* ------------------------------------------------------------------ *)
+
+type kattack = {
+  v : int;
+  weights : Q.t array;
+  utility : Q.t;
+  honest : Q.t;
+  ratio : Q.t;
+}
+
+(* Memo over full weight vectors: entries are normalised rationals, so
+   pointwise Q.equal / Q.hash are semantic. *)
+module QVTbl = Hashtbl.Make (struct
+  type t = Q.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i = Array.length a || (Q.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash a = Array.fold_left (fun acc x -> (acc * 31) + Q.hash x) 17 a
+end)
+
+let vec_compare a b =
+  let rec go i =
+    if i = Array.length a then 0
+    else match Q.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let c_kway_points = Obs.Counter.make ~subsystem:"incentive" "kway_points"
+let c_kway_rounds = Obs.Counter.make ~subsystem:"incentive" "kway_rounds"
+
+let c_kway_exact_events =
+  Obs.Counter.make ~subsystem:"incentive" "kway_exact_events"
+
+let c_kway_lookups =
+  Obs.Counter.make ~subsystem:"incentive" "kway_memo_lookups"
+
+let c_kway_hits = Obs.Counter.make ~subsystem:"incentive" "kway_memo_hits"
+let c_kway_misses = Obs.Counter.make ~subsystem:"incentive" "kway_memo_misses"
+
+let kattack_of_attack g (a : attack) =
+  let w = Graph.weight g a.v in
+  {
+    v = a.v;
+    weights = [| a.w1; Q.sub w a.w1 |];
+    utility = a.utility;
+    honest = a.honest;
+    ratio = a.ratio;
+  }
+
+(* First argument (the fresher vertex in fold order) wins only on strict
+   improvement — same tie rule as [better]. *)
+let better_k (a : kattack) (b : kattack) =
+  if Q.compare a.ratio b.ratio > 0 then a else b
+
+(* Per-search memo for k-way sweeps, keyed by the full weight vector;
+   each distinct vector is evaluated — and budget-charged, cost [1 + n]
+   — exactly once per search.  Callers pass deduplicated batches;
+   [kway_memo_hits + kway_memo_misses = kway_memo_lookups] by
+   construction. *)
+let kway_evaluator ~ctx ~budget g ~v =
+  let dctx = Engine.Ctx.without_budget ctx in
+  let cost = 1 + Graph.n g in
+  let cache = QVTbl.create 64 in
+  let eval ws =
+    Budget.tick ~cost budget;
+    Sybil.splitk_utility ~ctx:dctx g { Sybil.v; weights = ws }
+  in
+  let eval_batch vecs =
+    let fresh = List.filter (fun ws -> not (QVTbl.mem cache ws)) vecs in
+    if Engine.Ctx.obs_enabled ctx then begin
+      let lookups = List.length vecs and misses = List.length fresh in
+      Obs.Counter.add c_kway_lookups lookups;
+      Obs.Counter.add c_kway_misses misses;
+      Obs.Counter.add c_kway_hits (lookups - misses)
+    end;
+    match fresh with
+    | [] -> ()
+    | [ ws ] -> QVTbl.replace cache ws (eval ws)
+    | _
+      when ctx.Engine.Ctx.domains > 1
+           && List.length fresh >= parallel_points_min ->
+        (* independent decompositions; the shared budget counter is
+           atomic and results land by index, so the filled memo is
+           identical to the sequential one *)
+        let arr = Array.of_list fresh in
+        let us = Parwork.map ~domains:ctx.Engine.Ctx.domains eval arr in
+        Array.iteri (fun i u -> QVTbl.replace cache arr.(i) u) us
+    | _ -> List.iter (fun ws -> QVTbl.replace cache ws (eval ws)) fresh
+  in
+  let get ws =
+    match QVTbl.find_opt cache ws with
+    | Some u -> u
+    | None -> assert false
+  in
+  (cache, eval_batch, get)
+
+(* Grid mode over the (k−1)-simplex: the free coordinates 0..k−2 each
+   sweep a [grid]-point window (the last coordinate absorbs the
+   remainder; lattice points overshooting the simplex are dropped), and
+   each zoom round shrinks every free coordinate's window ±step around
+   the best vector — the direct generalisation of [best_split_grid]'s
+   per-coordinate grid-with-zoom. *)
+let best_splitk_grid ~ctx ?honest g ~v =
+  let ctx = Engine.Ctx.arm ctx in
+  let k = ctx.Engine.Ctx.identities in
+  let { Engine.Ctx.grid; refine; _ } = ctx in
+  if grid < 2 then invalid_arg "Incentive.best_splitk: grid too small";
+  Obs.Span.with_ "best_splitk" @@ fun () ->
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  let dctx = Engine.Ctx.without_budget ctx in
+  let w = Graph.weight g v in
+  let honest =
+    match honest with
+    | Some u -> u
+    | None -> Sybil.honest_utility ~ctx:dctx g ~v
+  in
+  let cache, eval_batch, _get = kway_evaluator ~ctx ~budget g ~v in
+  let vec_of free =
+    let ws = Array.make k Q.zero in
+    let sum = ref Q.zero in
+    Array.iteri
+      (fun i x ->
+        ws.(i) <- x;
+        sum := Q.add !sum x)
+      free;
+    ws.(k - 1) <- Q.sub w !sum;
+    ws
+  in
+  let points_of windows =
+    let axes =
+      Array.map
+        (fun (lo, hi) ->
+          let step = Q.div_int (Q.sub hi lo) grid in
+          if Q.is_zero step then [ lo ]
+          else
+            List.init (grid + 1) (fun i ->
+                clamp Q.zero w (Q.add lo (Q.mul_int step i))))
+        windows
+    in
+    (* rightmost free coordinate varies fastest, so the enumeration
+       order — and with it the first-of-a-tie winner — is deterministic *)
+    let rec cart i =
+      if i = Array.length axes then [ [] ]
+      else
+        let rest = cart (i + 1) in
+        List.concat_map (fun x -> List.map (fun tl -> x :: tl) rest) axes.(i)
+    in
+    List.filter_map
+      (fun free ->
+        let free = Array.of_list free in
+        let sum = Array.fold_left Q.add Q.zero free in
+        if Q.compare sum w > 0 then None else Some (vec_of free))
+      (cart 0)
+  in
+  let best_of points acc =
+    List.fold_left
+      (fun (bv, bu) ws ->
+        match QVTbl.find_opt cache ws with
+        | Some u when Q.compare u bu > 0 -> (ws, u)
+        | _ -> (bv, bu))
+      acc points
+  in
+  let sweep windows extras acc =
+    let points = extras @ points_of windows in
+    let deduped = List.sort_uniq vec_compare points in
+    if Engine.Ctx.obs_enabled ctx then
+      Obs.Counter.add c_kway_points (List.length points);
+    eval_batch deduped;
+    best_of points acc
+  in
+  let uniform = Array.make k (Q.div_int w k) in
+  let rec zoom windows extras rounds (bv, bu) =
+    let bv, bu = sweep windows extras (bv, bu) in
+    if rounds = 0 then (bv, bu)
+    else
+      let steps =
+        Array.map (fun (lo, hi) -> Q.div_int (Q.sub hi lo) grid) windows
+      in
+      if Array.for_all Q.is_zero steps then (bv, bu)
+      else
+        let windows =
+          Array.init (k - 1) (fun i ->
+              ( clamp Q.zero w (Q.sub bv.(i) steps.(i)),
+                clamp Q.zero w (Q.add bv.(i) steps.(i)) ))
+        in
+        zoom windows [] (rounds - 1) (bv, bu)
+  in
+  (* seed: the uniform vector's real mechanism value, so the starting
+     accumulator never reports an unevaluated point *)
+  eval_batch [ uniform ];
+  let u0 =
+    match QVTbl.find_opt cache uniform with
+    | Some u -> u
+    | None -> assert false
+  in
+  let windows0 = Array.make (k - 1) (Q.zero, w) in
+  let bv, bu = zoom windows0 [ uniform ] refine (uniform, u0) in
+  if Engine.Ctx.obs_enabled ctx then
+    Obs.Gauge.set_max g_cache (QVTbl.length cache);
+  { v; weights = bv; utility = bu; honest; ratio = ratio_value ~utility:bu ~honest }
+
+(* Full simplex lattice at one resolution: every vector of [k] weights
+   from the step grid summing to [w] (last coordinate absorbs the
+   remainder), in the same rightmost-fastest order as the grid sweep. *)
+let simplex_lattice ~k ~w ~grid =
+  let step = Q.div_int w grid in
+  let rec go m remaining acc =
+    if m = 1 then [ Array.of_list (List.rev (remaining :: acc)) ]
+    else
+      List.concat
+        (List.filter_map
+           (fun i ->
+             let x = Q.mul_int step i in
+             if Q.compare x remaining > 0 then None
+             else Some (go (m - 1) (Q.sub remaining x) (x :: acc)))
+           (List.init (grid + 1) Fun.id))
+  in
+  if Q.is_zero step then [ Array.make k Q.zero ] else go k w []
+
+let count_structure_changes pieces =
+  let rec count = function
+    | (a : Breakpoints.exact_piece) :: (b :: _ as rest) ->
+        (if
+           Decompose.same_structure a.Breakpoints.structure
+             b.Breakpoints.structure
+         then 0
+         else 1)
+        + count rest
+    | _ -> 0
+  in
+  count pieces
+
+let kway_max_rounds = 64
+
+(* Exact mode at k ≥ 3: coordinate descent over certified 1-D slices.
+   Each inner step pairs one free coordinate with the last identity
+   (their sum [total] fixed, every other coordinate frozen), enumerates
+   that slice's structure-constant pieces exactly
+   ([Breakpoints.exact_slice_pieces] on the materialised split path) and
+   collects rational candidates: piece samples, rational boundaries,
+   critical points of each piece's closed-form utility (exact quadratic
+   roots when the derivative numerator has degree ≤ 2, Sturm-isolated
+   bracket midpoints above that, irrational points replaced by their
+   dyadic 2⁻⁴⁰ brackets).  Every candidate is judged by an actual
+   mechanism evaluation through the shared memo, the current point is
+   always among the candidates, and only strict improvements move — so
+   the descent terminates at a point no walked slice can improve: a
+   certified local optimum of the simplex along coordinate lines (every
+   reported value is an exactly-evaluated mechanism value, never a
+   closed-form extrapolation). *)
+let best_splitk_exact ~ctx ?honest g ~v =
+  let ctx = Engine.Ctx.arm ctx in
+  let ctx =
+    match ctx.Engine.Ctx.cache with
+    | Some _ -> ctx
+    | None -> Engine.Ctx.with_cache (Engine.Cache.create ~capacity:128 ()) ctx
+  in
+  let k = ctx.Engine.Ctx.identities in
+  Obs.Span.with_ "best_splitk_exact" @@ fun () ->
+  let budget = Engine.Ctx.budget_or_unlimited ctx in
+  let dctx = Engine.Ctx.without_budget ctx in
+  let w = Graph.weight g v in
+  let honest =
+    match honest with
+    | Some u -> u
+    | None -> Sybil.honest_utility ~ctx:dctx g ~v
+  in
+  let _cache, eval_batch, get_cached = kway_evaluator ~ctx ~budget g ~v in
+  let finish ws u =
+    { v; weights = ws; utility = u; honest;
+      ratio = ratio_value ~utility:u ~honest }
+  in
+  if Q.is_zero w then begin
+    let ws = Array.make k Q.zero in
+    eval_batch [ ws ];
+    finish ws (get_cached ws)
+  end
+  else begin
+    (* Deterministic global seeding: a coarse simplex lattice pre-pass
+       through the shared memo picks the descent's starting corner, so
+       the local search does not hinge on the uniform point's basin.
+       The uniform vector goes first — on a lattice tie it wins. *)
+    let seeds =
+      Array.make k (Q.div_int w k) :: simplex_lattice ~k ~w ~grid:4
+    in
+    eval_batch (List.sort_uniq vec_compare seeds);
+    if Engine.Ctx.obs_enabled ctx then
+      Obs.Counter.add c_kway_points (List.length seeds);
+    let x = ref (List.hd seeds) in
+    let best_u = ref (get_cached !x) in
+    List.iter
+      (fun ws ->
+        let u = get_cached ws in
+        if Q.compare u !best_u > 0 then begin
+          x := ws;
+          best_u := u
+        end)
+      (List.tl seeds);
+    let improved = ref true in
+    let rounds = ref 0 in
+    while !improved && !rounds < kway_max_rounds do
+      improved := false;
+      incr rounds;
+      if Engine.Ctx.obs_enabled ctx then Obs.Counter.incr c_kway_rounds;
+      for i = 0 to k - 2 do
+        let total = Q.add (!x).(i) (!x).(k - 1) in
+        if Q.sign total > 0 then begin
+          let ks = Sybil.splitk g { Sybil.v; weights = !x } in
+          let v1 = ks.Sybil.ids.(i) and v2 = ks.Sybil.ids.(k - 1) in
+          let pieces =
+            Breakpoints.exact_slice_pieces ~ctx ks.Sybil.kpath ~v1 ~v2 ~total
+          in
+          if Engine.Ctx.obs_enabled ctx then
+            Obs.Counter.add c_kway_exact_events
+              (count_structure_changes pieces);
+          let cands = ref [ (!x).(i) ] in
+          let addc c =
+            if Q.sign c >= 0 && Q.compare c total <= 0 then
+              cands := c :: !cands
+          in
+          let add_qx r =
+            if Qx.is_rational r then addc (Qx.to_q_exn r)
+            else begin
+              (* irrational slice point: its dyadic bracket at
+                 denominator 2^40 (cf. the exact sweep's witness) *)
+              let scaled = Qx.mul_q r (Q.of_int witness_denom) in
+              let lo = Q.make (Qx.floor scaled) (Bigint.of_int witness_denom) in
+              addc lo;
+              addc (Q.add lo (Q.of_ints 1 witness_denom))
+            end
+          in
+          List.iter
+            (fun (p : Breakpoints.exact_piece) ->
+              addc p.Breakpoints.sample;
+              add_qx p.Breakpoints.xlo;
+              add_qx p.Breakpoints.xhi;
+              if not (Qx.equal p.Breakpoints.xlo p.Breakpoints.xhi) then begin
+                let num, den =
+                  Symbolic.slice_utility_function ks.Sybil.kpath ~v1 ~v2
+                    ~total ~structure:p.Breakpoints.structure
+                    ~ids:ks.Sybil.ids
+                in
+                let e =
+                  Poly.sub
+                    (Poly.mul (Poly.derive num) den)
+                    (Poly.mul num (Poly.derive den))
+                in
+                if not (Poly.is_zero e) then
+                  if Poly.degree e <= 2 then
+                    List.iter
+                      (fun r ->
+                        if
+                          Qx.compare p.Breakpoints.xlo r < 0
+                          && Qx.compare r p.Breakpoints.xhi < 0
+                        then add_qx r)
+                      (Qx.roots2 ~a:(Poly.coeff e 2) ~b:(Poly.coeff e 1)
+                         ~c:(Poly.coeff e 0))
+                  else begin
+                    (* with ≥ 3 identities several distinct pairs can
+                       involve an identity, so the derivative numerator
+                       may exceed degree 2; isolate its roots over a
+                       rational sub-bracket of the piece (Sturm) and
+                       take bracket midpoints as candidates *)
+                    let lo_q =
+                      if Qx.is_rational p.Breakpoints.xlo then
+                        Qx.to_q_exn p.Breakpoints.xlo
+                      else
+                        Qx.rational_between p.Breakpoints.xlo
+                          (Qx.of_q p.Breakpoints.sample)
+                    and hi_q =
+                      if Qx.is_rational p.Breakpoints.xhi then
+                        Qx.to_q_exn p.Breakpoints.xhi
+                      else
+                        Qx.rational_between (Qx.of_q p.Breakpoints.sample)
+                          p.Breakpoints.xhi
+                    in
+                    if Q.compare lo_q hi_q < 0 then
+                      List.iter
+                        (fun (l, h) -> addc (Q.div_int (Q.add l h) 2))
+                        (Poly.isolate_roots
+                           ~tolerance:(Q.div_int (Q.sub hi_q lo_q) 4096)
+                           e ~lo:lo_q ~hi:hi_q)
+                  end
+              end)
+            pieces;
+          let vecs =
+            List.rev_map
+              (fun c ->
+                let ws = Array.copy !x in
+                ws.(i) <- c;
+                ws.(k - 1) <- Q.sub total c;
+                ws)
+              !cands
+          in
+          eval_batch (List.sort_uniq vec_compare vecs);
+          (* first of a utility tie — in candidate discovery order —
+             wins; the current point is candidate zero, so a plateau
+             never moves *)
+          let bw, bu =
+            List.fold_left
+              (fun (bv, bu) ws ->
+                let u = get_cached ws in
+                if Q.compare u bu > 0 then (ws, u) else (bv, bu))
+              (!x, !best_u) vecs
+          in
+          if Q.compare bu !best_u > 0 then begin
+            x := bw;
+            best_u := bu;
+            improved := true
+          end
+        end
+      done
+    done;
+    finish !x !best_u
+  end
+
+(* [best_splitk] subsumes [best_split]: at the default two identities it
+   delegates to the historical search (bit-identical, both sweep modes)
+   and wraps the pair as a length-2 vector. *)
+let best_splitk ?ctx ?budget ?honest g ~v =
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
+  if Int.equal ctx.Engine.Ctx.identities 2 then
+    kattack_of_attack g (best_split ~ctx ?honest g ~v)
+  else
+    match ctx.Engine.Ctx.sweep with
+    | Engine.Grid -> best_splitk_grid ~ctx ?honest g ~v
+    | Engine.Exact -> best_splitk_exact ~ctx ?honest g ~v
+
+let best_attack_k ?ctx ?budget g =
+  if Graph.n g = 0 then invalid_arg "Incentive.best_attack: empty graph";
+  let ctx = Engine.Ctx.arm (with_budget_arg budget (Engine.Ctx.get ctx)) in
+  if Int.equal ctx.Engine.Ctx.identities 2 then
+    kattack_of_attack g (best_attack ~ctx g)
+  else begin
+    Obs.Span.with_ "best_attack_k" @@ fun () ->
+    Obs.Counter.incr c_attack_calls;
+    (* shared honest decomposition, exactly as in the 2-split searches *)
+    let d = Decompose.compute ~ctx:(Engine.Ctx.without_budget ctx) g in
+    Obs.Counter.add c_honest_shared (Graph.n g);
+    let split_ctx = Engine.Ctx.with_domains 1 ctx in
+    let attacks =
+      Parwork.map ~domains:ctx.Engine.Ctx.domains
+        (fun v ->
+          let honest = Utility.of_vertex g d v in
+          match ctx.Engine.Ctx.sweep with
+          | Engine.Grid -> best_splitk_grid ~ctx:split_ctx ~honest g ~v
+          | Engine.Exact -> best_splitk_exact ~ctx:split_ctx ~honest g ~v)
+        (Array.init (Graph.n g) Fun.id)
+    in
+    Array.fold_left
+      (fun best a ->
+        match best with None -> Some a | Some b -> Some (better_k a b))
+      None attacks
+    |> Option.get
+  end
+
 type progress = {
   best : attack option;
   best_exact : exact_attack option;
+  best_k : kattack option;
   completed : int;
   total : int;
   status : (unit, Ringshare_error.t) result;
@@ -440,7 +903,7 @@ type progress = {
 
 let attack_fields = function
   | None -> [ ("best", "none") ]
-  | Some a ->
+  | Some (a : attack) ->
       [
         ("best", "some");
         ("best_v", string_of_int a.v);
@@ -494,6 +957,43 @@ let exact_of_fields fields =
           events = Checkpoint.int_field fields "exact_events";
         }
 
+(* k ≥ 3 checkpoint extension: the best k-way attack rides along under
+   its own field names (the weight vector ";"-joined), so the k = 2
+   layout is untouched. *)
+let kattack_fields = function
+  | None -> [ ("kbest", "none") ]
+  | Some a ->
+      [
+        ("kbest", "some");
+        ("kbest_v", string_of_int a.v);
+        ( "kbest_weights",
+          String.concat ";" (List.map Q.to_string (Array.to_list a.weights)) );
+        ("kbest_utility", Q.to_string a.utility);
+        ("kbest_honest", Q.to_string a.honest);
+        ("kbest_ratio", Q.to_string a.ratio);
+      ]
+
+let kattack_of_fields fields =
+  match Checkpoint.field fields "kbest" with
+  | "none" -> None
+  | "some" ->
+      Some
+        {
+          v = Checkpoint.int_field fields "kbest_v";
+          weights =
+            Array.of_list
+              (List.map Q.of_string
+                 (String.split_on_char ';'
+                    (Checkpoint.field fields "kbest_weights")));
+          utility = Q.of_string (Checkpoint.field fields "kbest_utility");
+          honest = Q.of_string (Checkpoint.field fields "kbest_honest");
+          ratio = Q.of_string (Checkpoint.field fields "kbest_ratio");
+        }
+  | s ->
+      Ringshare_error.(
+        error
+          (Invalid_input (Printf.sprintf "checkpoint: bad kbest marker %S" s)))
+
 let ckpt_kind = "best-attack"
 
 let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
@@ -502,9 +1002,10 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
   let budget = Engine.Ctx.budget_or_unlimited ctx in
   let total = Graph.n g in
   let sweep = ctx.Engine.Ctx.sweep in
+  let identities = ctx.Engine.Ctx.identities in
   let digest = Digest.to_hex (Digest.string (Serial.to_string g)) in
-  let start, best0, best_exact0 =
-    if not resume then (0, None, None)
+  let start, best0, best_exact0, best_k0 =
+    if not resume then (0, None, None, None)
     else
       match checkpoint with
       | None ->
@@ -513,7 +1014,7 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
               (Invalid_input
                  "Incentive.best_attack_within: resume requires a checkpoint \
                   path"))
-      | Some path when not (Sys.file_exists path) -> (0, None, None)
+      | Some path when not (Sys.file_exists path) -> (0, None, None, None)
       | Some path -> (
           match Checkpoint.load ~path ~kind:ckpt_kind with
           | Error e -> Ringshare_error.error e
@@ -541,31 +1042,67 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
                              with %s"
                             ck_sweep
                             (Engine.sweep_name sweep))));
-                ( Checkpoint.int_field fields "next",
-                  attack_of_fields fields,
-                  match sweep with
-                  | Engine.Grid -> None
-                  | Engine.Exact -> exact_of_fields fields )
+                (* pre-k-way checkpoints carry no identities marker and
+                   were necessarily written by the 2-split search *)
+                let ck_k =
+                  match List.assoc_opt "identities" fields with
+                  | Some s -> (
+                      match int_of_string_opt s with
+                      | Some i -> i
+                      | None ->
+                          Ringshare_error.(
+                            error
+                              (Invalid_input
+                                 (Printf.sprintf
+                                    "checkpoint: bad identities field %S" s))))
+                  | None -> 2
+                in
+                if ck_k <> identities then
+                  Ringshare_error.(
+                    error
+                      (Invalid_input
+                         (Printf.sprintf
+                            "checkpoint was written with identities %d, \
+                             resumed with %d"
+                            ck_k identities)));
+                if identities >= 3 then
+                  ( Checkpoint.int_field fields "next",
+                    None,
+                    None,
+                    kattack_of_fields fields )
+                else
+                  ( Checkpoint.int_field fields "next",
+                    attack_of_fields fields,
+                    (match sweep with
+                    | Engine.Grid -> None
+                    | Engine.Exact -> exact_of_fields fields),
+                    None )
               end)
   in
-  let save_ckpt next best best_exact =
+  let save_ckpt next best best_exact best_k =
     match checkpoint with
     | None -> ()
     | Some path ->
+        let tail =
+          if identities >= 3 then kattack_fields best_k
+          else attack_fields best @ exact_fields best_exact
+        in
         Checkpoint.save ~path ~kind:ckpt_kind
           (("graph", digest)
           :: ("total", string_of_int total)
           :: ("next", string_of_int next)
           :: ("sweep", Engine.sweep_name sweep)
-          :: (attack_fields best @ exact_fields best_exact))
+          :: ("identities", string_of_int identities)
+          :: tail)
   in
   let best = ref best0 in
   let best_exact = ref best_exact0 in
+  let best_k = ref best_k0 in
   let completed = ref start in
   let status = ref (Ok ()) in
   (* snapshot up front so an interruption before the first vertex completes
      still leaves a resumable (graph-bound) checkpoint on disk *)
-  save_ckpt start best0 best_exact0;
+  save_ckpt start best0 best_exact0 best_k0;
   (* honest utilities shared across vertices, as in best_attack; lazy so
      a fully-completed resume does no work and solver errors are still
      captured by the loop below *)
@@ -582,21 +1119,31 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
      for v = start to total - 1 do
        Budget.check budget;
        let honest = Utility.of_vertex g (Lazy.force d) v in
-       (match sweep with
-       | Engine.Grid ->
-           let a = best_split_grid ~ctx ~honest g ~v in
-           best := Some (match !best with None -> a | Some b -> better a b)
-       | Engine.Exact ->
-           let e = best_split_exact ~ctx ~honest g ~v in
-           let e =
-             match !best_exact with
-             | None -> e
-             | Some b -> better_exact b e
-           in
-           best_exact := Some e;
-           best := Some e.witness);
+       (if identities >= 3 then
+          let a =
+            match sweep with
+            | Engine.Grid -> best_splitk_grid ~ctx ~honest g ~v
+            | Engine.Exact -> best_splitk_exact ~ctx ~honest g ~v
+          in
+          best_k :=
+            Some (match !best_k with None -> a | Some b -> better_k a b)
+        else
+          match sweep with
+          | Engine.Grid ->
+              let a = best_split_grid ~ctx ~honest g ~v in
+              best :=
+                Some (match !best with None -> a | Some b -> better a b)
+          | Engine.Exact ->
+              let e = best_split_exact ~ctx ~honest g ~v in
+              let e =
+                match !best_exact with
+                | None -> e
+                | Some b -> better_exact b e
+              in
+              best_exact := Some e;
+              best := Some e.witness);
        incr completed;
-       save_ckpt !completed !best !best_exact
+       save_ckpt !completed !best !best_exact !best_k
      done
    with
   | Budget.Exhausted { steps; elapsed } ->
@@ -605,9 +1152,10 @@ let best_attack_within ?ctx ?budget ?checkpoint ?(resume = false) g =
   {
     best = !best;
     best_exact = !best_exact;
+    best_k = !best_k;
     completed = !completed;
     total;
     status = !status;
   }
 
-let ratio_of_attack a = Q.to_float a.ratio
+let ratio_of_attack (a : attack) = Q.to_float a.ratio

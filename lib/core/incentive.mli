@@ -99,11 +99,64 @@ val best_attack_exact :
     honest decomposition and fans per-vertex searches over
     [ctx.domains], exactly like the grid {!best_attack}. *)
 
+(** {1 k-identity split vectors}
+
+    [ctx.identities] generalises the pairwise split to a length-[k]
+    weight vector ({!Sybil.splits}).  At the default [k = 2] every
+    entry point below delegates to the historical 2-split search —
+    bit-identical in both sweep modes — and wraps the result; at
+    [k ≥ 3] the grid sweep walks the [(k−1)]-simplex (per-coordinate
+    grid-with-zoom over a shared weight-vector memo) and the exact
+    sweep runs coordinate descent over certified 1-D slices
+    ({!Breakpoints.exact_slice_pieces}), terminating at a point no
+    coordinate line can improve.  Counters (subsystem ["incentive"]):
+    [kway_points], [kway_rounds], [kway_exact_events] and the memo
+    triple [kway_memo_lookups] = [kway_memo_hits] +
+    [kway_memo_misses]. *)
+
+type kattack = {
+  v : int;  (** the manipulative agent *)
+  weights : Rational.t array;
+      (** best identity weight vector found, length [ctx.identities],
+          summing to [w_v] *)
+  utility : Rational.t;  (** [Σ_j U_{v^j}] at that split *)
+  honest : Rational.t;  (** [U_v] without deviation *)
+  ratio : Rational.t;  (** utility / honest *)
+}
+
+val best_splitk :
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> ?honest:Rational.t -> Graph.t ->
+  v:int -> kattack
+(** The [k]-identity generalisation of {!best_split}, parameterised by
+    [ctx.identities].  At [k = 2] this {e is} {!best_split} (same code
+    path, both sweep modes) with the pair wrapped as [[|w1; w_v − w1|]].
+    At [k ≥ 3], [Grid] sweeps the simplex lattice ([ctx.grid] points
+    per free coordinate, [ctx.refine] zoom rounds; the first vector of
+    a utility tie in enumeration order wins) and [Exact] runs the
+    slice-wise coordinate descent.  Either way every reported utility
+    is an exactly-evaluated mechanism value and each distinct weight
+    vector is evaluated — and budget-ticked at cost [1 + n] — once per
+    search. *)
+
+val best_attack_k :
+  ?ctx:Engine.Ctx.t -> ?budget:Budget.t -> Graph.t -> kattack
+(** Best {!best_splitk} over all vertices (first vertex of a ratio tie
+    wins), sharing the honest decomposition and fanning per-vertex
+    searches over [ctx.domains] exactly like {!best_attack}.  At
+    [ctx.identities = 2] this delegates to {!best_attack} and wraps the
+    result. *)
+
 type progress = {
-  best : attack option;  (** best attack over the vertices finished so far *)
+  best : attack option;
+      (** best attack over the vertices finished so far; [None] when
+          [ctx.identities ≥ 3] (see [best_k]) *)
   best_exact : exact_attack option;
       (** certified optimum so far under [ctx.sweep = Exact] (its
-          [witness] is [best]); [None] under [Grid] *)
+          [witness] is [best]); [None] under [Grid] or when
+          [ctx.identities ≥ 3] *)
+  best_k : kattack option;
+      (** best k-way attack so far when [ctx.identities ≥ 3]; [None] at
+          the default two identities *)
   completed : int;  (** vertices fully searched *)
   total : int;
   status : (unit, Ringshare_error.t) result;
@@ -118,9 +171,14 @@ val best_attack_within :
     searched in order, the best-so-far is returned even when the budget
     trips mid-scan, and an optional [checkpoint] file is atomically
     rewritten after every vertex.  With [resume:true] the scan continues
-    from the snapshot (validated against a digest of the graph {e and}
-    the sweep policy it was written under — pre-exact checkpoints count
-    as grid); a missing checkpoint file means start from scratch.
+    from the snapshot (validated against a digest of the graph, the
+    sweep policy {e and} the identity count it was written under —
+    pre-exact checkpoints count as grid, pre-k-way ones as two
+    identities; a cross-[k] resume is rejected as [Invalid_input]); a
+    missing checkpoint file means start from scratch.
+    With [ctx.identities ≥ 3] the per-vertex searches are {!best_splitk}
+    and the best-so-far rides in the checkpoint as a serialised weight
+    vector, surfacing as [progress.best_k].
     Killing the process and resuming reproduces the uninterrupted result
     exactly — under [Exact] the certified optimum rides in the
     checkpoint as {!Qx} strings, so the resumed [best_exact] is

@@ -16,6 +16,26 @@ type split = {
   v2 : int;  (** id of v² in [path] *)
 }
 
+type splits = {
+  v : int;  (** the manipulative ring vertex *)
+  weights : Rational.t array;  (** identity weights, length [k ≥ 2] *)
+}
+(** A [k]-identity split vector: [v] splits into identities
+    [v¹, …, v^k] carrying [weights.(0), …, weights.(k−1)].  The
+    identities are inserted {e consecutively} along the ring — the ring
+    is cut open at [v] exactly as in {!split} and the extra identities
+    extend the far end of the path — so every vertex keeps degree ≤ 2
+    and the chain solvers still apply.  At [k = 2] this is {!split}'s
+    [(w1, w2)] pair. *)
+
+type ksplit = {
+  kpath : Graph.t;  (** the opened ring with the identity chain *)
+  ids : int array;
+      (** identity vertex ids in [kpath]: [ids.(0) = v] and
+          [ids.(j) = n + j − 1] for [j ≥ 1], in ring order
+          [v¹ — a — … — b — v² — … — v^k] *)
+}
+
 val split : Graph.t -> v:int -> w1:Rational.t -> w2:Rational.t -> split
 (** @raise Invalid_argument if the graph is not a ring, or the weights are
     negative or do not sum to [w_v]. *)
@@ -24,6 +44,22 @@ val split_free : Graph.t -> v:int -> w1:Rational.t -> w2:Rational.t -> split
 (** Like {!split} but without the [w1 + w2 = w_v] constraint: the stage
     analysis of Section III walks through intermediate paths — e.g.
     [P_v(w₁⁰, w₂⋆)] — whose identity weights do not sum to [w_v]. *)
+
+val splitk : Graph.t -> splits -> ksplit
+(** Materialise a [k]-identity split.  {!split} is the [k = 2]
+    instantiation: [splitk g {v; weights = [|w1; w2|]}] builds the exact
+    graph (same weights, same edge order) as [split g ~v ~w1 ~w2].
+    @raise Invalid_argument if the graph is not a ring, [k < 2], any
+    weight is negative, or the weights do not sum to [w_v]. *)
+
+val splitk_free : Graph.t -> splits -> ksplit
+(** Like {!splitk} but without the [Σ weights = w_v] constraint,
+    mirroring {!split_free}. *)
+
+val splitk_utility : ?ctx:Engine.Ctx.t -> Graph.t -> splits -> Rational.t
+(** [Σ_j U_{v^j}] on the materialised split path — the attacker's
+    post-attack utility over all [k] identities, from one
+    decomposition. *)
 
 val split_utility :
   ?ctx:Engine.Ctx.t -> Graph.t -> v:int -> w1:Rational.t -> Rational.t

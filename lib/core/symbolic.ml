@@ -35,11 +35,14 @@ let set_weight_poly g ~v1 ~v2 ~total set =
   Poly.linear !const !slope
 
 (* One identity's utility as a rational function (numerator, denominator)
-   of w1, inside a fixed decomposition structure. *)
+   of w1, inside a fixed decomposition structure.  [v1] carries w1, [v2]
+   carries total − w1; any other id keeps its fixed graph weight. *)
 let identity_utility g ~v1 ~v2 ~total structure id =
   let p = Decompose.pair_of structure id in
   let own =
-    if id = v1 then Poly.x else Poly.linear total (Q.of_int (-1))
+    if id = v1 then Poly.x
+    else if id = v2 then Poly.linear total (Q.of_int (-1))
+    else Poly.constant (Graph.weight g id)
   in
   if Vset.equal p.Decompose.b p.Decompose.c then
     (* self pair (alpha = 1): the identity receives its own weight *)
@@ -61,6 +64,18 @@ let utility_function g ~v ~structure ~v2 =
   let n2, d2 = identity_utility g ~v1:v ~v2 ~total structure v2 in
   ( Poly.add (Poly.mul n1 d2) (Poly.mul n2 d1),
     Poly.mul d1 d2 )
+
+(* Σ_j U_{ids.(j)} over a common denominator, on a slice where only the
+   weights of [v1] (= x) and [v2] (= total − x) vary and every other
+   vertex — including the remaining identities — keeps the weight it
+   has in [path].  [path] must be the materialised split graph, not the
+   ring: the fixed identities' ids only exist there. *)
+let slice_utility_function path ~v1 ~v2 ~total ~structure ~ids =
+  Array.fold_left
+    (fun (n_acc, d_acc) id ->
+      let n, d = identity_utility path ~v1 ~v2 ~total structure id in
+      (Poly.add (Poly.mul n_acc d) (Poly.mul n d_acc), Poly.mul d_acc d))
+    (Poly.zero, Poly.one) ids
 
 (* Exact attack utility at a concrete split, straight from the mechanism. *)
 let exact_utility ~ctx g ~v w1 = Sybil.split_utility ~ctx g ~v ~w1

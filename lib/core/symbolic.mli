@@ -49,6 +49,17 @@ val utility_function :
     while the split path's decomposition structure stays [structure]
     ([v2] is the second identity's vertex id).  Exposed for tests. *)
 
+val slice_utility_function :
+  Graph.t -> v1:int -> v2:int -> total:Rational.t ->
+  structure:Decompose.t -> ids:int array -> Poly.t * Poly.t
+(** k-identity generalisation along a 1-D slice: [(N, D)] such that
+    [Σ_j U_{ids.(j)} = N(x)/D(x)] while the decomposition stays
+    [structure], where [v1] carries [x], [v2] carries [total − x] and
+    every other vertex keeps its weight from the given graph.  The graph
+    must be the {e materialised} split path ({!Sybil.ksplit.kpath}) so
+    the fixed identities' weights are readable; at [k = 2] with
+    [ids = [|v1; v2|]] this coincides with {!utility_function}. *)
+
 val verify_theorem8 :
   ?ctx:Engine.Ctx.t -> ?tolerance:Rational.t -> Graph.t -> v:int ->
   (report, string) result

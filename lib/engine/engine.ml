@@ -156,10 +156,12 @@ module Ctx = struct
     domains : int;
     obs : bool;
     cache : Cache.t option;
+    identities : int;
   }
 
   let default_grid = 32
   let default_refine = 3
+  let default_identities = 2
 
   let default =
     {
@@ -172,19 +174,38 @@ module Ctx = struct
       domains = 1;
       obs = true;
       cache = None;
+      identities = default_identities;
     }
 
   (* The one sanctioned home of the optional-argument spray; everywhere
      else in lib/ the config-drift lint rule forbids these labels. *)
   let make ?(solver = default.solver) ?(sweep = default.sweep)
       ?(grid = default.grid) ?(refine = default.refine) ?budget ?deadline
-      ?(domains = default.domains) ?(obs = default.obs) ?cache () =
-    { solver; sweep; grid; refine; budget; deadline; domains; obs; cache }
+      ?(domains = default.domains) ?(obs = default.obs) ?cache
+      ?(identities = default.identities) () =
+    if identities < 2 then invalid_arg "Engine.Ctx.make: identities < 2";
+    {
+      solver;
+      sweep;
+      grid;
+      refine;
+      budget;
+      deadline;
+      domains;
+      obs;
+      cache;
+      identities;
+    }
 
   let with_solver solver t = { t with solver }
   let with_sweep sweep t = { t with sweep }
   let with_grid grid t = { t with grid }
   let with_refine refine t = { t with refine }
+
+  let with_identities identities t =
+    if identities < 2 then
+      invalid_arg "Engine.Ctx.with_identities: identities < 2";
+    { t with identities }
   let with_budget b t = { t with budget = Some b }
   let without_budget t = { t with budget = None }
   let with_deadline d t = { t with deadline = Some d }

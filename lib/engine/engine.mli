@@ -112,6 +112,11 @@ module Ctx : sig
     domains : int;  (** OCaml 5 domains for parallel sweeps (1) *)
     obs : bool;  (** request-level metrics enablement (true) *)
     cache : Cache.t option;  (** shared decomposition cache (none) *)
+    identities : int;
+        (** number of Sybil identities [k ≥ 2] the attack search sweeps
+            over (2 — the paper's pairwise split).  Threaded through
+            [Incentive], checkpoints (recorded; cross-[k] resume is
+            rejected) and the CLI [--identities] flag. *)
   }
   (** An immutable request context.  [Ctx.default] is the single source
       of the defaults above; every [?ctx] entry point in the stack reads
@@ -126,14 +131,18 @@ module Ctx : sig
   val default_refine : int
   (** 3 — pinned by [test_engine.ml] against the documented value. *)
 
+  val default_identities : int
+  (** 2 — the paper's pairwise split; pinned by [test_engine.ml]. *)
+
   val make :
     ?solver:solver -> ?sweep:sweep -> ?grid:int -> ?refine:int ->
     ?budget:Budget.t -> ?deadline:float -> ?domains:int -> ?obs:bool ->
-    ?cache:Cache.t -> unit -> t
+    ?cache:Cache.t -> ?identities:int -> unit -> t
   (** {!default} with the given fields overridden.  This is the one
       sanctioned home of the old optional-argument spray; the
       [config-drift] lint rule forbids re-declaring these optional
-      arguments anywhere in [lib/] outside [lib/engine]. *)
+      arguments anywhere in [lib/] outside [lib/engine].
+      @raise Invalid_argument when [identities < 2]. *)
 
   val with_solver : solver -> t -> t
   val with_sweep : sweep -> t -> t
@@ -144,6 +153,10 @@ module Ctx : sig
   val with_deadline : float -> t -> t
   val without_deadline : t -> t
   val with_domains : int -> t -> t
+
+  val with_identities : int -> t -> t
+  (** @raise Invalid_argument when the argument is [< 2]. *)
+
   val with_obs : bool -> t -> t
   val with_cache : Cache.t -> t -> t
   val without_cache : t -> t

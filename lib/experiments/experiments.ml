@@ -772,6 +772,196 @@ let run_e13_symbolic ?(trials = 10) fmt =
     }
 
 (* ------------------------------------------------------------------ *)
+(* E14: k-identity split vectors                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference oracle: exhaustively enumerate every weight vector of the
+   (k-1)-simplex lattice (each coordinate a multiple of w_v/grid, last
+   coordinate absorbing the remainder) for every vertex, straight
+   through the mechanism.  Exponential in k; only for tiny instances. *)
+let brute_attack_k g ~k ~grid =
+  let n = Graph.n g in
+  let best = ref Q.zero in
+  for v = 0 to n - 1 do
+    let w = Graph.weight g v in
+    let honest = Sybil.honest_utility g ~v in
+    if Q.sign honest > 0 && Q.sign w > 0 then begin
+      let step = Q.div_int w grid in
+      let rec go m remaining acc =
+        if m = 1 then begin
+          let ws = Array.of_list (List.rev (remaining :: acc)) in
+          let u = Sybil.splitk_utility g { Sybil.v; weights = ws } in
+          let r = Q.div u honest in
+          if Q.compare r !best > 0 then best := r
+        end
+        else
+          for i = 0 to grid do
+            let x = Q.mul_int step i in
+            if Q.compare x remaining <= 0 then
+              go (m - 1) (Q.sub remaining x) (x :: acc)
+          done
+      in
+      go k w []
+    end
+  done;
+  !best
+
+(* A coalition of pairwise non-adjacent ring agents, each 2-splitting
+   simultaneously.  Member j keeps its ring id (edge to the smaller
+   neighbour) and fresh id n+j takes the larger-neighbour edge — the
+   same consecutive-insertion convention as [Sybil.splitk], applied
+   once per member.  Non-adjacency keeps every removed edge distinct,
+   so the result is a forest of paths (degree <= 2, acyclic). *)
+let coalition_graph g members =
+  let n = Graph.n g in
+  let removed = ref [] in
+  let added = ref [] in
+  let fresh = ref [] in
+  List.iteri
+    (fun j (v, x) ->
+      let nb = Graph.neighbors g v in
+      let b = Stdlib.max nb.(0) nb.(1) in
+      removed := (v, b) :: !removed;
+      added := (n + j, b) :: !added;
+      fresh := Q.sub (Graph.weight g v) x :: !fresh)
+    members;
+  let weights =
+    Array.append
+      (Array.mapi
+         (fun v w ->
+           match List.assoc_opt v members with Some x -> x | None -> w)
+         (Graph.weights g))
+      (Array.of_list (List.rev !fresh))
+  in
+  let keep (x, y) =
+    not
+      (List.exists (fun (u, b) -> (x = u && y = b) || (x = b && y = u))
+         !removed)
+  in
+  let edges = List.rev !added @ List.filter keep (Graph.edges g) in
+  Graph.create ~weights ~edges
+
+let coalition_ratio g members =
+  let n = Graph.n g in
+  let cg = coalition_graph g members in
+  let d = Decompose.compute cg in
+  let dh = Decompose.compute g in
+  let joint = ref Q.zero and honest = ref Q.zero in
+  List.iteri
+    (fun j (v, _) ->
+      joint :=
+        Q.add !joint
+          (Q.add (Utility.of_vertex cg d v) (Utility.of_vertex cg d (n + j)));
+      honest := Q.add !honest (Utility.of_vertex g dh v))
+    members;
+  if Q.sign !honest > 0 then Q.div !joint !honest else Q.one
+
+let run_e14_kway ?(trials = 9) fmt =
+  header fmt
+    "E14 / beyond Theorem 8 - k-identity split vectors and coalitions";
+  Format.fprintf fmt
+    "Theorem 8 bounds the ratio by 2 for a single agent splitting in@.\
+     two.  Generalising to k identities (ctx.identities) the bound@.\
+     breaks: a 3-way split already beats 2 on a 5-ring.@.@.";
+  (* 1. differential: production simplex sweep vs the brute oracle *)
+  let rng = Prng.create 77 in
+  let agree = ref 0 and dominate = ref 0 and total = ref 0 in
+  for i = 1 to trials do
+    let n = 3 + ((i - 1) mod 3) in
+    let g =
+      Generators.ring
+        (Array.init n (fun _ -> Q.of_int (1 + Prng.int rng 12)))
+    in
+    incr total;
+    (* grid 6 is divisible by k = 3, so the sweep's uniform seed w/3 is
+       itself a lattice point and refine:0 must tie out exactly *)
+    let brute = brute_attack_k g ~k:3 ~grid:6 in
+    let flat =
+      Incentive.best_attack_k
+        ~ctx:(Engine.Ctx.make ~grid:6 ~refine:0 ~identities:3 ())
+        g
+    in
+    let zoomed =
+      Incentive.best_attack_k
+        ~ctx:(Engine.Ctx.make ~grid:6 ~refine:2 ~identities:3 ())
+        g
+    in
+    if Q.equal flat.Incentive.ratio brute then incr agree;
+    if Q.compare zoomed.Incentive.ratio brute >= 0 then incr dominate;
+    Format.fprintf fmt
+      "ring #%d (n=%d): brute %.5f  sweep %.5f  zoomed %.5f@." i n
+      (Q.to_float brute)
+      (Q.to_float flat.Incentive.ratio)
+      (Q.to_float zoomed.Incentive.ratio)
+  done;
+  (* 2. the record instance: ratio 128/63 > 2 at k = 3, certified by
+     the exact coordinate-descent sweep *)
+  let g5 = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let k2 =
+    Incentive.best_attack ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ()) g5
+  in
+  let k3 =
+    Incentive.best_attack_k
+      ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ~identities:3 ())
+      g5
+  in
+  Format.fprintf fmt
+    "@.ring [7;2;9;4;3]: exact k=2 ratio %s (%.5f) <= 2; exact k=3 ratio %s \
+     (%.5f) at v=%d, weights=[%s]@."
+    (Q.to_string k2.Incentive.ratio)
+    (Q.to_float k2.Incentive.ratio)
+    (Q.to_string k3.Incentive.ratio)
+    (Q.to_float k3.Incentive.ratio)
+    k3.Incentive.v
+    (String.concat ";"
+       (Array.to_list (Array.map Q.to_string k3.Incentive.weights)));
+  let record_ok =
+    Q.equal k3.Incentive.ratio (Q.of_string "128/63")
+    && Q.compare k2.Incentive.ratio Q.two <= 0
+  in
+  (* 3. coalitions: two non-adjacent agents 2-splitting simultaneously,
+     joint utility against joint honest utility, coarse grid search *)
+  let coal_max = ref Q.one in
+  let coal_rng = Prng.create 78 in
+  for _ = 1 to trials do
+    let n = 5 + Prng.int coal_rng 3 in
+    let g =
+      Generators.ring
+        (Array.init n (fun _ -> Q.of_int (1 + Prng.int coal_rng 12)))
+    in
+    let grid = 6 in
+    for v1 = 0 to n - 1 do
+      let v2 = (v1 + 2) mod n in
+      if (not (Graph.mem_edge g v1 v2)) && v1 <> v2 then
+        for i = 0 to grid do
+          for j = 0 to grid do
+            let x1 = Q.mul_int (Q.div_int (Graph.weight g v1) grid) i in
+            let x2 = Q.mul_int (Q.div_int (Graph.weight g v2) grid) j in
+            let r = coalition_ratio g [ (v1, x1); (v2, x2) ] in
+            if Q.compare r !coal_max > 0 then coal_max := r
+          done
+        done
+    done
+  done;
+  Format.fprintf fmt
+    "coalitions: best joint ratio over %d rings (pairs of non-adjacent \
+     agents, 7x7 grid) = %.5f@."
+    trials (Q.to_float !coal_max);
+  verdict fmt
+    {
+      id = "E14/k-way";
+      ok =
+        !agree = !total && !dominate = !total && record_ok
+        && Q.compare !coal_max Q.one >= 0;
+      detail =
+        Printf.sprintf
+          "simplex sweep ties out with brute force on %d/%d instances; \
+           exact k=3 sweep certifies ratio 128/63 > 2 (Theorem 8's bound \
+           is specific to 2 identities)"
+          !agree !total;
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Hunt: randomised record search with checkpoint/resume               *)
 (* ------------------------------------------------------------------ *)
 
@@ -836,6 +1026,32 @@ let hunt ?ctx ?checkpoint ?(resume = false) ?(budget = Budget.unlimited)
                     (Invalid_input
                        "checkpoint was written for a different hunt \
                         (seed/trials mismatch)"))
+              else if
+                (* pre-k-way checkpoints carry no identities field and
+                   count as two; a cross-k resume would replay the same
+                   rng stream into a different search space *)
+                (match List.assoc_opt "identities" fields with
+                 | None -> 2
+                 | Some s -> (
+                     match int_of_string_opt s with
+                     | Some k -> k
+                     | None ->
+                         Ringshare_error.(
+                           error
+                             (Invalid_input
+                                (Printf.sprintf
+                                   "checkpoint: bad identities field %S" s)))))
+                <> ctx.Engine.Ctx.identities
+              then
+                Ringshare_error.(
+                  error
+                    (Invalid_input
+                       (Printf.sprintf
+                          "checkpoint was written with identities %s, \
+                           resumed with %d"
+                          (Option.value ~default:"2"
+                             (List.assoc_opt "identities" fields))
+                          ctx.Engine.Ctx.identities)))
               else
                 ( Prng.of_state (Checkpoint.int64_field fields "rng"),
                   Checkpoint.int_field fields "next",
@@ -858,6 +1074,7 @@ let hunt ?ctx ?checkpoint ?(resume = false) ?(budget = Budget.unlimited)
           [
             ("seed", string_of_int seed);
             ("trials", string_of_int trials);
+            ("identities", string_of_int ctx.Engine.Ctx.identities);
             ("next", string_of_int next);
             ("rng", Int64.to_string (Prng.state rng));
             ("failed", string_of_int !failed);
@@ -886,7 +1103,7 @@ let hunt ?ctx ?checkpoint ?(resume = false) ?(budget = Budget.unlimited)
        (match
           Ringshare_error.capture (fun () ->
               let g = Generators.ring weights in
-              Incentive.best_attack ~ctx ~budget g)
+              Incentive.best_attack_k ~ctx ~budget g)
         with
        | Ok a ->
            if Q.compare a.Incentive.ratio !best_ratio > 0 then begin
@@ -953,4 +1170,5 @@ let run_all ?ctx ?(quick = false) fmt =
   let e11 = run_e11_general_conjecture ~trials:(tt 30) fmt in
   let e12 = run_e12_truthfulness ~trials:(tt 60) fmt in
   let e13 = run_e13_symbolic ~trials:(tt 10) fmt in
-  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13 ]
+  let e14 = run_e14_kway ~trials:(tt 9) fmt in
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14 ]

@@ -77,6 +77,19 @@ val run_e13_symbolic : ?trials:int -> Format.formatter -> outcome
 (** Symbolic (Sturm-certificate) proof of ζ_v ≤ 2 per instance, via
     {!Symbolic.verify_theorem8}. *)
 
+val run_e14_kway : ?trials:int -> Format.formatter -> outcome
+(** k-identity split vectors, beyond Theorem 8's two.  Three parts:
+    (1) differential validation — {!Incentive.best_attack_k} at
+    [identities:3], [refine:0] on a grid divisible by 3 must tie out
+    {e exactly} with a brute-force enumeration of the whole simplex
+    lattice on seeded rings with [n ∈ {3, 4, 5}], and the zoomed sweep
+    must dominate it; (2) the record instance — on the ring
+    [[7;2;9;4;3]] the exact coordinate-descent sweep certifies a 3-way
+    split of ratio [128/63 > 2] while the exact 2-split optimum stays
+    below 2, showing Theorem 8's bound is specific to two identities;
+    (3) coalitions — pairs of non-adjacent agents 2-splitting
+    simultaneously, their joint ratio coarsely searched. *)
+
 val run_all : ?ctx:Engine.Ctx.t -> ?quick:bool -> Format.formatter -> outcome list
 (** The whole battery; [quick] shrinks trial counts for smoke runs.
     [ctx] reaches the E2 sweep (domains, shared cache); the other
@@ -105,11 +118,15 @@ val hunt :
     the tightness family).  Record holders are printed as they fall.
 
     Each trial draws an instance from the seeded PRNG and runs
-    {!Incentive.best_attack}.  After every trial the optional
-    [checkpoint] is atomically rewritten with the PRNG state and the
-    exact best-so-far; [resume:true] continues the stream from there, so
-    a killed-and-resumed hunt prints the same records and returns the
-    same result as an uninterrupted one.  A [budget] trip ends the hunt
+    {!Incentive.best_attack_k} under [ctx.identities] (default 2, where
+    it is exactly the historical {!Incentive.best_attack} hunt).  After
+    every trial the optional [checkpoint] is atomically rewritten with
+    the PRNG state, the identity count and the exact best-so-far;
+    [resume:true] continues the stream from there, so a killed-and-resumed
+    hunt prints the same records and returns the same result as an
+    uninterrupted one.  A checkpoint written under a different identity
+    count is rejected as [Invalid_input] (pre-k-way checkpoints count as
+    two identities).  A [budget] trip ends the hunt
     early with [Error (Budget_exhausted _)] and the partial best; a
     per-trial solver fault is counted and skipped, not fatal.
     [stop_after:k] processes at most [k] trials in this invocation. *)

@@ -31,12 +31,13 @@
 
    - config-drift: everywhere except engine/, which is the one module
      allowed to declare the [?solver ?grid ?refine ?domains] knobs (it
-     owns their defaults).  The two survivors outside it — the
-     deprecated [Decompose.compute_with] pin wrapper and the
-     per-dimension simplex [?grid] of [Sybil_general.best_attack] plus
+     owns their defaults).  The survivors outside it — the
+     per-dimension simplex [?grid] of [Sybil_general.best_attack] and
      parwork's own [?domains] plumbing — carry recorded
      [@lint.allow "config-drift"] attributes, so any new knob shows up
-     either as a finding or as an audited exemption.
+     either as a finding or as an audited exemption.  (The deprecated
+     [Decompose.compute_with] pin wrapper, the third original
+     exemption, has since been removed.)
 
    - no-naked-retry: everywhere except runtime/, which owns
      [Retry.with_retry].  A catch-all handler that re-invokes its

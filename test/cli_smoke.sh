@@ -239,6 +239,30 @@ grep '"name": "exact_sweep_calls"' "$tmpdir/METRICS_ringshare.json" \
   echo "FAIL: exact_sweep_calls counter is zero under --sweep exact" >&2
   fails=$((fails + 1)); }
 
+# 24. k-identity splits: --identities 2 is the default (byte-identical
+#     output), --identities 3 searches the simplex and prints a weight
+#     vector, K < 2 is a spec error
+"$cli" sybil --ring 7,2,9,4,3 --grid 6 --refine 1 \
+  > "$tmpdir/ident_default.out" 2> /dev/null
+expect "sybil default identities" 0 $?
+"$cli" sybil --ring 7,2,9,4,3 --grid 6 --refine 1 --identities 2 \
+  > "$tmpdir/ident_two.out" 2> /dev/null
+expect "sybil --identities 2" 0 $?
+cmp -s "$tmpdir/ident_default.out" "$tmpdir/ident_two.out" || {
+  echo "FAIL: --identities 2 output differs from the default" >&2
+  fails=$((fails + 1)); }
+"$cli" sybil --ring 7,2,9,4,3 --grid 6 --refine 1 --identities 3 \
+  > "$tmpdir/ident_three.out" 2> /dev/null
+expect "sybil --identities 3" 0 $?
+grep -q "best weights=\[" "$tmpdir/ident_three.out" || {
+  echo "FAIL: --identities 3 printed no weight vector" >&2
+  cat "$tmpdir/ident_three.out" >&2; fails=$((fails + 1)); }
+"$cli" sybil --ring 7,2,9,4,3 --identities 1 > /dev/null 2> "$tmpdir/err"
+expect "--identities 1 rejected" 4 $?
+grep -q "at least 2 identities" "$tmpdir/err" || {
+  echo "FAIL: --identities 1 error message unhelpful" >&2
+  fails=$((fails + 1)); }
+
 # 10. an unknown --obs-only subsystem is a spec error: exit 4, one line
 "$cli" decompose --fig1 --obs-only bogus > /dev/null 2> "$tmpdir/err"
 expect "unknown --obs-only subsystem" 4 $?

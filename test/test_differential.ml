@@ -142,6 +142,150 @@ let check_sweeps g =
     true
   end
 
+(* ------------------------------------------------------------------ *)
+(* k-identity split vectors                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* At the default two identities the k-way entry points are the
+   historical search: same vertex, same weights (as a pair), same
+   utility/honest/ratio — in both sweep modes, serial and parallel. *)
+let check_k2_bit_identity g =
+  List.iter
+    (fun (sweep, domains) ->
+      let ctx = Engine.Ctx.make ~sweep ~grid:8 ~refine:1 ~domains () in
+      let a = Incentive.best_attack ~ctx g in
+      let ka = Incentive.best_attack_k ~ctx g in
+      let w2 = Rational.sub (Graph.weight g a.Incentive.v) a.Incentive.w1 in
+      if
+        ka.Incentive.v <> a.Incentive.v
+        || Array.length ka.Incentive.weights <> 2
+        || not (Rational.equal ka.Incentive.weights.(0) a.Incentive.w1)
+        || not (Rational.equal ka.Incentive.weights.(1) w2)
+        || not (Rational.equal ka.Incentive.utility a.Incentive.utility)
+        || not (Rational.equal ka.Incentive.honest a.Incentive.honest)
+        || not (Rational.equal ka.Incentive.ratio a.Incentive.ratio)
+      then
+        QCheck2.Test.fail_reportf
+          "best_attack_k at k=2 differs from best_attack (domains=%d) on@.%a"
+          domains Graph.pp g)
+    [
+      (Engine.Grid, 1); (Engine.Grid, 3);
+      (Engine.Exact, 1); (Engine.Exact, 3);
+    ];
+  true
+
+(* Hard pins on the ring [7;2;9;4;3] so a silent change in either sweep
+   shows up as a concrete value, not just a broken equality. *)
+let test_k2_pins () =
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  List.iter
+    (fun domains ->
+      let ctx = Engine.Ctx.make ~grid:8 ~refine:1 ~domains () in
+      let a = Incentive.best_attack ~ctx g in
+      Alcotest.(check int) "grid v" 0 a.Incentive.v;
+      Alcotest.(check string) "grid w1" "21/4"
+        (Rational.to_string a.Incentive.w1);
+      Alcotest.(check string) "grid utility" "5"
+        (Rational.to_string a.Incentive.utility);
+      Alcotest.(check string) "grid honest" "63/16"
+        (Rational.to_string a.Incentive.honest);
+      Alcotest.(check string) "grid ratio" "80/63"
+        (Rational.to_string a.Incentive.ratio);
+      let ka = Incentive.best_attack_k ~ctx g in
+      Alcotest.(check string) "k-way grid weights" "21/4;7/4"
+        (String.concat ";"
+           (Array.to_list (Array.map Rational.to_string ka.Incentive.weights)));
+      Alcotest.(check string) "k-way grid ratio" "80/63"
+        (Rational.to_string ka.Incentive.ratio);
+      let ctxe = Engine.Ctx.make ~sweep:Engine.Exact ~domains () in
+      let e = Incentive.best_attack_exact ~ctx:ctxe g in
+      Alcotest.(check string) "exact w1" "9/2"
+        (Qx.to_string e.Incentive.w1_exact);
+      Alcotest.(check string) "exact ratio" "80/63"
+        (Qx.to_string e.Incentive.ratio_exact);
+      Alcotest.(check int) "exact pieces" 7 e.Incentive.pieces;
+      Alcotest.(check int) "exact events" 6 e.Incentive.events;
+      let kae = Incentive.best_attack_k ~ctx:ctxe g in
+      Alcotest.(check string) "k-way exact weights" "9/2;5/2"
+        (String.concat ";"
+           (Array.to_list
+              (Array.map Rational.to_string kae.Incentive.weights)));
+      Alcotest.(check string) "k-way exact ratio" "80/63"
+        (Rational.to_string kae.Incentive.ratio))
+    [ 1; 3 ]
+
+(* Reference oracle for k >= 3: enumerate the whole simplex lattice. *)
+let brute_attack_k g ~k ~grid =
+  let best = ref Rational.zero in
+  for v = 0 to Graph.n g - 1 do
+    let w = Graph.weight g v in
+    let honest = Sybil.honest_utility g ~v in
+    if Rational.sign honest > 0 && Rational.sign w > 0 then begin
+      let step = Rational.div_int w grid in
+      let rec go m remaining acc =
+        if m = 1 then begin
+          let ws = Array.of_list (List.rev (remaining :: acc)) in
+          let u = Sybil.splitk_utility g { Sybil.v; weights = ws } in
+          let r = Rational.div u honest in
+          if Rational.compare r !best > 0 then best := r
+        end
+        else
+          for i = 0 to grid do
+            let x = Rational.mul_int step i in
+            if Rational.compare x remaining <= 0 then
+              go (m - 1) (Rational.sub remaining x) (x :: acc)
+          done
+      in
+      go k w []
+    end
+  done;
+  !best
+
+(* The production simplex sweep at refine:0 on a grid divisible by k
+   visits exactly the brute lattice (the uniform seed w/k included), so
+   the two ratios must be *equal*; the zoomed sweep and the exact
+   coordinate descent may only improve on it. *)
+let test_k3_brute_tieout () =
+  List.iter
+    (fun (seed, n) ->
+      let g = Instances.ring ~seed ~n (Weights.Uniform (1, 12)) in
+      let brute = brute_attack_k g ~k:3 ~grid:6 in
+      let flat =
+        Incentive.best_attack_k
+          ~ctx:(Engine.Ctx.make ~grid:6 ~refine:0 ~identities:3 ())
+          g
+      in
+      let zoomed =
+        Incentive.best_attack_k
+          ~ctx:(Engine.Ctx.make ~grid:6 ~refine:2 ~identities:3 ())
+          g
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "refine:0 = brute (seed %d, n=%d)" seed n)
+        (Rational.to_string brute)
+        (Rational.to_string flat.Incentive.ratio);
+      Alcotest.(check bool)
+        (Printf.sprintf "zoomed >= brute (seed %d, n=%d)" seed n)
+        true
+        (Rational.compare zoomed.Incentive.ratio brute >= 0))
+    [ (11, 3); (12, 4); (13, 5); (14, 4); (15, 5) ]
+
+(* The record instance: a 3-way split beats Theorem 8's 2-identity
+   bound, certified by the exact coordinate-descent sweep. *)
+let test_k3_beats_two () =
+  let g = Generators.ring_of_ints [| 7; 2; 9; 4; 3 |] in
+  let k3 =
+    Incentive.best_attack_k
+      ~ctx:(Engine.Ctx.make ~sweep:Engine.Exact ~identities:3 ())
+      g
+  in
+  Alcotest.(check int) "record v" 0 k3.Incentive.v;
+  Alcotest.(check string) "record weights" "0;4;3"
+    (String.concat ";"
+       (Array.to_list (Array.map Rational.to_string k3.Incentive.weights)));
+  Alcotest.(check string) "record ratio 128/63 > 2" "128/63"
+    (Rational.to_string k3.Incentive.ratio)
+
 let () =
   Alcotest.run "differential"
     [
@@ -173,5 +317,17 @@ let () =
             "rings: exact sweep identical across solvers, dominates grid"
             (Helpers.ring_gen ~nmax:7 ~wmax:20 ())
             check_sweeps;
+        ] );
+      ( "k-way",
+        [
+          Helpers.qtest ~count:20
+            "rings: k=2 entry points bit-identical to the 2-split search"
+            (Helpers.ring_gen ~nmax:6 ~wmax:15 ())
+            check_k2_bit_identity;
+          Alcotest.test_case "k=2 pins on [7;2;9;4;3]" `Quick test_k2_pins;
+          Alcotest.test_case "k=3 ties out with brute force (n=3..5)" `Quick
+            test_k3_brute_tieout;
+          Alcotest.test_case "k=3 record ratio 128/63 > 2" `Quick
+            test_k3_beats_two;
         ] );
     ]

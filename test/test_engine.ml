@@ -213,14 +213,6 @@ let test_warm_cache_best_attack () =
       check_attack "cold = plain" plain cold;
       check_attack "warm = cold" cold warm)
 
-(* The deprecated pin wrapper must keep answering like the ctx path. *)
-let[@alert "-deprecated"] test_compute_with_pin () =
-  let g = e2_ring () in
-  Alcotest.(check bool) "compute_with = compute ~ctx" true
-    (Decompose.equal
-       (Decompose.compute_with ~solver:Decompose.Flow g)
-       (Decompose.compute ~ctx:(Engine.Ctx.make ~solver:Decompose.Flow ()) g))
-
 (* ------------------------------------------------------------------ *)
 (* Parallel sweep inside best_attack_within (+ kill/resume)            *)
 (* ------------------------------------------------------------------ *)
@@ -349,8 +341,6 @@ let () =
         [
           Alcotest.test_case "warm best_attack: >=2x fewer computes" `Quick
             test_warm_cache_best_attack;
-          Alcotest.test_case "deprecated compute_with pin" `Quick
-            test_compute_with_pin;
         ] );
       ( "parallel sweep",
         [

@@ -7,7 +7,7 @@ let test_battery () =
   let fmt = Format.formatter_of_buffer buf in
   let outcomes = Experiments.run_all ~quick:true fmt in
   Format.pp_print_flush fmt ();
-  Alcotest.(check int) "thirteen experiments" 13 (List.length outcomes);
+  Alcotest.(check int) "fourteen experiments" 14 (List.length outcomes);
   List.iter
     (fun (o : Experiments.outcome) ->
       if not o.ok then

@@ -70,6 +70,27 @@ let test_memo_identity () =
       Alcotest.(check bool) "dedup <= raw sweep points" true (dedup <= pts);
       Alcotest.(check bool) "deduped points exist" true (dedup > 0))
 
+(* The k-way weight-vector memo obeys the same identity, and the
+   simplex sweep's own counters tick. *)
+let test_kway_memo_identity () =
+  with_obs ~metrics:true (fun () ->
+      let g = e1_ring () in
+      ignore
+        (Incentive.best_splitk
+           ~ctx:(Engine.Ctx.make ~grid:6 ~refine:2 ~identities:3 ())
+           g ~v:0);
+      let s = Obs.snapshot () in
+      let lookups = count s "incentive" "kway_memo_lookups" in
+      let hits = count s "incentive" "kway_memo_hits" in
+      let misses = count s "incentive" "kway_memo_misses" in
+      Alcotest.(check bool) "kway lookups happened" true (lookups > 0);
+      Alcotest.(check int) "kway hits + misses = lookups" lookups
+        (hits + misses);
+      (* the zoom rounds revisit the previous best vector *)
+      Alcotest.(check bool) "some kway hits" true (hits > 0);
+      Alcotest.(check bool) "kway points counted" true
+        (count s "incentive" "kway_points" > 0))
+
 (* --- Dinic: augmenting paths within the V*E bound ----------------- *)
 
 let test_maxflow_bound () =
@@ -253,6 +274,8 @@ let () =
             test_disabled_zero;
           Alcotest.test_case "memo hits + misses = lookups" `Quick
             test_memo_identity;
+          Alcotest.test_case "k-way memo hits + misses = lookups" `Quick
+            test_kway_memo_identity;
           Alcotest.test_case "Dinic augmentations within V*E" `Quick
             test_maxflow_bound;
           Alcotest.test_case "best_attack bit-identical under metrics" `Quick

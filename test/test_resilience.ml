@@ -367,6 +367,63 @@ let test_best_attack_within_rejects_sweep_mismatch () =
   | _ -> Alcotest.fail "exact checkpoint accepted by grid resume");
   Sys.remove path
 
+let test_best_attack_within_kway_resume () =
+  (* k-way kill-and-resume: the weight vector rides in the checkpoint,
+     so the resumed best_k is bit-identical to the uninterrupted scan *)
+  let g = attack_ring () in
+  let kctx = Engine.Ctx.make ~grid:6 ~refine:1 ~identities:3 () in
+  let p_ref = Incentive.best_attack_within ~ctx:kctx g in
+  Alcotest.(check bool) "reference complete" true
+    (p_ref.Incentive.status = Ok ());
+  let path = tmp ".ckpt" in
+  Sys.remove path;
+  let p1 =
+    Incentive.best_attack_within ~ctx:kctx ~checkpoint:path
+      ~budget:(Budget.create ~steps:400 ()) g
+  in
+  Alcotest.(check bool) "interrupted" true
+    (p1.Incentive.completed < p1.Incentive.total);
+  Alcotest.(check bool) "snapshot exists" true (Sys.file_exists path);
+  let p2 =
+    Incentive.best_attack_within ~ctx:kctx ~checkpoint:path ~resume:true g
+  in
+  Alcotest.(check bool) "complete" true (p2.Incentive.status = Ok ());
+  (match (p_ref.Incentive.best_k, p2.Incentive.best_k) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same vertex" a.Incentive.v b.Incentive.v;
+      Alcotest.(check bool) "same weight vector" true
+        (Array.length a.Incentive.weights = Array.length b.Incentive.weights
+        && Array.for_all2 Rational.equal a.Incentive.weights
+             b.Incentive.weights);
+      Helpers.check_q "same utility" a.Incentive.utility b.Incentive.utility;
+      Helpers.check_q "same honest" a.Incentive.honest b.Incentive.honest;
+      Helpers.check_q "same ratio" a.Incentive.ratio b.Incentive.ratio
+  | _ -> Alcotest.fail "k-way result missing before or after resume");
+  Sys.remove path
+
+let test_best_attack_within_rejects_identities_mismatch () =
+  (* a checkpoint written under one identity count cannot seed another;
+     the error names both *)
+  let g = attack_ring () in
+  let path = tmp ".ckpt" in
+  Sys.remove path;
+  let _ =
+    Incentive.best_attack_within
+      ~ctx:(Engine.Ctx.make ~grid:6 ~refine:1 ~identities:3 ())
+      ~checkpoint:path g
+  in
+  (match
+     E.capture (fun () ->
+         Incentive.best_attack_within
+           ~ctx:(Engine.Ctx.make ~grid:8 ~refine:1 ())
+           ~checkpoint:path ~resume:true g)
+   with
+  | Error (E.Invalid_input m) ->
+      Alcotest.(check bool) "names both identity counts" true
+        (contains m "identities" && contains m "3" && contains m "2")
+  | _ -> Alcotest.fail "cross-k checkpoint accepted");
+  Sys.remove path
+
 let test_best_attack_within_rejects_wrong_graph () =
   let path = tmp ".ckpt" in
   Sys.remove path;
@@ -545,6 +602,10 @@ let () =
             `Quick test_best_attack_within_exact_resume;
           Alcotest.test_case "sweep-mismatched checkpoint rejected" `Quick
             test_best_attack_within_rejects_sweep_mismatch;
+          Alcotest.test_case "k-way: interrupt + resume bit-identical" `Quick
+            test_best_attack_within_kway_resume;
+          Alcotest.test_case "cross-k checkpoint rejected" `Quick
+            test_best_attack_within_rejects_identities_mismatch;
           Alcotest.test_case "wrong-graph checkpoint rejected" `Quick
             test_best_attack_within_rejects_wrong_graph;
         ] );
